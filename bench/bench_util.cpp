@@ -1,0 +1,102 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "support/error.hpp"
+
+namespace rsel::bench {
+
+BenchOptions
+parseArgs(int argc, char **argv, const std::string &description)
+{
+    CliOptions cli;
+    cli.define("events", "0",
+               "dynamic block events per run (0 = workload default)");
+    cli.define("seed", "7", "executor seed");
+    cli.define("build-seed", "42", "program-synthesis seed");
+    cli.define("workload", "", "restrict to one workload by name");
+    cli.define("net-threshold", "50", "NET hot threshold");
+    cli.define("lei-threshold", "35", "LEI cycle threshold");
+    cli.define("buffer", "500", "LEI history-buffer capacity");
+    cli.define("tprof", "15", "observed traces per entrance (T_prof)");
+    cli.define("tmin", "5", "block occurrence threshold (T_min)");
+
+    try {
+        cli.parse(argc, argv);
+    } catch (const FatalError &e) {
+        std::cerr << e.what() << '\n';
+        std::exit(2);
+    }
+    if (cli.helpRequested()) {
+        std::cout << description << "\n\n" << cli.usage(argv[0]);
+        std::exit(0);
+    }
+
+    BenchOptions opts;
+    opts.events = cli.getUint("events");
+    opts.seed = cli.getUint("seed");
+    opts.buildSeed = cli.getUint("build-seed");
+    opts.workloadFilter = cli.get("workload");
+    opts.net.hotThreshold =
+        static_cast<std::uint32_t>(cli.getUint("net-threshold"));
+    opts.lei.hotThreshold =
+        static_cast<std::uint32_t>(cli.getUint("lei-threshold"));
+    opts.lei.bufferCapacity =
+        static_cast<std::size_t>(cli.getUint("buffer"));
+    const auto tprof = static_cast<std::uint32_t>(cli.getUint("tprof"));
+    const auto tmin = static_cast<std::uint32_t>(cli.getUint("tmin"));
+    opts.net.profWindow = tprof;
+    opts.lei.profWindow = tprof;
+    opts.net.minOccur = tmin;
+    opts.lei.minOccur = tmin;
+    return opts;
+}
+
+SuiteRunner::SuiteRunner(BenchOptions opts)
+    : opts_(std::move(opts))
+{
+    for (const WorkloadInfo &w : workloadSuite()) {
+        if (opts_.workloadFilter.empty() ||
+            w.name == opts_.workloadFilter) {
+            workloads_.push_back(&w);
+        }
+    }
+    if (workloads_.empty())
+        fatal("unknown workload: " + opts_.workloadFilter);
+}
+
+const std::vector<SimResult> &
+SuiteRunner::results(Algorithm algo)
+{
+    auto it = cache_.find(algo);
+    if (it != cache_.end())
+        return it->second;
+
+    std::vector<SimResult> results;
+    results.reserve(workloads_.size());
+    for (const WorkloadInfo *w : workloads_) {
+        Program prog = w->build(opts_.buildSeed);
+        SimOptions sim;
+        sim.maxEvents =
+            opts_.events != 0 ? opts_.events : w->defaultEvents;
+        sim.seed = opts_.seed;
+        sim.net = opts_.net;
+        sim.lei = opts_.lei;
+        sim.icache = opts_.icache;
+        SimResult r = simulate(prog, algo, sim);
+        r.workload = w->name;
+        results.push_back(std::move(r));
+    }
+    return cache_.emplace(algo, std::move(results)).first->second;
+}
+
+void
+printFigure(const Table &table, const std::string &paperNote)
+{
+    table.print(std::cout);
+    std::cout << "paper reports: " << paperNote << "\n\n";
+}
+
+} // namespace rsel::bench

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared harness for the figure/table reproduction binaries.
+ *
+ * Every bench binary runs the twelve-workload synthetic suite under
+ * the algorithms it needs and prints one table in the paper's
+ * layout: a row per benchmark plus the cross-suite average the paper
+ * quotes. Common CLI flags:
+ *
+ *   --events N   dynamic block events per run (0 = workload default)
+ *   --seed N     executor seed
+ *   --build-seed N  program-synthesis seed
+ *   --workload NAME  restrict to one workload
+ */
+
+#ifndef RSEL_BENCH_BENCH_UTIL_HPP
+#define RSEL_BENCH_BENCH_UTIL_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dynopt/dynopt_system.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rsel::bench {
+
+/** Options common to all bench binaries. */
+struct BenchOptions
+{
+    /** Events per run; 0 means each workload's default length. */
+    std::uint64_t events = 0;
+    /** Executor seed. */
+    std::uint64_t seed = 7;
+    /** Program-synthesis seed. */
+    std::uint64_t buildSeed = 42;
+    /** Optional single-workload filter (empty = whole suite). */
+    std::string workloadFilter;
+    /** Threshold configuration shared by all runs. */
+    NetConfig net;
+    LeiConfig lei;
+    /** Modelled I-cache geometry shared by all runs. */
+    ICacheConfig icache;
+};
+
+/**
+ * Parse the common bench CLI. Prints usage and exits on --help;
+ * terminates with a message on bad options.
+ */
+BenchOptions parseArgs(int argc, char **argv,
+                       const std::string &description);
+
+/**
+ * Lazily runs and caches suite results per algorithm so a binary
+ * that needs NET and LEI only simulates each workload twice.
+ */
+class SuiteRunner
+{
+  public:
+    explicit SuiteRunner(BenchOptions opts);
+
+    /** Results for one algorithm, in suite order. */
+    const std::vector<SimResult> &results(Algorithm algo);
+
+    /** The workloads being run (after filtering). */
+    const std::vector<const WorkloadInfo *> &workloads() const
+    {
+        return workloads_;
+    }
+
+    /** The options in effect. */
+    const BenchOptions &options() const { return opts_; }
+
+  private:
+    BenchOptions opts_;
+    std::vector<const WorkloadInfo *> workloads_;
+    std::map<Algorithm, std::vector<SimResult>> cache_;
+};
+
+/**
+ * Print a finished table plus the "paper reports" footnote that
+ * states the published shape the figure should reproduce.
+ */
+void printFigure(const Table &table, const std::string &paperNote);
+
+} // namespace rsel::bench
+
+#endif // RSEL_BENCH_BENCH_UTIL_HPP

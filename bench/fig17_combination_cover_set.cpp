@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 17: reduction in the 90% cover set size under trace
+ * combination.
+ */
+
+#include "bench_util.hpp"
+
+using namespace rsel;
+using namespace rsel::bench;
+
+int
+main(int argc, char **argv)
+{
+    SuiteRunner runner(parseArgs(
+        argc, argv,
+        "Figure 17: 90% cover sets under trace combination"));
+
+    Table table("Figure 17 — 90% cover set size, combined relative "
+                "to base",
+                {"benchmark", "NET", "comb NET", "combNET/NET", "LEI",
+                 "comb LEI", "combLEI/LEI"});
+
+    const auto &net = runner.results(Algorithm::Net);
+    const auto &cnet = runner.results(Algorithm::NetCombined);
+    const auto &lei = runner.results(Algorithm::Lei);
+    const auto &clei = runner.results(Algorithm::LeiCombined);
+
+    std::vector<double> netRatios, leiRatios;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        const double rn = ratio(cnet[i].coverSet90, net[i].coverSet90);
+        const double rl = ratio(clei[i].coverSet90, lei[i].coverSet90);
+        netRatios.push_back(rn);
+        leiRatios.push_back(rl);
+        table.addRow({net[i].workload,
+                      std::to_string(net[i].coverSet90),
+                      std::to_string(cnet[i].coverSet90),
+                      formatPercent(rn),
+                      std::to_string(lei[i].coverSet90),
+                      std::to_string(clei[i].coverSet90),
+                      formatPercent(rl)});
+    }
+    table.addSummaryRow({"average", "", "",
+                         formatPercent(mean(netRatios)), "", "",
+                         formatPercent(mean(leiRatios))});
+
+    printFigure(table,
+                "combination shrinks NET cover sets by 15% and LEI "
+                "cover sets by 28% on average; gzip under NET is the "
+                "only increase (one trace) and bzip2 the only case "
+                "where LEI benefits less than NET (its LEI cover set "
+                "is already tiny).");
+    return 0;
+}

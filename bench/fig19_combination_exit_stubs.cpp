@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 19: effect of trace combination on the number of exit
+ * stubs produced by NET and LEI.
+ */
+
+#include "bench_util.hpp"
+
+using namespace rsel;
+using namespace rsel::bench;
+
+int
+main(int argc, char **argv)
+{
+    SuiteRunner runner(parseArgs(
+        argc, argv, "Figure 19: exit stubs under trace combination"));
+
+    Table table("Figure 19 — exit stubs, combined relative to base",
+                {"benchmark", "NET", "comb NET", "combNET/NET", "LEI",
+                 "comb LEI", "combLEI/LEI"});
+
+    const auto &net = runner.results(Algorithm::Net);
+    const auto &cnet = runner.results(Algorithm::NetCombined);
+    const auto &lei = runner.results(Algorithm::Lei);
+    const auto &clei = runner.results(Algorithm::LeiCombined);
+
+    std::vector<double> netRatios, leiRatios;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        const double rn =
+            ratio(static_cast<double>(cnet[i].exitStubs),
+                  static_cast<double>(net[i].exitStubs));
+        const double rl =
+            ratio(static_cast<double>(clei[i].exitStubs),
+                  static_cast<double>(lei[i].exitStubs));
+        netRatios.push_back(rn);
+        leiRatios.push_back(rl);
+        table.addRow({net[i].workload,
+                      std::to_string(net[i].exitStubs),
+                      std::to_string(cnet[i].exitStubs),
+                      formatPercent(rn),
+                      std::to_string(lei[i].exitStubs),
+                      std::to_string(clei[i].exitStubs),
+                      formatPercent(rl)});
+    }
+    table.addSummaryRow({"average", "", "",
+                         formatPercent(mean(netRatios)), "", "",
+                         formatPercent(mean(leiRatios))});
+
+    printFigure(table,
+                "combination eliminates 18% of NET's exit stubs and "
+                "26% of LEI's; together with selecting fewer "
+                "instructions this shrinks the cache by 7% (NET) and "
+                "9% (LEI), offsetting the Figure 18 profiling memory.");
+    return 0;
+}

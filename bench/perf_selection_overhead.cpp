@@ -1,0 +1,177 @@
+/**
+ * @file
+ * google-benchmark timing for the paper's overhead claims:
+ *
+ *  - Section 3.1: LEI's per-taken-branch work is constant and
+ *    comparable to NET's (one cache lookup, one buffer insert, one
+ *    hash lookup, a possible counter update).
+ *  - Section 4.2.1: the compact trace representation adds little
+ *    overhead (2 bits per branch to encode; decode touches each
+ *    instruction at most once).
+ *  - Section 4.2.3: mark-rejoining-paths is linear in the edges in
+ *    practice.
+ *
+ * Whole-system throughput is reported as events/second over the
+ * gzip and gcc workloads for all four configurations.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "dynopt/dynopt_system.hpp"
+#include "selection/compact_trace.hpp"
+#include "selection/history_buffer.hpp"
+#include "selection/region_cfg.hpp"
+#include "workloads/scenarios.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rsel {
+namespace {
+
+/** End-to-end simulation throughput (events/sec). */
+void
+simulationThroughput(benchmark::State &state, const char *workload,
+                     Algorithm algo)
+{
+    const WorkloadInfo *info = findWorkload(workload);
+    Program prog = info->build(42);
+    const std::uint64_t events = 200'000;
+    for (auto _ : state) {
+        SimOptions opts;
+        opts.maxEvents = events;
+        opts.seed = 7;
+        SimResult r = simulate(prog, algo, opts);
+        benchmark::DoNotOptimize(r.cachedInsts);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * events));
+}
+
+void
+BM_Simulate_gzip_NET(benchmark::State &state)
+{
+    simulationThroughput(state, "gzip", Algorithm::Net);
+}
+BENCHMARK(BM_Simulate_gzip_NET);
+
+void
+BM_Simulate_gzip_LEI(benchmark::State &state)
+{
+    simulationThroughput(state, "gzip", Algorithm::Lei);
+}
+BENCHMARK(BM_Simulate_gzip_LEI);
+
+void
+BM_Simulate_gzip_CombinedLEI(benchmark::State &state)
+{
+    simulationThroughput(state, "gzip", Algorithm::LeiCombined);
+}
+BENCHMARK(BM_Simulate_gzip_CombinedLEI);
+
+void
+BM_Simulate_gcc_NET(benchmark::State &state)
+{
+    simulationThroughput(state, "gcc", Algorithm::Net);
+}
+BENCHMARK(BM_Simulate_gcc_NET);
+
+void
+BM_Simulate_gcc_LEI(benchmark::State &state)
+{
+    simulationThroughput(state, "gcc", Algorithm::Lei);
+}
+BENCHMARK(BM_Simulate_gcc_LEI);
+
+void
+BM_Simulate_gcc_CombinedLEI(benchmark::State &state)
+{
+    simulationThroughput(state, "gcc", Algorithm::LeiCombined);
+}
+BENCHMARK(BM_Simulate_gcc_CombinedLEI);
+
+/** History buffer: insert + hash lookup per taken branch. */
+void
+BM_HistoryBufferInsertFind(benchmark::State &state)
+{
+    HistoryBuffer buf(500);
+    Addr addr = 0x1000;
+    for (auto _ : state) {
+        const Addr tgt = 0x1000 + (addr % 977) * 8;
+        benchmark::DoNotOptimize(buf.find(tgt));
+        const auto seq = buf.insert({addr, tgt, false});
+        buf.setHashLocation(tgt, seq);
+        addr += 13;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistoryBufferInsertFind);
+
+/** Compact-trace encode cost as a function of trace length. */
+void
+BM_CompactTraceEncode(benchmark::State &state)
+{
+    Program p = buildUnbiasedBranch(1, 0.5, 0.1);
+    using Ids = UnbiasedBranchIds;
+    // Build a path of the requested length by repeating the hot
+    // cycle (encode does not require uniqueness, only decode's end
+    // block must be unique — irrelevant for encode timing).
+    std::vector<const BasicBlock *> path;
+    const BlockId cycle[] = {Ids::a, Ids::c, Ids::d, Ids::f};
+    for (std::int64_t i = 0; i < state.range(0); ++i)
+        path.push_back(&p.block(cycle[i % 4]));
+    for (auto _ : state) {
+        CompactTrace ct = CompactTrace::encode(path);
+        benchmark::DoNotOptimize(ct.sizeBytes());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(path.size()));
+}
+BENCHMARK(BM_CompactTraceEncode)->Arg(8)->Arg(32)->Arg(128);
+
+/** Compact-trace decode cost. */
+void
+BM_CompactTraceDecode(benchmark::State &state)
+{
+    Program p = buildUnbiasedBranch(1, 0.5, 0.1);
+    using Ids = UnbiasedBranchIds;
+    std::vector<const BasicBlock *> path = {
+        &p.block(Ids::a), &p.block(Ids::c), &p.block(Ids::d),
+        &p.block(Ids::f)};
+    CompactTrace ct = CompactTrace::encode(path);
+    for (auto _ : state) {
+        auto decoded = ct.decode(p, p.block(Ids::a).startAddr());
+        benchmark::DoNotOptimize(decoded.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_CompactTraceDecode);
+
+/** Mark-rejoining-paths over a CFG built from many traces. */
+void
+BM_MarkRejoiningPaths(benchmark::State &state)
+{
+    Program p = buildUnbiasedBranch(1, 0.5, 0.1);
+    using Ids = UnbiasedBranchIds;
+    for (auto _ : state) {
+        state.PauseTiming();
+        RegionCfg cfg(&p.block(Ids::a));
+        for (std::int64_t i = 0; i < state.range(0); ++i) {
+            if (i % 3 == 0) {
+                cfg.addTrace({&p.block(Ids::a), &p.block(Ids::b),
+                              &p.block(Ids::d), &p.block(Ids::f)});
+            } else {
+                cfg.addTrace({&p.block(Ids::a), &p.block(Ids::c),
+                              &p.block(Ids::d), &p.block(Ids::f)});
+            }
+        }
+        cfg.markFrequent(
+            static_cast<std::uint32_t>(state.range(0) / 3));
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(cfg.markRejoiningPaths());
+    }
+}
+BENCHMARK(BM_MarkRejoiningPaths)->Arg(15)->Arg(60);
+
+} // namespace
+} // namespace rsel
+
+BENCHMARK_MAIN();

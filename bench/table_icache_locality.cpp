@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Locality measured directly: the paper uses region transitions as
+ * its locality-of-execution proxy ("fewer region transitions implies
+ * better locality") because separation hurts instruction-cache
+ * performance. This bench closes the loop by running a scaled-down
+ * L1 instruction cache (1 KiB, direct-mapped, 32 B lines — scaled to
+ * the ~100x smaller synthetic code footprints)
+ * over the code-cache layout of each algorithm.
+ */
+
+#include "bench_util.hpp"
+
+using namespace rsel;
+using namespace rsel::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = parseArgs(
+        argc, argv,
+        "Locality validation: modelled I-cache miss rate");
+    // Tight geometry: the synthetic hot footprints are tiny, so the
+    // modelled cache must be tighter still for separation to show.
+    opts.icache = {1024, 32, 1};
+    SuiteRunner runner(opts);
+
+    Table table("I-cache miss rate of cached execution "
+                "(1 KiB, direct-mapped, 32 B lines)",
+                {"benchmark", "NET", "LEI", "comb NET", "comb LEI"});
+
+    const auto &net = runner.results(Algorithm::Net);
+    const auto &lei = runner.results(Algorithm::Lei);
+    const auto &cnet = runner.results(Algorithm::NetCombined);
+    const auto &clei = runner.results(Algorithm::LeiCombined);
+
+    std::vector<double> n, l, cn, cl;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        n.push_back(net[i].icacheMissRate());
+        l.push_back(lei[i].icacheMissRate());
+        cn.push_back(cnet[i].icacheMissRate());
+        cl.push_back(clei[i].icacheMissRate());
+        table.addRow({net[i].workload, formatPercent(n.back(), 2),
+                      formatPercent(l.back(), 2),
+                      formatPercent(cn.back(), 2),
+                      formatPercent(cl.back(), 2)});
+    }
+    table.addSummaryRow({"average", formatPercent(mean(n), 2),
+                         formatPercent(mean(l), 2),
+                         formatPercent(mean(cn), 2),
+                         formatPercent(mean(cl), 2)});
+
+    printFigure(table,
+                "(validation of the paper's proxy, not a paper "
+                "figure) the transition reductions of Figures 8 and "
+                "16 should translate into lower instruction-fetch "
+                "miss rates, with combined LEI the lowest.");
+    return 0;
+}

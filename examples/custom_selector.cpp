@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Implementing a custom region-selection algorithm against the
+ * public RegionSelector interface — the capability the paper's
+ * authors were adding to Pin ("modify Pin so that it can accept a
+ * user-specified trace-selection algorithm").
+ *
+ * The example implements "First-Executing Tail" (FET): like NET but
+ * with no hotness counters at all — the first time a backward-branch
+ * target executes, the next-executing tail is selected immediately.
+ * It demonstrates the interface contract and why profiling matters:
+ * FET caches cold paths eagerly and its cover sets are worse.
+ */
+
+#include <iostream>
+#include <unordered_set>
+
+#include "dynopt/dynopt_system.hpp"
+#include "support/table.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace rsel;
+
+namespace {
+
+/** First-Executing Tail: NET without counters. */
+class FetSelector : public RegionSelector
+{
+  public:
+    FetSelector(const Program &prog, const CodeCache &cache)
+        : prog_(prog), cache_(cache)
+    {
+        (void)prog_;
+        (void)cache_;
+    }
+
+    std::optional<RegionSpec>
+    onInterpreted(const SelectorEvent &ev) override
+    {
+        if (recording_) {
+            const bool backwardTaken =
+                ev.viaTaken && ev.block->startAddr() <= ev.branchAddr;
+            if (backwardTaken || recordInsts_ > maxInsts) {
+                return finalize();
+            }
+            path_.push_back(ev.block);
+            recordInsts_ += ev.block->instCount();
+            return std::nullopt;
+        }
+
+        // Select on the FIRST eligible execution — no threshold.
+        if (ev.viaTaken &&
+            (ev.block->startAddr() <= ev.branchAddr ||
+             ev.fromCacheExit) &&
+            seen_.insert(ev.block->id()).second) {
+            recording_ = true;
+            path_ = {ev.block};
+            recordInsts_ = ev.block->instCount();
+        }
+        return std::nullopt;
+    }
+
+    std::optional<RegionSpec>
+    onCacheEnter(const BasicBlock &) override
+    {
+        if (recording_)
+            return finalize();
+        return std::nullopt;
+    }
+
+    std::size_t maxLiveCounters() const override { return 0; }
+    std::string name() const override { return "FET"; }
+
+  private:
+    std::optional<RegionSpec>
+    finalize()
+    {
+        recording_ = false;
+        RegionSpec spec;
+        spec.kind = Region::Kind::Trace;
+        spec.blocks = std::move(path_);
+        path_.clear();
+        return spec;
+    }
+
+    static constexpr std::uint64_t maxInsts = 1024;
+    const Program &prog_;
+    const CodeCache &cache_;
+    bool recording_ = false;
+    std::vector<const BasicBlock *> path_;
+    std::uint64_t recordInsts_ = 0;
+    std::unordered_set<BlockId> seen_;
+};
+
+SimResult
+runFet(const Program &p, std::uint64_t events)
+{
+    DynOptSystem system(p);
+    system.useCustom([](const Program &prog, const CodeCache &cache) {
+        return std::make_unique<FetSelector>(prog, cache);
+    });
+    Executor exec(p, 7);
+    exec.run(events, system);
+    return system.finish();
+}
+
+} // namespace
+
+int
+main()
+{
+    const WorkloadInfo *info = findWorkload("twolf");
+    Program p = info->build(42);
+    const std::uint64_t events = 1'000'000;
+
+    SimOptions opts;
+    opts.maxEvents = events;
+    opts.seed = 7;
+    SimResult net = simulate(p, Algorithm::Net, opts);
+    SimResult fet = runFet(p, events);
+
+    Table table("Custom selector (FET: select on first execution) "
+                "vs NET on 'twolf'",
+                {"metric", "NET", "FET"});
+    table.addRow({"hit rate", formatPercent(net.hitRate(), 2),
+                  formatPercent(fet.hitRate(), 2)});
+    table.addRow({"regions", std::to_string(net.regionCount),
+                  std::to_string(fet.regionCount)});
+    table.addRow({"code expansion (insts)",
+                  std::to_string(net.expansionInsts),
+                  std::to_string(fet.expansionInsts)});
+    table.addRow({"90% cover set", std::to_string(net.coverSet90),
+                  std::to_string(fet.coverSet90)});
+    table.addRow({"region transitions",
+                  std::to_string(net.regionTransitions),
+                  std::to_string(fet.regionTransitions)});
+    table.print(std::cout);
+
+    std::cout << "\nFET shows why NET profiles before selecting: "
+                 "selecting on the first execution\ncaches whatever "
+                 "path happens to run first, inflating expansion "
+                 "and the cover set.\nAny algorithm implementing "
+                 "RegionSelector plugs into the same simulator.\n";
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The paper's Figure 3 walkthrough: simple nested loops.
+ *
+ *     A:  outer-loop head (falls into B)
+ *     B:  single-block inner loop (branches to itself)
+ *     C:  outer latch (branches back to A)
+ *
+ * NET selects three traces — B; C; and "A B", duplicating the inner
+ * loop because control falls from A into the already-cached B and
+ * the recorder only stops at B's backward branch. LEI never
+ * duplicates B: trace formation stops at the head of an existing
+ * region even on a fall-through path.
+ */
+
+#include <iostream>
+
+#include "dynopt/dynopt_system.hpp"
+#include "support/table.hpp"
+#include "workloads/scenarios.hpp"
+
+using namespace rsel;
+
+namespace {
+
+void
+describeRegions(const Program &p, const SimResult &r)
+{
+    static const char *names = "ABC?"; // block id -> figure letter
+    for (const RegionStats &reg : r.regions) {
+        const BasicBlock *entry = p.blockAtAddr(reg.entryAddr);
+        std::cout << "  region " << reg.id << ": starts at "
+                  << names[entry->id() < 3 ? entry->id() : 3] << ", "
+                  << reg.blockCount << " blocks ("
+                  << reg.instCount << " insts), "
+                  << (reg.spansCycle ? "spans cycle" : "no cycle")
+                  << "\n";
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    Program p = buildNestedLoops(1, 4, 1000000);
+
+    std::cout << "Figure 3 scenario: outer loop A .. C with "
+                 "single-block inner loop B\n\n";
+
+    SimOptions opts;
+    opts.maxEvents = 150'000;
+    opts.seed = 9;
+
+    SimResult net = simulate(p, Algorithm::Net, opts);
+    SimResult lei = simulate(p, Algorithm::Lei, opts);
+
+    std::cout << "NET (" << net.regionCount << " traces):\n";
+    describeRegions(p, net);
+    std::cout << "  instructions selected: " << net.expansionInsts
+              << " (block B appears twice: once as its own trace and "
+                 "once copied\n   into A's trace — the Figure 3 "
+                 "duplication)\n\n";
+
+    std::cout << "LEI (" << lei.regionCount << " traces):\n";
+    describeRegions(p, lei);
+    std::cout << "  instructions selected: " << lei.expansionInsts
+              << " (no block selected twice: LEI stops a trace at an "
+                 "existing region\n   head even on the fall-through "
+                 "path)\n\n";
+
+    Table table("Figure 3 — duplication under NET vs LEI",
+                {"metric", "NET", "LEI"});
+    table.addRow({"traces", std::to_string(net.regionCount),
+                  std::to_string(lei.regionCount)});
+    table.addRow({"instructions selected",
+                  std::to_string(net.expansionInsts),
+                  std::to_string(lei.expansionInsts)});
+    table.addRow({"duplicated instructions",
+                  std::to_string(net.duplicatedInsts),
+                  std::to_string(lei.duplicatedInsts)});
+    table.addRow({"hit rate", formatPercent(net.hitRate(), 2),
+                  formatPercent(lei.hitRate(), 2)});
+    table.print(std::cout);
+    return 0;
+}

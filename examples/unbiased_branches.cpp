@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The paper's Figure 4 walkthrough: an unbiased branch followed by a
+ * biased branch, and the tail duplication trace combination repairs.
+ *
+ *     A: unbiased split (50/50 to B or C)
+ *     B, C: the two sides, rejoining at D
+ *     D: biased split (E rare)
+ *     F: latch, back to A
+ *
+ * A single-path selector picks one side first (say A C D F); the
+ * other side later forms its own trace (B D F) duplicating D and F
+ * and an exit stub for E. Trace combination observes T_prof traces
+ * from A and selects one multi-path region containing both sides —
+ * no duplication, fewer stubs, and control stays in the region
+ * whichever way the unbiased branch goes.
+ */
+
+#include <iostream>
+
+#include "dynopt/dynopt_system.hpp"
+#include "support/table.hpp"
+#include "workloads/scenarios.hpp"
+
+using namespace rsel;
+
+int
+main()
+{
+    Program p = buildUnbiasedBranch(1, 0.5, 0.05);
+
+    std::cout << "Figure 4 scenario: unbiased A->(B|C), join D, "
+                 "biased D->(E|F), F loops to A\n\n";
+
+    SimOptions opts;
+    opts.maxEvents = 200'000;
+    opts.seed = 9;
+
+    SimResult net = simulate(p, Algorithm::Net, opts);
+    SimResult comb = simulate(p, Algorithm::NetCombined, opts);
+
+    std::cout << "plain NET: " << net.regionCount << " traces, "
+              << net.expansionInsts << " insts selected, "
+              << net.duplicatedInsts << " duplicated, "
+              << net.exitStubs << " stubs, "
+              << net.regionTransitions << " transitions\n";
+    std::cout << "combined NET: " << comb.regionCount << " region(s), "
+              << comb.expansionInsts << " insts selected, "
+              << comb.duplicatedInsts << " duplicated, "
+              << comb.exitStubs << " stubs, "
+              << comb.regionTransitions << " transitions\n\n";
+
+    Table table("Figure 4 — tail duplication vs trace combination",
+                {"metric", "NET", "combined NET"});
+    table.addRow({"regions", std::to_string(net.regionCount),
+                  std::to_string(comb.regionCount)});
+    table.addRow({"instructions selected",
+                  std::to_string(net.expansionInsts),
+                  std::to_string(comb.expansionInsts)});
+    table.addRow({"duplicated instructions",
+                  std::to_string(net.duplicatedInsts),
+                  std::to_string(comb.duplicatedInsts)});
+    table.addRow({"exit stubs", std::to_string(net.exitStubs),
+                  std::to_string(comb.exitStubs)});
+    table.addRow({"region transitions",
+                  std::to_string(net.regionTransitions),
+                  std::to_string(comb.regionTransitions)});
+    table.addRow({"executed cycle ratio",
+                  formatPercent(net.executedCycleRatio()),
+                  formatPercent(comb.executedCycleRatio())});
+    table.print(std::cout);
+
+    std::cout
+        << "\nThe combined region holds the diamond as one CFG with "
+           "split and join points:\n the jump between the sides is "
+           "a local branch and the shared tail exists once.\n Even "
+           "the rare E side, once observed during profiling, joins "
+           "the region as a\n rejoining path (paper footnote 6) "
+           "instead of forcing an exit stub.\n";
+    return 0;
+}

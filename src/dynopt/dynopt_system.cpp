@@ -1,0 +1,270 @@
+#include "dynopt/dynopt_system.hpp"
+
+#include "support/error.hpp"
+
+namespace rsel {
+
+DynOptSystem::DynOptSystem(const Program &prog, CacheLimits limits,
+                           ICacheConfig icache)
+    : prog_(prog), cache_(limits), icache_(icache)
+{}
+
+void
+DynOptSystem::fetchCached(RegionId region, std::size_t pos)
+{
+    const RegionLayout &layout = layouts_[region];
+    const BasicBlock *block = cache_.region(region).blocks()[pos];
+    icache_.fetchRange(layout.base + layout.blockOffsets[pos],
+                       static_cast<std::uint32_t>(block->sizeBytes()));
+}
+
+DynOptSystem &
+DynOptSystem::useNet(NetConfig cfg)
+{
+    selector_ = std::make_unique<NetSelector>(prog_, cache_, cfg);
+    return *this;
+}
+
+DynOptSystem &
+DynOptSystem::useLei(LeiConfig cfg)
+{
+    selector_ = std::make_unique<LeiSelector>(prog_, cache_, cfg);
+    return *this;
+}
+
+DynOptSystem &
+DynOptSystem::useBoa(BoaConfig cfg)
+{
+    selector_ = std::make_unique<BoaSelector>(prog_, cache_, cfg);
+    return *this;
+}
+
+DynOptSystem &
+DynOptSystem::useWrs(WrsConfig cfg)
+{
+    selector_ = std::make_unique<WrsSelector>(prog_, cache_, cfg);
+    return *this;
+}
+
+void
+DynOptSystem::installRegion(RegionSpec spec)
+{
+    RSEL_ASSERT(!spec.blocks.empty(), "selector emitted an empty region");
+    RSEL_ASSERT(cache_.lookup(spec.blocks.front()->startAddr()) == nullptr,
+                "selector emitted a region at an already-cached entry");
+    Region region =
+        spec.kind == Region::Kind::Trace
+            ? Region::makeTrace(cache_.nextRegionId(),
+                                std::move(spec.blocks))
+            : Region::makeMultiPath(cache_.nextRegionId(),
+                                    std::move(spec.blocks));
+
+    // Lay the region out contiguously after everything selected so
+    // far, trailed by its exit stubs (DynamoRIO's placement). A
+    // bounded cache would reuse evicted space; the monotone layout
+    // is a conservative locality model.
+    RegionLayout layout;
+    layout.base = nextLayoutAddr_;
+    layout.blockOffsets.reserve(region.blocks().size());
+    std::uint32_t offset = 0;
+    for (const BasicBlock *b : region.blocks()) {
+        layout.blockOffsets.push_back(offset);
+        offset += static_cast<std::uint32_t>(b->sizeBytes());
+    }
+    nextLayoutAddr_ += offset + region.exitStubCount() *
+                                    cache_.limits().stubBytes;
+    layouts_.push_back(std::move(layout));
+
+    cache_.insert(std::move(region));
+}
+
+void
+DynOptSystem::enterRegion(const Region &region, const BasicBlock &block)
+{
+    inRegion_ = true;
+    curRegion_ = region.id();
+    regionPos_ = 0;
+    pendingCacheExit_ = false;
+    metrics_.onRegionEntered(curRegion_);
+    metrics_.onCachedBlock(block, curRegion_);
+    fetchCached(curRegion_, 0);
+}
+
+bool
+DynOptSystem::onEvent(const ExecEvent &ev)
+{
+    RSEL_ASSERT(!finished_, "events delivered after finish()");
+    RSEL_ASSERT(selector_ != nullptr, "no selector attached");
+
+    metrics_.onEvent();
+    const BasicBlock *from = prevBlock_;
+    if (from != nullptr)
+        metrics_.onEdge(from->id(), ev.block->id());
+    prevBlock_ = ev.block;
+
+    if (inRegion_) {
+        const Region &r = cache_.region(curRegion_);
+        switch (r.step(regionPos_, *ev.block, ev.takenBranch)) {
+          case RegionStep::Internal:
+            metrics_.onCachedBlock(*ev.block, curRegion_);
+            fetchCached(curRegion_, regionPos_);
+            return true;
+          case RegionStep::CycleRestart:
+            // One region execution ended by a branch to the top;
+            // the next begins immediately at the same region.
+            metrics_.onRegionExecutionEnd(curRegion_, true);
+            metrics_.onRegionEntered(curRegion_);
+            metrics_.onCachedBlock(*ev.block, curRegion_);
+            fetchCached(curRegion_, regionPos_);
+            return true;
+          case RegionStep::Exit:
+            metrics_.onRegionExecutionEnd(curRegion_, false);
+            if (const Region *s = cache_.lookup(ev.block->startAddr())) {
+                // Exit stub linked straight to another region (or
+                // back to this one's own entry).
+                if (s->id() != curRegion_)
+                    metrics_.onRegionTransition(curRegion_, s->id());
+                enterRegion(*s, *ev.block);
+                return true;
+            }
+            // Exit to the interpreter: the landing block is the
+            // target of a code-cache exit.
+            inRegion_ = false;
+            pendingCacheExit_ = true;
+            break;
+        }
+    } else if (ev.takenBranch) {
+        // Interpreted taken branch to a cached entry enters the
+        // cache (Section 2.1); the selector is told so it can stop
+        // a trace that reached the start of another trace.
+        if (const Region *r = cache_.lookup(ev.block->startAddr())) {
+            if (auto spec = selector_->onCacheEnter(r->entryBlock())) {
+                installRegion(std::move(*spec));
+                // Re-resolve: in a bounded cache the insert may
+                // have evicted (or flushed) the region we were
+                // about to enter.
+                r = cache_.lookup(ev.block->startAddr());
+            }
+            if (r != nullptr) {
+                enterRegion(*r, *ev.block);
+                return true;
+            }
+            // Evicted under us: fall through to the interpreter.
+        }
+    }
+
+    // Interpret the block and let the selector observe it. A block
+    // reached through a cache exit counts as a taken transfer (the
+    // stub jump), with the exiting block's branch as the source.
+    SelectorEvent sev;
+    sev.block = ev.block;
+    sev.fromCacheExit = pendingCacheExit_;
+    if (ev.takenBranch) {
+        sev.viaTaken = true;
+        sev.branchAddr = ev.branchAddr;
+    } else if (pendingCacheExit_ && from != nullptr) {
+        sev.viaTaken = true;
+        sev.branchAddr = from->lastInstAddr();
+    }
+    pendingCacheExit_ = false;
+
+    std::optional<RegionSpec> spec = selector_->onInterpreted(sev);
+    bool jumped = false;
+    if (spec) {
+        const Addr entry = spec->blocks.front()->startAddr();
+        installRegion(std::move(*spec));
+        if (entry == ev.block->startAddr()) {
+            // "jump newT": the triggering execution continues
+            // natively inside the new region.
+            const Region *r = cache_.lookup(entry);
+            enterRegion(*r, *ev.block);
+            jumped = true;
+        }
+    }
+    if (!jumped)
+        metrics_.onInterpretedBlock(*ev.block);
+    return true;
+}
+
+SimResult
+DynOptSystem::finish()
+{
+    RSEL_ASSERT(!finished_, "finish() may only be called once");
+    finished_ = true;
+    if (inRegion_) {
+        // Close the in-flight region execution.
+        metrics_.onRegionExecutionEnd(curRegion_, false);
+        inRegion_ = false;
+    }
+    SimResult result = metrics_.finalize(prog_, cache_, *selector_);
+    result.icacheAccesses = icache_.accesses();
+    result.icacheMisses = icache_.misses();
+    return result;
+}
+
+std::string
+algorithmName(Algorithm algo)
+{
+    switch (algo) {
+      case Algorithm::Net:         return "NET";
+      case Algorithm::Lei:         return "LEI";
+      case Algorithm::NetCombined: return "NET+comb";
+      case Algorithm::LeiCombined: return "LEI+comb";
+      case Algorithm::Mojo:        return "Mojo";
+      case Algorithm::Boa:         return "BOA";
+      case Algorithm::Wrs:         return "WRS";
+    }
+    return "unknown";
+}
+
+SimResult
+simulate(const Program &prog, Algorithm algo, const SimOptions &opts)
+{
+    DynOptSystem system(prog, opts.cache, opts.icache);
+    switch (algo) {
+      case Algorithm::Net: {
+        NetConfig cfg = opts.net;
+        cfg.combine = false;
+        system.useNet(cfg);
+        break;
+      }
+      case Algorithm::NetCombined: {
+        NetConfig cfg = opts.net;
+        cfg.combine = true;
+        system.useNet(cfg);
+        break;
+      }
+      case Algorithm::Lei: {
+        LeiConfig cfg = opts.lei;
+        cfg.combine = false;
+        system.useLei(cfg);
+        break;
+      }
+      case Algorithm::LeiCombined: {
+        LeiConfig cfg = opts.lei;
+        cfg.combine = true;
+        system.useLei(cfg);
+        break;
+      }
+      case Algorithm::Mojo: {
+        NetConfig cfg = opts.net;
+        cfg.combine = false;
+        if (cfg.exitThreshold == 0)
+            cfg.exitThreshold = cfg.hotThreshold / 2;
+        system.useNet(cfg);
+        break;
+      }
+      case Algorithm::Boa:
+        system.useBoa(opts.boa);
+        break;
+      case Algorithm::Wrs:
+        system.useWrs(opts.wrs);
+        break;
+    }
+
+    Executor exec(prog, opts.seed);
+    exec.run(opts.maxEvents, system);
+    return system.finish();
+}
+
+} // namespace rsel

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The simulated dynamic optimization system (paper Section 2.1).
+ *
+ * Consumes the dynamic basic-block stream from an Executor and
+ * simulates the interpreter / code-cache state machine around a
+ * pluggable RegionSelector:
+ *
+ *  - While interpreting, every taken branch whose target is a cached
+ *    region entry transfers into the cache; all other interpreted
+ *    blocks are reported to the selector.
+ *  - While executing a region, control follows the region's internal
+ *    structure; leaving it either links directly to another region
+ *    (a region transition) or falls back to the interpreter, in
+ *    which case the selector sees the landing block flagged as a
+ *    code-cache exit.
+ *  - Regions completed by the selector are inserted into the cache;
+ *    if the new region begins at the block currently being
+ *    processed, control jumps straight into it (Figure 5's
+ *    "jump newT").
+ */
+
+#ifndef RSEL_DYNOPT_DYNOPT_SYSTEM_HPP
+#define RSEL_DYNOPT_DYNOPT_SYSTEM_HPP
+
+#include <memory>
+
+#include "metrics/metrics_collector.hpp"
+#include "program/executor.hpp"
+#include "runtime/code_cache.hpp"
+#include "runtime/icache.hpp"
+#include "selection/boa_selector.hpp"
+#include "selection/lei_selector.hpp"
+#include "selection/net_selector.hpp"
+#include "selection/wrs_selector.hpp"
+
+namespace rsel {
+
+/** The Section 2.1 simulator, driven as an ExecutionSink. */
+class DynOptSystem : public ExecutionSink
+{
+  public:
+    /**
+     * @param prog   the program being run; must outlive the system.
+     * @param limits code-cache capacity/eviction; default unbounded
+     *               (the paper's Section 2.3 methodology).
+     * @param icache geometry of the modelled instruction cache fed
+     *               by code-cache execution (locality measurement).
+     */
+    explicit DynOptSystem(const Program &prog, CacheLimits limits = {},
+                          ICacheConfig icache = {});
+
+    DynOptSystem(const DynOptSystem &) = delete;
+    DynOptSystem &operator=(const DynOptSystem &) = delete;
+
+    /** Use NET selection (optionally combined). @return this. */
+    DynOptSystem &useNet(NetConfig cfg = {});
+
+    /** Use LEI selection (optionally combined). @return this. */
+    DynOptSystem &useLei(LeiConfig cfg = {});
+
+    /** Use BOA-style edge-profile selection. @return this. */
+    DynOptSystem &useBoa(BoaConfig cfg = {});
+
+    /** Use Wiggins/Redstone-style sampling selection. @return this. */
+    DynOptSystem &useWrs(WrsConfig cfg = {});
+
+    /**
+     * Use a caller-provided selection algorithm. The factory
+     * receives the program and this system's code cache, which the
+     * selector may hold references to.
+     */
+    template <typename Factory>
+    DynOptSystem &
+    useCustom(Factory &&factory)
+    {
+        selector_ = factory(prog_, cache_);
+        return *this;
+    }
+
+    /** ExecutionSink: consume one dynamic block event. */
+    bool onEvent(const ExecEvent &event) override;
+
+    /**
+     * Close the run and compute all metrics. May be called once,
+     * after the executor finishes.
+     */
+    SimResult finish();
+
+    /** The code cache (for tests and examples). */
+    const CodeCache &cache() const { return cache_; }
+
+    /** The active selector. @pre a use*() call happened. */
+    const RegionSelector &selector() const { return *selector_; }
+
+  private:
+    /** Code-cache placement of one region's blocks. */
+    struct RegionLayout
+    {
+        /** Base address of the region in the code cache. */
+        std::uint64_t base = 0;
+        /** Byte offset of each block (parallel to Region::blocks). */
+        std::vector<std::uint32_t> blockOffsets;
+    };
+
+    /** Insert a selector-completed region into the cache. */
+    void installRegion(RegionSpec spec);
+
+    /** Enter a region: bookkeeping common to all entry paths. */
+    void enterRegion(const Region &region, const BasicBlock &block);
+
+    /** Feed one cached block's fetch through the I-cache model. */
+    void fetchCached(RegionId region, std::size_t pos);
+
+    const Program &prog_;
+    CodeCache cache_;
+    MetricsCollector metrics_;
+    ICacheModel icache_;
+    std::vector<RegionLayout> layouts_;
+    std::uint64_t nextLayoutAddr_ = 0;
+    std::unique_ptr<RegionSelector> selector_;
+
+    bool inRegion_ = false;
+    RegionId curRegion_ = invalidRegion;
+    std::size_t regionPos_ = 0;
+    /** Set when execution just left the cache to the interpreter. */
+    bool pendingCacheExit_ = false;
+    const BasicBlock *prevBlock_ = nullptr;
+    bool finished_ = false;
+};
+
+/**
+ * Selection algorithm chosen by the convenience harness. The first
+ * four are the paper's evaluated configurations; Mojo and Boa are
+ * the Section 5 related-work selectors.
+ */
+enum class Algorithm { Net, Lei, NetCombined, LeiCombined, Mojo, Boa,
+                       Wrs };
+
+/** The paper's four evaluated configurations, for sweeps. */
+constexpr Algorithm allAlgorithms[] = {
+    Algorithm::Net, Algorithm::Lei, Algorithm::NetCombined,
+    Algorithm::LeiCombined};
+
+/** Every selector the library ships, including Section 5's. */
+constexpr Algorithm allSelectors[] = {
+    Algorithm::Net,  Algorithm::Lei,  Algorithm::NetCombined,
+    Algorithm::LeiCombined, Algorithm::Mojo, Algorithm::Boa,
+    Algorithm::Wrs};
+
+/** Human-readable algorithm name. */
+std::string algorithmName(Algorithm algo);
+
+/** Options for the one-call simulation harness. */
+struct SimOptions
+{
+    /** Maximum dynamic block events to execute. */
+    std::uint64_t maxEvents = 2'000'000;
+    /** Executor seed (branch-behaviour randomness). */
+    std::uint64_t seed = 1;
+    /** NET thresholds (used by Net / NetCombined / Mojo). */
+    NetConfig net;
+    /** LEI thresholds (used by Lei / LeiCombined). */
+    LeiConfig lei;
+    /** BOA thresholds (used by Boa). */
+    BoaConfig boa;
+    /** Wiggins/Redstone sampling parameters (used by Wrs). */
+    WrsConfig wrs;
+    /** Code-cache bounds; default unbounded. */
+    CacheLimits cache;
+    /** Modelled instruction-cache geometry. */
+    ICacheConfig icache;
+};
+
+/**
+ * Run `prog` to completion (or maxEvents) under one algorithm and
+ * return the metrics. The combine flag of the respective config is
+ * set from `algo`.
+ */
+SimResult simulate(const Program &prog, Algorithm algo,
+                   const SimOptions &opts = {});
+
+} // namespace rsel
+
+#endif // RSEL_DYNOPT_DYNOPT_SYSTEM_HPP

@@ -1,0 +1,85 @@
+#include "isa/basic_block.hpp"
+
+#include "support/error.hpp"
+
+namespace rsel {
+
+bool
+isIndirect(BranchKind kind)
+{
+    return kind == BranchKind::IndirectJump ||
+           kind == BranchKind::IndirectCall ||
+           kind == BranchKind::Return;
+}
+
+bool
+canFallThrough(BranchKind kind)
+{
+    return kind == BranchKind::None || kind == BranchKind::CondDirect;
+}
+
+bool
+isUnconditional(BranchKind kind)
+{
+    switch (kind) {
+      case BranchKind::Jump:
+      case BranchKind::IndirectJump:
+      case BranchKind::Call:
+      case BranchKind::IndirectCall:
+      case BranchKind::Return:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+branchKindName(BranchKind kind)
+{
+    switch (kind) {
+      case BranchKind::None:         return "fall-through";
+      case BranchKind::CondDirect:   return "cond";
+      case BranchKind::Jump:         return "jump";
+      case BranchKind::IndirectJump: return "ijump";
+      case BranchKind::Call:         return "call";
+      case BranchKind::IndirectCall: return "icall";
+      case BranchKind::Return:       return "return";
+      case BranchKind::Halt:         return "halt";
+    }
+    return "unknown";
+}
+
+BasicBlock::BasicBlock(BlockId id, FuncId func,
+                       std::vector<Instruction> instructions,
+                       BranchKind terminator, Addr takenTarget)
+    : id_(id), func_(func), instructions_(std::move(instructions)),
+      terminator_(terminator), takenTarget_(takenTarget), sizeBytes_(0)
+{
+    RSEL_ASSERT(!instructions_.empty(), "a block needs >= 1 instruction");
+    Addr expected = instructions_.front().addr;
+    for (const Instruction &inst : instructions_) {
+        RSEL_ASSERT(inst.addr == expected,
+                    "block instructions must be contiguous");
+        expected += inst.sizeBytes;
+        sizeBytes_ += inst.sizeBytes;
+    }
+
+    const bool needsStaticTarget = terminator == BranchKind::CondDirect ||
+                                   terminator == BranchKind::Jump ||
+                                   terminator == BranchKind::Call;
+    if (needsStaticTarget) {
+        RSEL_ASSERT(takenTarget_ != invalidAddr,
+                    "direct branch requires a static target");
+    } else {
+        RSEL_ASSERT(takenTarget_ == invalidAddr,
+                    "non-direct terminator cannot carry a static target");
+    }
+}
+
+Addr
+BasicBlock::fallThroughAddr() const
+{
+    return instructions_.back().addr + instructions_.back().sizeBytes;
+}
+
+} // namespace rsel

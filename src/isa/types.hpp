@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fundamental types of the synthetic guest ISA.
+ *
+ * The reproduction substitutes Pin-observed x86 execution with a
+ * synthetic ISA (see DESIGN.md section 2). Region selection only
+ * depends on addresses, branch kinds, and instruction sizes, so the
+ * ISA models exactly those.
+ */
+
+#ifndef RSEL_ISA_TYPES_HPP
+#define RSEL_ISA_TYPES_HPP
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace rsel {
+
+/** A guest virtual address. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no address". */
+constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+
+/** Index of a basic block within its Program. */
+using BlockId = std::uint32_t;
+
+/** Sentinel for "no block". */
+constexpr BlockId invalidBlock = std::numeric_limits<BlockId>::max();
+
+/** Index of a function within its Program. */
+using FuncId = std::uint32_t;
+
+/** Sentinel for "no function". */
+constexpr FuncId invalidFunc = std::numeric_limits<FuncId>::max();
+
+/**
+ * Kind of the control transfer that terminates a basic block.
+ *
+ * `None` means the block simply falls through to the next block in
+ * the layout. `Halt` terminates the guest program.
+ */
+enum class BranchKind : std::uint8_t {
+    None,         ///< Fall through; no branch instruction.
+    CondDirect,   ///< Conditional branch with a static taken target.
+    Jump,         ///< Unconditional direct jump.
+    IndirectJump, ///< Unconditional jump through a register/table.
+    Call,         ///< Direct call; returns to the fall-through block.
+    IndirectCall, ///< Indirect call; returns to the fall-through block.
+    Return,       ///< Return to the caller's fall-through block.
+    Halt,         ///< End of guest program.
+};
+
+/** True if the kind transfers control through a dynamic target. */
+bool isIndirect(BranchKind kind);
+
+/** True if the kind can fall through to the next block in layout. */
+bool canFallThrough(BranchKind kind);
+
+/** True if the kind always transfers control away (no fall-through). */
+bool isUnconditional(BranchKind kind);
+
+/** Human-readable name of a branch kind. */
+std::string branchKindName(BranchKind kind);
+
+} // namespace rsel
+
+#endif // RSEL_ISA_TYPES_HPP

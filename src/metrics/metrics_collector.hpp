@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Online metric collection for a simulated dynamic optimizer.
+ *
+ * The DynOptSystem feeds the collector one call per executed block
+ * plus region lifecycle events; finalize() folds in the static cache
+ * contents and selector-side counters and runs the exit-domination
+ * analysis (paper Section 4.1) over the dynamic edge profile.
+ */
+
+#ifndef RSEL_METRICS_METRICS_COLLECTOR_HPP
+#define RSEL_METRICS_METRICS_COLLECTOR_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "metrics/sim_result.hpp"
+#include "selection/selector.hpp"
+
+namespace rsel {
+
+class Program;
+class CodeCache;
+
+/** Accumulates run metrics; produces a SimResult. */
+class MetricsCollector
+{
+  public:
+    /** Record an executed control-flow edge (any kind). */
+    void onEdge(BlockId src, BlockId dst);
+
+    /** A block executed in the interpreter. */
+    void onInterpretedBlock(const BasicBlock &block);
+
+    /** A block executed from the code cache. */
+    void onCachedBlock(const BasicBlock &block, RegionId region);
+
+    /** A region execution began (entry or cycle restart). */
+    void onRegionEntered(RegionId region);
+
+    /** A region execution ended. @param byCycle branch-to-top end. */
+    void onRegionExecutionEnd(RegionId region, bool byCycle);
+
+    /** A direct jump between two distinct cached regions. */
+    void onRegionTransition(RegionId from, RegionId to);
+
+    /** One dynamic block event was consumed. */
+    void onEvent() { ++events_; }
+
+    /**
+     * Produce the final result.
+     * @param prog     the simulated program.
+     * @param cache    the final code cache.
+     * @param selector the selector (for profiling-overhead metrics).
+     */
+    SimResult finalize(const Program &prog, const CodeCache &cache,
+                       const RegionSelector &selector) const;
+
+  private:
+    struct PerRegion
+    {
+        std::uint64_t insts = 0;
+        std::uint64_t entries = 0;
+        std::uint64_t cycleEnds = 0;
+    };
+
+    PerRegion &perRegion(RegionId region);
+
+    /**
+     * Exit-domination analysis. For each region S: S is
+     * exit-dominated if the only executed predecessor of its entry
+     * outside S is a block of an earlier region R whose transfer to
+     * S's entry exits R. Returns the count and the duplicated
+     * instructions between each dominated region and its dominator.
+     */
+    void analyzeExitDomination(const Program &prog,
+                               const CodeCache &cache,
+                               SimResult &result) const;
+
+    /** True if R keeps control when `from` transfers to `to`. */
+    static bool isInternalTransfer(const Region &r,
+                                   const BasicBlock &from,
+                                   const BasicBlock &to);
+
+    std::uint64_t events_ = 0;
+    std::uint64_t interpInsts_ = 0;
+    std::uint64_t cachedInsts_ = 0;
+    std::uint64_t transitions_ = 0;
+    std::uint64_t entries_ = 0;
+    std::uint64_t terminations_ = 0;
+    std::uint64_t cycleTerminations_ = 0;
+    std::vector<PerRegion> regions_;
+    /** entry block -> executed predecessor blocks. */
+    std::unordered_map<BlockId, std::unordered_set<BlockId>> preds_;
+    /** Distinct (from, to) region pairs that transitioned — the
+     *  links a real cache maintains (paper footnote 9). */
+    std::unordered_set<std::uint64_t> linkPairs_;
+};
+
+} // namespace rsel
+
+#endif // RSEL_METRICS_METRICS_COLLECTOR_HPP

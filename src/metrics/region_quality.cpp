@@ -1,0 +1,171 @@
+#include "metrics/region_quality.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "program/program.hpp"
+
+namespace rsel {
+
+namespace {
+
+/**
+ * Kosaraju strongly-connected components over a small adjacency
+ * list. Returns the component id of every node.
+ */
+std::vector<std::size_t>
+stronglyConnectedComponents(
+    const std::vector<std::vector<std::size_t>> &succs)
+{
+    const std::size_t n = succs.size();
+    std::vector<std::vector<std::size_t>> preds(n);
+    for (std::size_t u = 0; u < n; ++u)
+        for (std::size_t v : succs[u])
+            preds[v].push_back(u);
+
+    // First pass: finish order via iterative DFS.
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    std::vector<std::uint8_t> seen(n, 0);
+    for (std::size_t root = 0; root < n; ++root) {
+        if (seen[root])
+            continue;
+        std::vector<std::pair<std::size_t, std::size_t>> stack{
+            {root, 0}};
+        seen[root] = 1;
+        while (!stack.empty()) {
+            auto &[node, next] = stack.back();
+            if (next < succs[node].size()) {
+                const std::size_t child = succs[node][next++];
+                if (!seen[child]) {
+                    seen[child] = 1;
+                    stack.emplace_back(child, 0);
+                }
+            } else {
+                order.push_back(node);
+                stack.pop_back();
+            }
+        }
+    }
+
+    // Second pass: components on the transposed graph.
+    std::vector<std::size_t> component(n, n);
+    std::size_t nextComponent = 0;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        if (component[*it] != n)
+            continue;
+        std::vector<std::size_t> stack{*it};
+        component[*it] = nextComponent;
+        while (!stack.empty()) {
+            const std::size_t node = stack.back();
+            stack.pop_back();
+            for (std::size_t p : preds[node]) {
+                if (component[p] == n) {
+                    component[p] = nextComponent;
+                    stack.push_back(p);
+                }
+            }
+        }
+        ++nextComponent;
+    }
+    return component;
+}
+
+} // namespace
+
+RegionQuality
+analyzeRegionQuality(const Region &region, const Program &prog)
+{
+    (void)prog;
+    const auto &blocks = region.blocks();
+    std::unordered_map<Addr, std::size_t> indexOf;
+    for (std::size_t i = 0; i < blocks.size(); ++i)
+        indexOf.emplace(blocks[i]->startAddr(), i);
+
+    // Build the internal edge list matching Region::step semantics.
+    std::vector<std::vector<std::size_t>> succs(blocks.size());
+    auto addEdge = [&](std::size_t from, Addr target) -> bool {
+        auto it = indexOf.find(target);
+        if (it == indexOf.end())
+            return false;
+        succs[from].push_back(it->second);
+        return true;
+    };
+
+    RegionQuality q;
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        const BasicBlock *b = blocks[i];
+        if (region.kind() == Region::Kind::Trace) {
+            // Recorded path plus the branch-to-top link.
+            if (i + 1 < blocks.size())
+                addEdge(i, blocks[i + 1]->startAddr());
+            if (!isIndirect(b->terminator()) &&
+                b->takenTarget() == region.entryAddr() &&
+                (i + 1 >= blocks.size() ||
+                 blocks[i + 1]->startAddr() != region.entryAddr())) {
+                addEdge(i, region.entryAddr());
+            }
+            continue;
+        }
+        // MultiPath: every static successor edge between members.
+        bool takenIn = false, fallIn = false;
+        switch (b->terminator()) {
+          case BranchKind::CondDirect:
+            takenIn = addEdge(i, b->takenTarget());
+            fallIn = addEdge(i, b->fallThroughAddr());
+            break;
+          case BranchKind::Jump:
+          case BranchKind::Call:
+            addEdge(i, b->takenTarget());
+            break;
+          case BranchKind::None:
+            addEdge(i, b->fallThroughAddr());
+            break;
+          default:
+            break; // indirect targets are not statically known
+        }
+        if (takenIn && fallIn)
+            ++q.dualSuccessorSplits;
+    }
+
+    // Joins and edge count.
+    std::vector<std::uint32_t> predCount(blocks.size(), 0);
+    for (std::size_t u = 0; u < succs.size(); ++u) {
+        q.internalEdges += static_cast<std::uint32_t>(succs[u].size());
+        for (std::size_t v : succs[u])
+            ++predCount[v];
+    }
+    for (std::uint32_t c : predCount)
+        if (c >= 2)
+            ++q.joinBlocks;
+
+    // Cycles via SCC: a component is cyclic when it has more than
+    // one node or a self-edge.
+    const std::vector<std::size_t> component =
+        stronglyConnectedComponents(succs);
+    std::unordered_map<std::size_t, std::size_t> componentSize;
+    for (std::size_t c : component)
+        ++componentSize[c];
+    std::vector<std::uint8_t> selfLoop(blocks.size(), 0);
+    for (std::size_t u = 0; u < succs.size(); ++u)
+        for (std::size_t v : succs[u])
+            if (v == u)
+                selfLoop[u] = 1;
+
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        const bool cyclic =
+            componentSize[component[i]] > 1 || selfLoop[i];
+        if (!cyclic)
+            continue;
+        q.hasInternalCycle = true;
+        // Entry is index 0: a cycle whose component excludes it
+        // leaves in-region code above the loop to hoist invariant
+        // instructions to.
+        if (component[i] != component[0])
+            q.licmCapable = true;
+    }
+    return q;
+}
+
+} // namespace rsel

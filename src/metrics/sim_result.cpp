@@ -1,0 +1,112 @@
+#include "metrics/sim_result.hpp"
+
+#include <algorithm>
+
+namespace rsel {
+
+double
+SimResult::hitRate() const
+{
+    if (totalInsts == 0)
+        return 0.0;
+    return static_cast<double>(cachedInsts) /
+           static_cast<double>(totalInsts);
+}
+
+double
+SimResult::spannedCycleRatio() const
+{
+    if (regionCount == 0)
+        return 0.0;
+    return static_cast<double>(spanningRegions) /
+           static_cast<double>(regionCount);
+}
+
+double
+SimResult::executedCycleRatio() const
+{
+    if (regionExecutions == 0)
+        return 0.0;
+    return static_cast<double>(cycleTerminations) /
+           static_cast<double>(regionExecutions);
+}
+
+double
+SimResult::avgRegionInsts() const
+{
+    if (regionCount == 0)
+        return 0.0;
+    return static_cast<double>(expansionInsts) /
+           static_cast<double>(regionCount);
+}
+
+double
+SimResult::exitDominatedRegionRatio() const
+{
+    if (regionCount == 0)
+        return 0.0;
+    return static_cast<double>(exitDominatedRegions) /
+           static_cast<double>(regionCount);
+}
+
+double
+SimResult::exitDominatedDupRatio() const
+{
+    if (expansionInsts == 0)
+        return 0.0;
+    return static_cast<double>(exitDominatedDupInsts) /
+           static_cast<double>(expansionInsts);
+}
+
+double
+SimResult::icacheMissRate() const
+{
+    if (icacheAccesses == 0)
+        return 0.0;
+    return static_cast<double>(icacheMisses) /
+           static_cast<double>(icacheAccesses);
+}
+
+double
+SimResult::duplicationRatio() const
+{
+    if (expansionInsts == 0)
+        return 0.0;
+    return static_cast<double>(duplicatedInsts) /
+           static_cast<double>(expansionInsts);
+}
+
+double
+SimResult::observedMemoryRatio() const
+{
+    if (estimatedCacheBytes == 0)
+        return 0.0;
+    return static_cast<double>(peakObservedTraceBytes) /
+           static_cast<double>(estimatedCacheBytes);
+}
+
+std::uint32_t
+SimResult::coverSet(double fraction) const
+{
+    std::vector<std::uint64_t> executed;
+    executed.reserve(regions.size());
+    for (const RegionStats &r : regions)
+        executed.push_back(r.executedInsts);
+    std::sort(executed.begin(), executed.end(),
+              std::greater<std::uint64_t>());
+
+    const double target = fraction * static_cast<double>(totalInsts);
+    double sum = 0.0;
+    std::uint32_t count = 0;
+    for (std::uint64_t e : executed) {
+        if (sum >= target)
+            return count;
+        sum += static_cast<double>(e);
+        ++count;
+    }
+    // All regions together may still be short of the target; the
+    // caller can detect this via coverSetSaturated.
+    return count;
+}
+
+} // namespace rsel

@@ -1,0 +1,56 @@
+#include "program/behavior.hpp"
+
+#include "support/error.hpp"
+
+namespace rsel {
+
+CondBehavior
+CondBehavior::bernoulli(double taken_prob)
+{
+    RSEL_ASSERT(taken_prob >= 0.0 && taken_prob <= 1.0,
+                "probability must be in [0,1]");
+    CondBehavior b;
+    b.kind = Kind::Bernoulli;
+    b.takenProbByPhase = {taken_prob};
+    return b;
+}
+
+CondBehavior
+CondBehavior::phased(std::vector<double> taken_prob_by_phase)
+{
+    RSEL_ASSERT(!taken_prob_by_phase.empty(),
+                "phased behaviour needs >= 1 probability");
+    CondBehavior b;
+    b.kind = Kind::Bernoulli;
+    b.takenProbByPhase = std::move(taken_prob_by_phase);
+    return b;
+}
+
+CondBehavior
+CondBehavior::loop(std::uint32_t trip_min, std::uint32_t trip_max,
+                   bool taken_is_back_edge)
+{
+    RSEL_ASSERT(trip_min >= 1, "loop trip count must be >= 1");
+    RSEL_ASSERT(trip_min <= trip_max, "tripMin must be <= tripMax");
+    CondBehavior b;
+    b.kind = Kind::Loop;
+    b.tripMin = trip_min;
+    b.tripMax = trip_max;
+    b.takenIsBackEdge = taken_is_back_edge;
+    return b;
+}
+
+IndirectBehavior
+IndirectBehavior::weighted(std::vector<BlockId> targets,
+                           std::vector<double> weights)
+{
+    RSEL_ASSERT(!targets.empty(), "indirect branch needs >= 1 target");
+    RSEL_ASSERT(targets.size() == weights.size(),
+                "weights must match targets");
+    IndirectBehavior b;
+    b.targets = std::move(targets);
+    b.weightsByPhase = {std::move(weights)};
+    return b;
+}
+
+} // namespace rsel

@@ -1,0 +1,150 @@
+#include "program/executor.hpp"
+
+#include "support/error.hpp"
+
+namespace rsel {
+
+Executor::Executor(const Program &prog, std::uint64_t seed)
+    : prog_(prog), rng_(seed),
+      loopRemaining_(prog.blocks().size(), loopUnarmed),
+      current_(&prog.block(prog.entry()))
+{}
+
+void
+Executor::reset(std::uint64_t seed)
+{
+    rng_ = Rng(seed);
+    loopRemaining_.assign(prog_.blocks().size(), loopUnarmed);
+    callStack_.clear();
+    current_ = &prog_.block(prog_.entry());
+    pendingTaken_ = false;
+    pendingBranchAddr_ = invalidAddr;
+    finished_ = false;
+    executedBlocks_ = 0;
+    phaseIdx_ = 0;
+    phaseCounter_ = 0;
+}
+
+double
+Executor::takenProb(const CondBehavior &cb) const
+{
+    const auto &probs = cb.takenProbByPhase;
+    return probs[phaseIdx_ % probs.size()];
+}
+
+void
+Executor::advancePhase()
+{
+    const auto &lengths = prog_.phaseLengths();
+    if (lengths.empty())
+        return;
+    if (++phaseCounter_ >= lengths[phaseIdx_ % lengths.size()]) {
+        phaseCounter_ = 0;
+        phaseIdx_ = (phaseIdx_ + 1) % lengths.size();
+    }
+}
+
+const BasicBlock *
+Executor::nextBlock(const BasicBlock &b, bool &taken)
+{
+    taken = true; // most cases transfer control; overridden below
+    switch (b.terminator()) {
+      case BranchKind::None: {
+        taken = false;
+        return prog_.blockAtAddr(b.fallThroughAddr());
+      }
+      case BranchKind::CondDirect: {
+        const CondBehavior &cb = prog_.condBehavior(b.id());
+        bool takeBranch;
+        if (cb.kind == CondBehavior::Kind::Bernoulli) {
+            takeBranch = rng_.nextBool(takenProb(cb));
+        } else {
+            // Loop latch: arm with a fresh trip count when entered
+            // from outside; count down back-edge executions.
+            std::uint64_t &remaining = loopRemaining_[b.id()];
+            if (remaining == loopUnarmed)
+                remaining = rng_.nextRange(cb.tripMin, cb.tripMax) - 1;
+            const bool backEdge = remaining > 0;
+            if (backEdge)
+                --remaining;
+            else
+                remaining = loopUnarmed;
+            takeBranch = cb.takenIsBackEdge ? backEdge : !backEdge;
+        }
+        if (takeBranch)
+            return prog_.blockAtAddr(b.takenTarget());
+        taken = false;
+        return prog_.blockAtAddr(b.fallThroughAddr());
+      }
+      case BranchKind::Jump:
+        return prog_.blockAtAddr(b.takenTarget());
+      case BranchKind::Call:
+      case BranchKind::IndirectCall: {
+        RSEL_ASSERT(callStack_.size() < maxCallDepth,
+                    "guest call stack overflow");
+        callStack_.push_back(b.fallThroughAddr());
+        if (b.terminator() == BranchKind::Call)
+            return prog_.blockAtAddr(b.takenTarget());
+        const IndirectBehavior &ib = prog_.indirectBehavior(b.id());
+        const auto &weights =
+            ib.weightsByPhase[phaseIdx_ % ib.weightsByPhase.size()];
+        const std::size_t idx = rng_.nextWeighted(weights);
+        return &prog_.block(ib.targets[idx]);
+      }
+      case BranchKind::IndirectJump: {
+        const IndirectBehavior &ib = prog_.indirectBehavior(b.id());
+        const auto &weights =
+            ib.weightsByPhase[phaseIdx_ % ib.weightsByPhase.size()];
+        const std::size_t idx = rng_.nextWeighted(weights);
+        return &prog_.block(ib.targets[idx]);
+      }
+      case BranchKind::Return: {
+        if (callStack_.empty())
+            return nullptr; // returned past the entry frame: done
+        const Addr retAddr = callStack_.back();
+        callStack_.pop_back();
+        const BasicBlock *ret = prog_.blockAtAddr(retAddr);
+        RSEL_ASSERT(ret != nullptr, "return address is not a block");
+        return ret;
+      }
+      case BranchKind::Halt:
+        return nullptr;
+    }
+    return nullptr;
+}
+
+std::uint64_t
+Executor::run(std::uint64_t maxEvents, ExecutionSink &sink)
+{
+    std::uint64_t delivered = 0;
+    while (!finished_ && delivered < maxEvents) {
+        ExecEvent ev;
+        ev.block = current_;
+        ev.takenBranch = pendingTaken_;
+        ev.branchAddr = pendingBranchAddr_;
+
+        ++delivered;
+        ++executedBlocks_;
+        advancePhase();
+
+        const bool keepGoing = sink.onEvent(ev);
+
+        // Resolve the successor before honouring an early stop so
+        // execution can resume exactly where it left off.
+        bool taken = false;
+        const BasicBlock *next = nextBlock(*current_, taken);
+        if (next == nullptr) {
+            finished_ = true;
+        } else {
+            pendingTaken_ = taken;
+            pendingBranchAddr_ = taken ? current_->lastInstAddr()
+                                       : invalidAddr;
+            current_ = next;
+        }
+        if (!keepGoing)
+            break;
+    }
+    return delivered;
+}
+
+} // namespace rsel

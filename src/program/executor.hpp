@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Architectural executor: synthesizes the dynamic basic-block stream.
+ *
+ * Plays the role Pin plays in the paper's framework — it reports the
+ * sequence of executed basic blocks (and whether each was entered by
+ * a taken branch) to a sink. Deterministic for a given seed.
+ */
+
+#ifndef RSEL_PROGRAM_EXECUTOR_HPP
+#define RSEL_PROGRAM_EXECUTOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "program/program.hpp"
+#include "support/random.hpp"
+
+namespace rsel {
+
+/** One dynamic event: a basic block beginning execution. */
+struct ExecEvent
+{
+    /** The block now executing. */
+    const BasicBlock *block = nullptr;
+    /** True if the block was entered via a taken control transfer. */
+    bool takenBranch = false;
+    /**
+     * Address of the transferring branch instruction (the last
+     * instruction of the previous block); valid iff takenBranch.
+     */
+    Addr branchAddr = invalidAddr;
+};
+
+/** Consumer of the dynamic block stream. */
+class ExecutionSink
+{
+  public:
+    virtual ~ExecutionSink() = default;
+
+    /**
+     * Called once per executed basic block, in execution order.
+     * @return false to stop execution early.
+     */
+    virtual bool onEvent(const ExecEvent &event) = 0;
+};
+
+/**
+ * Interprets a Program, resolving branch behaviours with a seeded
+ * RNG, and streams ExecEvents to a sink. Maintains loop trip
+ * counters, the call stack, and the phase schedule across run()
+ * calls, so execution can be consumed incrementally.
+ */
+class Executor
+{
+  public:
+    /**
+     * @param prog program to execute; must outlive the executor.
+     * @param seed RNG seed for branch resolution.
+     */
+    Executor(const Program &prog, std::uint64_t seed = 1);
+
+    /**
+     * Execute up to `maxEvents` further blocks.
+     * @return the number of events delivered. Fewer than requested
+     *         means the program halted, returned past its entry
+     *         frame, or the sink stopped it.
+     */
+    std::uint64_t run(std::uint64_t maxEvents, ExecutionSink &sink);
+
+    /** True once the program has halted (run() will deliver 0). */
+    bool finished() const { return finished_; }
+
+    /** Blocks executed so far across all run() calls. */
+    std::uint64_t executedBlocks() const { return executedBlocks_; }
+
+    /** Current phase index (for tests). */
+    std::size_t currentPhase() const { return phaseIdx_; }
+
+    /** Restart execution from the program entry with a fresh seed. */
+    void reset(std::uint64_t seed);
+
+  private:
+    /** Resolve the successor of `b`; may push/pop the call stack. */
+    const BasicBlock *nextBlock(const BasicBlock &b, bool &taken);
+
+    /** Advance the phase schedule by one executed block. */
+    void advancePhase();
+
+    /** Phase-indexed probability lookup. */
+    double takenProb(const CondBehavior &cb) const;
+
+    static constexpr std::uint64_t loopUnarmed =
+        std::numeric_limits<std::uint64_t>::max();
+    static constexpr std::size_t maxCallDepth = 1u << 20;
+
+    const Program &prog_;
+    Rng rng_;
+    std::vector<std::uint64_t> loopRemaining_;
+    std::vector<Addr> callStack_;
+    const BasicBlock *current_;
+    bool pendingTaken_ = false;
+    Addr pendingBranchAddr_ = invalidAddr;
+    bool finished_ = false;
+    std::uint64_t executedBlocks_ = 0;
+    std::size_t phaseIdx_ = 0;
+    std::uint64_t phaseCounter_ = 0;
+};
+
+} // namespace rsel
+
+#endif // RSEL_PROGRAM_EXECUTOR_HPP

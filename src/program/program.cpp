@@ -1,0 +1,42 @@
+#include "program/program.hpp"
+
+#include "support/error.hpp"
+
+namespace rsel {
+
+const BasicBlock *
+Program::blockAtAddr(Addr addr) const
+{
+    auto it = addrToBlock_.find(addr);
+    if (it == addrToBlock_.end())
+        return nullptr;
+    return &blocks_[it->second];
+}
+
+const BasicBlock *
+Program::fallThroughOf(const BasicBlock &b) const
+{
+    if (!canFallThrough(b.terminator()))
+        return nullptr;
+    return blockAtAddr(b.fallThroughAddr());
+}
+
+const CondBehavior &
+Program::condBehavior(BlockId id) const
+{
+    auto it = condBehaviors_.find(id);
+    RSEL_ASSERT(it != condBehaviors_.end(),
+                "block has no conditional behaviour");
+    return it->second;
+}
+
+const IndirectBehavior &
+Program::indirectBehavior(BlockId id) const
+{
+    auto it = indirectBehaviors_.find(id);
+    RSEL_ASSERT(it != indirectBehaviors_.end(),
+                "block has no indirect behaviour");
+    return it->second;
+}
+
+} // namespace rsel

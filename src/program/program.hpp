@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The static guest program: functions, basic blocks, behaviours.
+ */
+
+#ifndef RSEL_PROGRAM_PROGRAM_HPP
+#define RSEL_PROGRAM_PROGRAM_HPP
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/basic_block.hpp"
+#include "program/behavior.hpp"
+
+namespace rsel {
+
+/** A function of the guest program: a contiguous range of blocks. */
+struct Function
+{
+    /** Function name (for diagnostics and examples). */
+    std::string name;
+    /** Entry block. */
+    BlockId entry = invalidBlock;
+    /** First block id of the function's contiguous layout range. */
+    BlockId firstBlock = invalidBlock;
+    /** One past the last block id of the layout range. */
+    BlockId lastBlock = invalidBlock;
+};
+
+/**
+ * An immutable synthetic guest program.
+ *
+ * Built via ProgramBuilder. Blocks are laid out at concrete
+ * addresses (functions in creation order, blocks in creation order
+ * within a function), so "backward branch" has its architectural
+ * meaning. Branch behaviours are attached per block.
+ */
+class Program
+{
+  public:
+    /** All basic blocks, indexed by BlockId, in layout order. */
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+
+    /** A block by id. */
+    const BasicBlock &block(BlockId id) const { return blocks_.at(id); }
+
+    /** All functions, indexed by FuncId. */
+    const std::vector<Function> &functions() const { return functions_; }
+
+    /** A function by id. */
+    const Function &function(FuncId id) const { return functions_.at(id); }
+
+    /** Program entry block. */
+    BlockId entry() const { return entry_; }
+
+    /**
+     * The block starting exactly at `addr`, or nullptr. All dynamic
+     * branch targets in generated programs are block starts.
+     */
+    const BasicBlock *blockAtAddr(Addr addr) const;
+
+    /**
+     * The block a fall-through from `b` lands in, or nullptr when
+     * the block cannot fall through or nothing follows it.
+     */
+    const BasicBlock *fallThroughOf(const BasicBlock &b) const;
+
+    /** Behaviour of a conditional block. @pre the block has one. */
+    const CondBehavior &condBehavior(BlockId id) const;
+
+    /** Behaviour of an indirect block. @pre the block has one. */
+    const IndirectBehavior &indirectBehavior(BlockId id) const;
+
+    /**
+     * Phase lengths in executed-block counts; the Executor cycles
+     * through them. Empty means a single unbounded phase.
+     */
+    const std::vector<std::uint64_t> &phaseLengths() const
+    {
+        return phaseLengths_;
+    }
+
+    /** Total static instruction count over all blocks. */
+    std::uint64_t staticInstCount() const { return staticInsts_; }
+
+    /** Total static code size in bytes. */
+    std::uint64_t staticByteSize() const { return staticBytes_; }
+
+  private:
+    friend class ProgramBuilder;
+
+    std::vector<BasicBlock> blocks_;
+    std::vector<Function> functions_;
+    std::unordered_map<Addr, BlockId> addrToBlock_;
+    std::unordered_map<BlockId, CondBehavior> condBehaviors_;
+    std::unordered_map<BlockId, IndirectBehavior> indirectBehaviors_;
+    std::vector<std::uint64_t> phaseLengths_;
+    BlockId entry_ = invalidBlock;
+    std::uint64_t staticInsts_ = 0;
+    std::uint64_t staticBytes_ = 0;
+};
+
+} // namespace rsel
+
+#endif // RSEL_PROGRAM_PROGRAM_HPP

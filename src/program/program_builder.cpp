@@ -1,0 +1,291 @@
+#include "program/program_builder.hpp"
+
+#include "support/error.hpp"
+
+namespace rsel {
+
+namespace {
+
+/** Function start alignment, mirroring common linker behaviour. */
+constexpr Addr funcAlign = 16;
+
+Addr
+alignUp(Addr a, Addr align)
+{
+    return (a + align - 1) / align * align;
+}
+
+} // namespace
+
+ProgramBuilder::ProgramBuilder(std::uint64_t seed, Addr baseAddr)
+    : rng_(seed), baseAddr_(baseAddr)
+{}
+
+FuncId
+ProgramBuilder::beginFunction(const std::string &name)
+{
+    if (!functions_.empty()) {
+        Function &prev = functions_.back();
+        prev.lastBlock = static_cast<BlockId>(pendings_.size());
+        if (prev.firstBlock == prev.lastBlock)
+            fatal("function '" + prev.name + "' has no blocks");
+    }
+    Function f;
+    f.name = name;
+    f.firstBlock = static_cast<BlockId>(pendings_.size());
+    f.entry = f.firstBlock; // first created block is the entry
+    functions_.push_back(std::move(f));
+    return static_cast<FuncId>(functions_.size() - 1);
+}
+
+BlockId
+ProgramBuilder::block(unsigned ninsts)
+{
+    if (functions_.empty())
+        fatal("create a function before creating blocks");
+    if (ninsts == 0)
+        fatal("a block needs at least one instruction");
+    PendingBlock pb;
+    pb.func = static_cast<FuncId>(functions_.size() - 1);
+    pb.ninsts = ninsts;
+    pendings_.push_back(pb);
+    return static_cast<BlockId>(pendings_.size() - 1);
+}
+
+BlockId
+ProgramBuilder::blockWithSizes(const std::vector<std::uint8_t> &sizes)
+{
+    const BlockId id = block(static_cast<unsigned>(sizes.size()));
+    for (std::uint8_t s : sizes) {
+        if (s == 0)
+            fatal("instruction sizes must be positive");
+    }
+    pendings_.back().sizes = sizes;
+    return id;
+}
+
+ProgramBuilder::PendingBlock &
+ProgramBuilder::pending(BlockId id)
+{
+    if (id >= pendings_.size())
+        fatal("unknown block id " + std::to_string(id));
+    return pendings_[id];
+}
+
+void
+ProgramBuilder::setTerminator(BlockId src, BranchKind kind, BlockId target,
+                              FuncId callee)
+{
+    PendingBlock &pb = pending(src);
+    if (pb.terminator != BranchKind::None)
+        fatal("block " + std::to_string(src) +
+              " already has a terminator");
+    pb.terminator = kind;
+    pb.target = target;
+    pb.callee = callee;
+}
+
+void
+ProgramBuilder::condTo(BlockId src, BlockId target, CondBehavior behavior)
+{
+    if (behavior.kind == CondBehavior::Kind::Bernoulli &&
+        behavior.takenProbByPhase.empty()) {
+        fatal("Bernoulli behaviour needs at least one probability");
+    }
+    setTerminator(src, BranchKind::CondDirect, target, invalidFunc);
+    condBehaviors_[src] = std::move(behavior);
+}
+
+void
+ProgramBuilder::loopTo(BlockId src, BlockId head, std::uint32_t trip_min,
+                       std::uint32_t trip_max)
+{
+    setTerminator(src, BranchKind::CondDirect, head, invalidFunc);
+    condBehaviors_[src] = CondBehavior::loop(trip_min, trip_max);
+}
+
+void
+ProgramBuilder::jumpTo(BlockId src, BlockId target)
+{
+    setTerminator(src, BranchKind::Jump, target, invalidFunc);
+}
+
+void
+ProgramBuilder::callTo(BlockId src, FuncId callee)
+{
+    if (callee >= functions_.size())
+        fatal("unknown callee function id " + std::to_string(callee));
+    setTerminator(src, BranchKind::Call, invalidBlock, callee);
+}
+
+namespace {
+
+void
+validateIndirect(const IndirectBehavior &behavior)
+{
+    if (behavior.targets.empty())
+        fatal("indirect branch needs at least one target");
+    if (behavior.weightsByPhase.empty())
+        fatal("indirect branch needs at least one weight vector");
+    for (const auto &weights : behavior.weightsByPhase) {
+        if (weights.size() != behavior.targets.size())
+            fatal("indirect weights must match target count");
+    }
+}
+
+} // namespace
+
+void
+ProgramBuilder::indirectJump(BlockId src, IndirectBehavior behavior)
+{
+    validateIndirect(behavior);
+    setTerminator(src, BranchKind::IndirectJump, invalidBlock,
+                  invalidFunc);
+    indirectBehaviors_[src] = std::move(behavior);
+}
+
+void
+ProgramBuilder::indirectCall(BlockId src, IndirectBehavior behavior)
+{
+    validateIndirect(behavior);
+    setTerminator(src, BranchKind::IndirectCall, invalidBlock,
+                  invalidFunc);
+    indirectBehaviors_[src] = std::move(behavior);
+}
+
+void
+ProgramBuilder::ret(BlockId src)
+{
+    setTerminator(src, BranchKind::Return, invalidBlock, invalidFunc);
+}
+
+void
+ProgramBuilder::halt(BlockId src)
+{
+    setTerminator(src, BranchKind::Halt, invalidBlock, invalidFunc);
+}
+
+BlockId
+ProgramBuilder::functionEntry(FuncId func) const
+{
+    if (func >= functions_.size())
+        fatal("unknown function id " + std::to_string(func));
+    return functions_[func].entry;
+}
+
+void
+ProgramBuilder::setEntry(BlockId entry)
+{
+    if (entry >= pendings_.size())
+        fatal("unknown entry block id " + std::to_string(entry));
+    entry_ = entry;
+}
+
+void
+ProgramBuilder::setPhaseLengths(std::vector<std::uint64_t> lengths)
+{
+    for (std::uint64_t len : lengths) {
+        if (len == 0)
+            fatal("phase lengths must be positive");
+    }
+    phaseLengths_ = std::move(lengths);
+}
+
+Program
+ProgramBuilder::build()
+{
+    if (built_)
+        fatal("ProgramBuilder::build() may only be called once");
+    built_ = true;
+
+    if (pendings_.empty())
+        fatal("program has no blocks");
+    functions_.back().lastBlock = static_cast<BlockId>(pendings_.size());
+
+    if (entry_ == invalidBlock) {
+        // Default entry: the function named "main" when present
+        // (workloads lay out callees first, so "first function"
+        // would usually be a helper), otherwise the first function.
+        entry_ = functions_.front().entry;
+        for (const Function &f : functions_) {
+            if (f.name == "main") {
+                entry_ = f.entry;
+                break;
+            }
+        }
+    }
+
+    // Pass 1: assign instruction sizes and block addresses in layout
+    // order. Sizes are 2-6 bytes, mean approximately 3.5, matching
+    // the paper's "between three and four bytes" average.
+    std::vector<std::vector<Instruction>> insts(pendings_.size());
+    std::vector<Addr> startAddrs(pendings_.size());
+    Addr cursor = baseAddr_;
+    FuncId currentFunc = invalidFunc;
+    for (BlockId id = 0; id < pendings_.size(); ++id) {
+        const PendingBlock &pb = pendings_[id];
+        if (pb.func != currentFunc) {
+            cursor = alignUp(cursor, funcAlign);
+            currentFunc = pb.func;
+        }
+        startAddrs[id] = cursor;
+        insts[id].reserve(pb.ninsts);
+        for (unsigned i = 0; i < pb.ninsts; ++i) {
+            Instruction inst;
+            inst.addr = cursor;
+            inst.sizeBytes =
+                pb.sizes.empty()
+                    ? static_cast<std::uint8_t>(rng_.nextRange(2, 6))
+                    : pb.sizes[i];
+            cursor += inst.sizeBytes;
+            insts[id].push_back(inst);
+        }
+    }
+
+    // Pass 2: resolve targets and materialize blocks.
+    Program prog;
+    prog.blocks_.reserve(pendings_.size());
+    for (BlockId id = 0; id < pendings_.size(); ++id) {
+        const PendingBlock &pb = pendings_[id];
+        Addr target = invalidAddr;
+        if (pb.terminator == BranchKind::Call) {
+            target = startAddrs[functions_[pb.callee].entry];
+        } else if (pb.target != invalidBlock) {
+            target = startAddrs[pb.target];
+        }
+        prog.blocks_.emplace_back(id, pb.func, std::move(insts[id]),
+                                  pb.terminator, target);
+        prog.addrToBlock_[startAddrs[id]] = id;
+        prog.staticInsts_ += pb.ninsts;
+        prog.staticBytes_ += prog.blocks_.back().sizeBytes();
+    }
+
+    // Pass 3: validate fall-through structure — every block that can
+    // fall through (or that calls, since calls return to their
+    // fall-through address) must be followed, contiguously, by
+    // another block of the same function.
+    for (const BasicBlock &b : prog.blocks_) {
+        const bool needsSuccessor =
+            canFallThrough(b.terminator()) ||
+            b.terminator() == BranchKind::Call ||
+            b.terminator() == BranchKind::IndirectCall;
+        if (!needsSuccessor)
+            continue;
+        auto it = prog.addrToBlock_.find(b.fallThroughAddr());
+        if (it == prog.addrToBlock_.end() ||
+            prog.blocks_[it->second].func() != b.func()) {
+            fatal("block " + std::to_string(b.id()) + " in function '" +
+                  functions_[b.func()].name +
+                  "' falls through past the end of its function");
+        }
+    }
+
+    prog.functions_ = std::move(functions_);
+    prog.condBehaviors_ = std::move(condBehaviors_);
+    prog.indirectBehaviors_ = std::move(indirectBehaviors_);
+    prog.phaseLengths_ = std::move(phaseLengths_);
+    prog.entry_ = entry_;
+    return prog;
+}
+
+} // namespace rsel

@@ -1,0 +1,414 @@
+#include "program/trace_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "program/program_builder.hpp"
+#include "support/error.hpp"
+
+namespace rsel {
+
+namespace {
+
+constexpr const char *programMagic = "rsel-program";
+constexpr const char *traceMagic = "RSTR1";
+
+BranchKind
+parseTerminator(const std::string &token)
+{
+    for (BranchKind kind :
+         {BranchKind::None, BranchKind::CondDirect, BranchKind::Jump,
+          BranchKind::IndirectJump, BranchKind::Call,
+          BranchKind::IndirectCall, BranchKind::Return,
+          BranchKind::Halt}) {
+        if (branchKindName(kind) == token)
+            return kind;
+    }
+    fatal("unknown terminator '" + token + "' in program file");
+}
+
+/** Map a static taken-target address back to its block id. */
+BlockId
+blockIdOfAddr(const Program &prog, Addr addr)
+{
+    const BasicBlock *b = prog.blockAtAddr(addr);
+    RSEL_ASSERT(b != nullptr, "target address is not a block start");
+    return b->id();
+}
+
+void
+writeLeb128(std::ostream &os, std::uint64_t value)
+{
+    do {
+        std::uint8_t byte = value & 0x7f;
+        value >>= 7;
+        if (value != 0)
+            byte |= 0x80;
+        os.put(static_cast<char>(byte));
+    } while (value != 0);
+}
+
+/** @return false on clean end-of-stream. */
+bool
+readLeb128(std::istream &is, std::uint64_t &value)
+{
+    value = 0;
+    unsigned shift = 0;
+    for (;;) {
+        const int c = is.get();
+        if (c == std::istream::traits_type::eof()) {
+            if (shift != 0)
+                fatal("truncated LEB128 value in trace file");
+            return false;
+        }
+        value |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+        if ((c & 0x80) == 0)
+            return true;
+        shift += 7;
+        if (shift >= 64)
+            fatal("oversized LEB128 value in trace file");
+    }
+}
+
+} // namespace
+
+void
+saveProgram(const Program &prog, std::ostream &os)
+{
+    os << programMagic << " 1\n";
+    os << "entry " << prog.entry() << '\n';
+    os << "phases " << prog.phaseLengths().size();
+    for (std::uint64_t len : prog.phaseLengths())
+        os << ' ' << len;
+    os << '\n';
+
+    for (const Function &f : prog.functions()) {
+        os << "function " << f.name << '\n';
+        for (BlockId id = f.firstBlock; id < f.lastBlock; ++id) {
+            const BasicBlock &b = prog.block(id);
+            os << "block " << b.instCount();
+            for (const Instruction &inst : b.instructions())
+                os << ' ' << static_cast<unsigned>(inst.sizeBytes);
+            os << ' ' << branchKindName(b.terminator());
+            if (b.takenTarget() != invalidAddr)
+                os << ' ' << blockIdOfAddr(prog, b.takenTarget());
+            os << '\n';
+        }
+    }
+
+    for (const BasicBlock &b : prog.blocks()) {
+        if (b.terminator() == BranchKind::CondDirect) {
+            const CondBehavior &cb = prog.condBehavior(b.id());
+            if (cb.kind == CondBehavior::Kind::Bernoulli) {
+                os << "cond " << b.id() << " bernoulli "
+                   << cb.takenProbByPhase.size();
+                for (double p : cb.takenProbByPhase)
+                    os << ' ' << p;
+                os << '\n';
+            } else {
+                os << "cond " << b.id() << " loop " << cb.tripMin
+                   << ' ' << cb.tripMax << ' '
+                   << (cb.takenIsBackEdge ? 1 : 0) << '\n';
+            }
+        } else if (b.terminator() == BranchKind::IndirectJump ||
+                   b.terminator() == BranchKind::IndirectCall) {
+            const IndirectBehavior &ib = prog.indirectBehavior(b.id());
+            os << "indirect " << b.id() << " targets "
+               << ib.targets.size();
+            for (BlockId t : ib.targets)
+                os << ' ' << t;
+            os << " phases " << ib.weightsByPhase.size();
+            for (const auto &weights : ib.weightsByPhase)
+                for (double w : weights)
+                    os << ' ' << w;
+            os << '\n';
+        }
+    }
+}
+
+Program
+loadProgram(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line))
+        fatal("empty program file");
+    {
+        std::istringstream header(line);
+        std::string magic;
+        int version = 0;
+        header >> magic >> version;
+        if (magic != programMagic || version != 1)
+            fatal("not a version-1 rsel program file");
+    }
+
+    ProgramBuilder builder(1);
+    BlockId entry = invalidBlock;
+    std::vector<std::uint64_t> phases;
+
+    struct PendingTerminator
+    {
+        BlockId src;
+        BranchKind kind;
+        BlockId target;
+    };
+    std::vector<PendingTerminator> terminators;
+    struct PendingCond
+    {
+        BlockId src;
+        CondBehavior behavior;
+    };
+    std::vector<PendingCond> conds;
+    struct PendingIndirect
+    {
+        BlockId src;
+        BranchKind kind;
+        IndirectBehavior behavior;
+    };
+    std::vector<PendingIndirect> indirects;
+    std::vector<BranchKind> kindOf; // per created block
+
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        std::string keyword;
+        ls >> keyword;
+
+        if (keyword == "entry") {
+            ls >> entry;
+        } else if (keyword == "phases") {
+            std::size_t n = 0;
+            ls >> n;
+            phases.resize(n);
+            for (std::size_t i = 0; i < n; ++i)
+                ls >> phases[i];
+        } else if (keyword == "function") {
+            std::string name;
+            ls >> name;
+            builder.beginFunction(name);
+        } else if (keyword == "block") {
+            std::size_t ninsts = 0;
+            ls >> ninsts;
+            if (ninsts == 0 || ninsts > (1u << 20))
+                fatal("bad instruction count in program file");
+            std::vector<std::uint8_t> sizes(ninsts);
+            for (std::size_t i = 0; i < ninsts; ++i) {
+                unsigned s = 0;
+                ls >> s;
+                if (s == 0 || s > 255)
+                    fatal("instruction size out of range (1-255) in "
+                          "program file");
+                sizes[i] = static_cast<std::uint8_t>(s);
+            }
+            std::string term;
+            ls >> term;
+            if (!ls)
+                fatal("truncated block line in program file");
+            const BranchKind kind = parseTerminator(term);
+            const BlockId id = builder.blockWithSizes(sizes);
+            kindOf.push_back(kind);
+            BlockId target = invalidBlock;
+            if (kind == BranchKind::CondDirect ||
+                kind == BranchKind::Jump || kind == BranchKind::Call) {
+                ls >> target;
+                if (!ls)
+                    fatal("direct branch without target");
+            }
+            terminators.push_back({id, kind, target});
+        } else if (keyword == "cond") {
+            PendingCond pc;
+            std::string mode;
+            ls >> pc.src >> mode;
+            if (mode == "bernoulli") {
+                std::size_t n = 0;
+                ls >> n;
+                pc.behavior.kind = CondBehavior::Kind::Bernoulli;
+                pc.behavior.takenProbByPhase.resize(n);
+                for (std::size_t i = 0; i < n; ++i)
+                    ls >> pc.behavior.takenProbByPhase[i];
+            } else if (mode == "loop") {
+                int backEdge = 1;
+                pc.behavior.kind = CondBehavior::Kind::Loop;
+                ls >> pc.behavior.tripMin >> pc.behavior.tripMax >>
+                    backEdge;
+                pc.behavior.takenIsBackEdge = backEdge != 0;
+            } else {
+                fatal("unknown cond mode '" + mode + "'");
+            }
+            if (!ls)
+                fatal("truncated cond line in program file");
+            conds.push_back(std::move(pc));
+        } else if (keyword == "indirect") {
+            PendingIndirect pi;
+            std::string tok;
+            std::size_t ntargets = 0, nphases = 0;
+            ls >> pi.src >> tok >> ntargets;
+            if (tok != "targets")
+                fatal("malformed indirect line");
+            pi.behavior.targets.resize(ntargets);
+            for (std::size_t i = 0; i < ntargets; ++i)
+                ls >> pi.behavior.targets[i];
+            ls >> tok >> nphases;
+            if (tok != "phases")
+                fatal("malformed indirect line");
+            pi.behavior.weightsByPhase.assign(
+                nphases, std::vector<double>(ntargets));
+            for (std::size_t p = 0; p < nphases; ++p)
+                for (std::size_t t = 0; t < ntargets; ++t)
+                    ls >> pi.behavior.weightsByPhase[p][t];
+            if (!ls)
+                fatal("truncated indirect line in program file");
+            if (pi.src >= kindOf.size())
+                fatal("indirect line references unknown block");
+            pi.kind = kindOf[pi.src];
+            indirects.push_back(std::move(pi));
+        } else {
+            fatal("unknown keyword '" + keyword + "' in program file");
+        }
+    }
+
+    // Wire terminators. Calls resolve their callee from the target
+    // block, which must be a function entry.
+    std::vector<std::pair<BlockId, BlockId>> callSites;
+    for (const PendingTerminator &t : terminators) {
+        switch (t.kind) {
+          case BranchKind::None:
+            break;
+          case BranchKind::Jump:
+            builder.jumpTo(t.src, t.target);
+            break;
+          case BranchKind::Call:
+            callSites.emplace_back(t.src, t.target);
+            break;
+          case BranchKind::CondDirect:
+            // Behaviour attached below via condTo.
+            break;
+          case BranchKind::Return:
+            builder.ret(t.src);
+            break;
+          case BranchKind::Halt:
+            builder.halt(t.src);
+            break;
+          case BranchKind::IndirectJump:
+          case BranchKind::IndirectCall:
+            break; // attached below
+        }
+    }
+    std::vector<std::uint8_t> hasCondBehavior(kindOf.size(), 0);
+    for (const PendingCond &pc : conds) {
+        // Find this block's target among the parsed terminators.
+        BlockId target = invalidBlock;
+        for (const PendingTerminator &t : terminators)
+            if (t.src == pc.src)
+                target = t.target;
+        if (target == invalidBlock)
+            fatal("cond behaviour for a non-conditional block");
+        builder.condTo(pc.src, target, pc.behavior);
+        hasCondBehavior[pc.src] = 1;
+    }
+    for (BlockId id = 0; id < kindOf.size(); ++id) {
+        if (kindOf[id] == BranchKind::CondDirect &&
+            !hasCondBehavior[id]) {
+            fatal("conditional block " + std::to_string(id) +
+                  " has no behaviour line");
+        }
+    }
+    for (PendingIndirect &pi : indirects) {
+        if (pi.kind == BranchKind::IndirectCall)
+            builder.indirectCall(pi.src, std::move(pi.behavior));
+        else
+            builder.indirectJump(pi.src, std::move(pi.behavior));
+    }
+
+    // Resolve call sites: callee = the function whose entry block is
+    // the recorded target. Functions are known to the builder.
+    for (auto [src, target] : callSites) {
+        FuncId callee = invalidFunc;
+        for (FuncId f = 0; f < builder.functionCount(); ++f) {
+            if (builder.functionEntry(f) == target) {
+                callee = f;
+                break;
+            }
+        }
+        if (callee == invalidFunc)
+            fatal("call target is not a function entry");
+        builder.callTo(src, callee);
+    }
+
+    if (entry != invalidBlock)
+        builder.setEntry(entry);
+    if (!phases.empty())
+        builder.setPhaseLengths(std::move(phases));
+    return builder.build();
+}
+
+TraceWriter::TraceWriter(std::ostream &os, const Program &prog)
+    : os_(os)
+{
+    os_ << traceMagic << ' ' << prog.blocks().size() << '\n';
+}
+
+bool
+TraceWriter::onEvent(const ExecEvent &ev)
+{
+    writeLeb128(os_, ev.block->id());
+    ++events_;
+    return true;
+}
+
+TraceReplayer::TraceReplayer(const Program &prog, std::istream &is)
+    : prog_(prog), is_(is)
+{
+    std::string header;
+    if (!std::getline(is_, header))
+        fatal("not an rsel trace file");
+    std::istringstream hs(header);
+    std::string magic;
+    std::size_t blockCount = 0;
+    hs >> magic >> blockCount;
+    if (magic != traceMagic)
+        fatal("not an rsel trace file");
+    if (blockCount != prog_.blocks().size()) {
+        fatal("trace was recorded against a different program (" +
+              std::to_string(blockCount) + " blocks vs " +
+              std::to_string(prog_.blocks().size()) + ")");
+    }
+}
+
+std::uint64_t
+TraceReplayer::run(std::uint64_t maxEvents, ExecutionSink &sink)
+{
+    std::uint64_t delivered = 0;
+    while (delivered < maxEvents) {
+        std::uint64_t id = 0;
+        if (!readLeb128(is_, id))
+            break;
+        if (id >= prog_.blocks().size())
+            fatal("trace references unknown block id " +
+                  std::to_string(id));
+        const BasicBlock &block =
+            prog_.block(static_cast<BlockId>(id));
+
+        // Reconstruct the entry annotation the way the executor
+        // would have produced it: a fall-through-capable predecessor
+        // whose fall-through address matches means not-taken;
+        // everything else is a taken transfer.
+        ExecEvent ev;
+        ev.block = &block;
+        if (prev_ != nullptr) {
+            const bool fell =
+                canFallThrough(prev_->terminator()) &&
+                block.startAddr() == prev_->fallThroughAddr();
+            ev.takenBranch = !fell;
+            ev.branchAddr = fell ? invalidAddr : prev_->lastInstAddr();
+        }
+        prev_ = &block;
+        ++delivered;
+        if (!sink.onEvent(ev))
+            break;
+    }
+    return delivered;
+}
+
+} // namespace rsel

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Program serialization and dynamic-trace record/replay.
+ *
+ * The paper's framework consumed basic-block streams collected with
+ * Pin. These helpers give the library the same trace-driven front
+ * door: a guest program can be saved to / loaded from a portable
+ * text format, and a dynamic block stream can be recorded to a
+ * compact binary trace file and replayed later — including streams
+ * produced by external tools (a Pin or DynamoRIO client only needs
+ * to emit the two formats below).
+ *
+ * Program format (text, line oriented):
+ *
+ *     rsel-program 1
+ *     entry <blockId>
+ *     phases <n> <len>...
+ *     function <name>
+ *     block <ninsts> <size>... <terminator> [<targetBlockId>]
+ *     cond <blockId> bernoulli <n> <p>...
+ *     cond <blockId> loop <tripMin> <tripMax> <takenIsBackEdge>
+ *     indirect <blockId> targets <n> <blockId>... phases <m> <w>...
+ *
+ * Blocks appear in layout order inside their function; addresses are
+ * reassigned by the deterministic builder layout, so round-tripping
+ * preserves every address.
+ *
+ * Trace format (binary): the header line "RSTR1 <blockCount>\n"
+ * (the block count fingerprints the program the trace was recorded
+ * against) followed by one LEB128-encoded block id per executed
+ * block, in order.
+ */
+
+#ifndef RSEL_PROGRAM_TRACE_IO_HPP
+#define RSEL_PROGRAM_TRACE_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "program/executor.hpp"
+#include "program/program.hpp"
+
+namespace rsel {
+
+/** Serialize a program to the text format. */
+void saveProgram(const Program &prog, std::ostream &os);
+
+/**
+ * Load a program from the text format.
+ * @throws FatalError on malformed input.
+ */
+Program loadProgram(std::istream &is);
+
+/**
+ * An ExecutionSink that records every executed block id to a binary
+ * trace stream. Compose it in front of another sink (or use it
+ * standalone while an Executor runs).
+ */
+class TraceWriter : public ExecutionSink
+{
+  public:
+    /**
+     * @param os   destination stream; the header is written now.
+     * @param prog program being traced (fingerprints the header so
+     *             replay against a different program is rejected).
+     */
+    TraceWriter(std::ostream &os, const Program &prog);
+
+    bool onEvent(const ExecEvent &event) override;
+
+    /** Events written so far. */
+    std::uint64_t eventCount() const { return events_; }
+
+  private:
+    std::ostream &os_;
+    std::uint64_t events_ = 0;
+};
+
+/**
+ * Replays a recorded trace into a sink, synthesizing the
+ * taken-branch annotations from the program structure the same way
+ * the architectural executor produces them.
+ */
+class TraceReplayer
+{
+  public:
+    /**
+     * @param prog the program the trace was recorded against.
+     * @param is   trace stream; the header (magic and program
+     *             fingerprint) is validated now.
+     * @throws FatalError on a bad header or a program mismatch.
+     */
+    TraceReplayer(const Program &prog, std::istream &is);
+
+    /**
+     * Deliver up to `maxEvents` further events.
+     * @return events delivered; fewer means end of trace or the
+     *         sink stopped. @throws FatalError on a corrupt stream.
+     */
+    std::uint64_t run(std::uint64_t maxEvents, ExecutionSink &sink);
+
+  private:
+    const Program &prog_;
+    std::istream &is_;
+    const BasicBlock *prev_ = nullptr;
+};
+
+} // namespace rsel
+
+#endif // RSEL_PROGRAM_TRACE_IO_HPP

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Umbrella header for the rselect library.
+ *
+ * Pulls in the full public API: program construction, execution,
+ * the simulated dynamic optimization system, every shipped
+ * region-selection algorithm, the metric stack, and the synthetic
+ * workload suite. Include this when prototyping; production code
+ * should include the specific headers it needs.
+ */
+
+#ifndef RSEL_RSELECT_HPP
+#define RSEL_RSELECT_HPP
+
+// Guest ISA and program model.
+#include "isa/basic_block.hpp"
+#include "isa/types.hpp"
+#include "program/behavior.hpp"
+#include "program/executor.hpp"
+#include "program/program.hpp"
+#include "program/program_builder.hpp"
+
+// Code-cache runtime.
+#include "runtime/code_cache.hpp"
+#include "runtime/region.hpp"
+
+// Region-selection algorithms.
+#include "selection/boa_selector.hpp"
+#include "selection/compact_trace.hpp"
+#include "selection/history_buffer.hpp"
+#include "selection/lei_selector.hpp"
+#include "selection/net_selector.hpp"
+#include "selection/observed_store.hpp"
+#include "selection/path_profile.hpp"
+#include "selection/region_cfg.hpp"
+#include "selection/selector.hpp"
+#include "selection/wrs_selector.hpp"
+
+// Simulator and metrics.
+#include "dynopt/dynopt_system.hpp"
+#include "metrics/metrics_collector.hpp"
+#include "metrics/region_quality.hpp"
+#include "metrics/sim_result.hpp"
+
+// Synthetic workload suite and the paper's scenario programs.
+#include "workloads/scenarios.hpp"
+#include "workloads/workload_kit.hpp"
+#include "workloads/workload_motifs.hpp"
+#include "workloads/workloads.hpp"
+
+// Support utilities.
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/random.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+#endif // RSEL_RSELECT_HPP

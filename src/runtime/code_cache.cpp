@@ -1,0 +1,88 @@
+#include "runtime/code_cache.hpp"
+
+#include "support/error.hpp"
+
+namespace rsel {
+
+CodeCache::CodeCache(CacheLimits limits)
+    : limits_(limits)
+{}
+
+void
+CodeCache::evict(RegionId id)
+{
+    RSEL_ASSERT(live_.count(id) != 0, "evicting a non-live region");
+    const Region &r = regions_[id];
+    live_.erase(id);
+    byEntry_.erase(r.entryAddr());
+    liveBytes_ -= estimateOf(r);
+    ++evictions_;
+}
+
+void
+CodeCache::makeRoom(std::uint64_t incomingBytes)
+{
+    if (limits_.capacityBytes == 0)
+        return; // unbounded
+    if (liveBytes_ + incomingBytes <= limits_.capacityBytes)
+        return;
+
+    if (limits_.policy == CacheLimits::Policy::FullFlush) {
+        // Dynamo's preemptive flush: everything goes at once.
+        if (!live_.empty()) {
+            ++flushes_;
+            while (!fifo_.empty()) {
+                if (live_.count(fifo_.front()) != 0)
+                    evict(fifo_.front());
+                fifo_.pop_front();
+            }
+        }
+        return;
+    }
+
+    // FIFO: evict oldest live regions until the insert fits (or the
+    // cache is empty — a region larger than the capacity is allowed
+    // to live alone).
+    while (liveBytes_ + incomingBytes > limits_.capacityBytes &&
+           !fifo_.empty()) {
+        const RegionId victim = fifo_.front();
+        fifo_.pop_front();
+        if (live_.count(victim) != 0)
+            evict(victim);
+    }
+}
+
+RegionId
+CodeCache::insert(Region region)
+{
+    RSEL_ASSERT(region.id() == regions_.size(),
+                "region id must come from nextRegionId()");
+    RSEL_ASSERT(byEntry_.count(region.entryAddr()) == 0,
+                "a live region already exists at this entry address");
+
+    makeRoom(estimateOf(region));
+
+    const RegionId id = region.id();
+    totalInsts_ += region.instCount();
+    totalBytes_ += region.byteSize();
+    totalStubs_ += region.exitStubCount();
+    liveBytes_ += estimateOf(region);
+    if (!everCached_.insert(region.entryAddr()).second)
+        ++regenerations_; // this entry was cached and evicted before
+    byEntry_.emplace(region.entryAddr(), id);
+    live_.insert(id);
+    fifo_.push_back(id);
+    regions_.push_back(std::move(region));
+    return id;
+}
+
+const Region *
+CodeCache::lookup(Addr addr) const
+{
+    auto it = byEntry_.find(addr);
+    if (it == byEntry_.end())
+        return nullptr;
+    return &regions_[it->second];
+}
+
+} // namespace rsel

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The software code cache: regions indexed by entry address.
+ *
+ * Unbounded by default, per the paper's methodology (Section 2.3).
+ * A capacity limit with an eviction policy can be configured to
+ * study the effect the paper defers to future work: bounded caches
+ * must evict and later *regenerate* hot regions, and algorithms
+ * that cache less code regenerate less. Keeps the running totals
+ * the metrics layer needs: instructions and bytes copied (code
+ * expansion), exit stubs created, and eviction/regeneration counts.
+ */
+
+#ifndef RSEL_RUNTIME_CODE_CACHE_HPP
+#define RSEL_RUNTIME_CODE_CACHE_HPP
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "runtime/region.hpp"
+
+namespace rsel {
+
+/** Capacity and eviction configuration of a CodeCache. */
+struct CacheLimits
+{
+    /** How to make room when the capacity is exceeded. */
+    enum class Policy : std::uint8_t {
+        /**
+         * Dynamo's preemptive flush: empty the whole cache. Cheap
+         * to implement in a real system (no unlinking bookkeeping)
+         * and surprisingly effective at phase changes.
+         */
+        FullFlush,
+        /** Evict the oldest live region until the insert fits. */
+        Fifo,
+    };
+
+    /** Capacity in estimated bytes; 0 = unbounded (the default). */
+    std::uint64_t capacityBytes = 0;
+    /** Eviction policy for bounded caches. */
+    Policy policy = Policy::FullFlush;
+    /** Bytes charged per exit stub (paper Section 4.3.4 model). */
+    std::uint64_t stubBytes = 10;
+};
+
+/** A code cache of single-entry regions, optionally bounded. */
+class CodeCache
+{
+  public:
+    /** @param limits capacity/eviction config; default unbounded. */
+    explicit CodeCache(CacheLimits limits = {});
+    /**
+     * Insert a region built by a selector. The region id must have
+     * been obtained from nextRegionId(). No live region may already
+     * exist at the same entry address. In a bounded cache the insert
+     * first makes room per the eviction policy; the new region is
+     * always live afterwards, even if it alone exceeds the capacity.
+     * @return the region's id.
+     */
+    RegionId insert(Region region);
+
+    /** Id the next inserted region will get. */
+    RegionId nextRegionId() const
+    {
+        return static_cast<RegionId>(regions_.size());
+    }
+
+    /**
+     * The live region whose entry is exactly `addr`, or nullptr.
+     * This is the "HASH-LOOKUP(code cache, tgt)" of the paper's
+     * pseudocode. Evicted regions do not hit.
+     */
+    const Region *lookup(Addr addr) const;
+
+    /**
+     * A region by id — including evicted ones, whose objects stay
+     * alive so in-flight execution and post-run statistics keep
+     * working. Check isLive() to distinguish.
+     */
+    const Region &region(RegionId id) const { return regions_.at(id); }
+
+    /** True if the region has not been evicted. */
+    bool isLive(RegionId id) const { return live_.count(id) != 0; }
+
+    /**
+     * All regions, in selection order. Stored in a deque so that
+     * references and pointers to regions stay valid across inserts
+     * (selectors and the driver hold them across cache growth).
+     */
+    const std::deque<Region> &regions() const { return regions_; }
+
+    /** Number of regions selected. */
+    std::size_t regionCount() const { return regions_.size(); }
+
+    /** Total guest instructions copied into the cache (expansion). */
+    std::uint64_t totalInstsCopied() const { return totalInsts_; }
+
+    /** Total guest code bytes copied into the cache. */
+    std::uint64_t totalBytesCopied() const { return totalBytes_; }
+
+    /** Total exit stubs across all regions. */
+    std::uint64_t totalExitStubs() const { return totalStubs_; }
+
+    /**
+     * Estimated cache size in bytes using the paper's model
+     * (Section 4.3.4): copied instruction bytes plus `stubBytes`
+     * per exit stub (default 10, DynamoRIO's conservative figure).
+     * For a bounded cache this still reports the cumulative copied
+     * footprint (the optimizer's work); see liveBytes() for
+     * occupancy.
+     */
+    std::uint64_t estimatedSizeBytes(std::uint64_t stubBytes = 10) const
+    {
+        return totalBytes_ + totalStubs_ * stubBytes;
+    }
+
+    /** Current occupancy in estimated bytes (live regions only). */
+    std::uint64_t liveBytes() const { return liveBytes_; }
+
+    /** Number of live regions. */
+    std::size_t liveRegionCount() const { return live_.size(); }
+
+    /** Regions evicted so far (every region of a flush counts). */
+    std::uint64_t evictions() const { return evictions_; }
+
+    /** Full-cache flushes performed. */
+    std::uint64_t flushes() const { return flushes_; }
+
+    /**
+     * Regenerations: inserts at an entry address that was cached
+     * before and evicted — the re-translation work a bounded cache
+     * pays (the effect the paper says its algorithms reduce).
+     */
+    std::uint64_t regenerations() const { return regenerations_; }
+
+    /** The configured limits. */
+    const CacheLimits &limits() const { return limits_; }
+
+  private:
+    /** Estimated footprint of one region under the byte model. */
+    std::uint64_t estimateOf(const Region &r) const
+    {
+        return r.byteSize() + r.exitStubCount() * limits_.stubBytes;
+    }
+
+    /** Evict one region / flush per policy to make room. */
+    void makeRoom(std::uint64_t incomingBytes);
+
+    /** Evict a specific live region. */
+    void evict(RegionId id);
+
+    CacheLimits limits_;
+    std::deque<Region> regions_;
+    std::unordered_map<Addr, RegionId> byEntry_;
+    std::unordered_set<RegionId> live_;
+    /** Live region ids in insertion order (FIFO eviction). */
+    std::deque<RegionId> fifo_;
+    /** Entry addresses that were cached at some point. */
+    std::unordered_set<Addr> everCached_;
+    std::uint64_t totalInsts_ = 0;
+    std::uint64_t totalBytes_ = 0;
+    std::uint64_t totalStubs_ = 0;
+    std::uint64_t liveBytes_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t flushes_ = 0;
+    std::uint64_t regenerations_ = 0;
+};
+
+} // namespace rsel
+
+#endif // RSEL_RUNTIME_CODE_CACHE_HPP

@@ -1,0 +1,86 @@
+#include "runtime/icache.hpp"
+
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace rsel {
+
+namespace {
+
+constexpr std::uint64_t invalidTag =
+    std::numeric_limits<std::uint64_t>::max();
+
+bool
+isPowerOfTwo(std::uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+ICacheModel::ICacheModel(ICacheConfig cfg)
+    : cfg_(cfg)
+{
+    RSEL_ASSERT(isPowerOfTwo(cfg_.lineBytes),
+                "line size must be a power of two");
+    RSEL_ASSERT(cfg_.ways >= 1, "need at least one way");
+    RSEL_ASSERT(cfg_.sizeBytes >= cfg_.lineBytes * cfg_.ways,
+                "cache must hold at least one set");
+    sets_ = cfg_.sizeBytes / (cfg_.lineBytes * cfg_.ways);
+    RSEL_ASSERT(isPowerOfTwo(sets_),
+                "set count must be a power of two");
+    tags_.assign(static_cast<std::size_t>(sets_) * cfg_.ways,
+                 invalidTag);
+    stamps_.assign(tags_.size(), 0);
+}
+
+bool
+ICacheModel::accessLine(std::uint64_t lineAddr)
+{
+    ++accesses_;
+    ++clock_;
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(lineAddr & (sets_ - 1));
+    const std::uint64_t tag = lineAddr / sets_;
+    const std::size_t base =
+        static_cast<std::size_t>(set) * cfg_.ways;
+
+    std::size_t victim = base;
+    for (std::size_t w = base; w < base + cfg_.ways; ++w) {
+        if (tags_[w] == tag) {
+            stamps_[w] = clock_;
+            return false; // hit
+        }
+        if (stamps_[w] < stamps_[victim])
+            victim = w;
+    }
+    ++misses_;
+    tags_[victim] = tag;
+    stamps_[victim] = clock_;
+    return true;
+}
+
+std::uint32_t
+ICacheModel::fetchRange(Addr addr, std::uint32_t bytes)
+{
+    if (bytes == 0)
+        return 0;
+    const std::uint64_t first = addr / cfg_.lineBytes;
+    const std::uint64_t last = (addr + bytes - 1) / cfg_.lineBytes;
+    std::uint32_t missCount = 0;
+    for (std::uint64_t line = first; line <= last; ++line)
+        missCount += accessLine(line) ? 1 : 0;
+    return missCount;
+}
+
+double
+ICacheModel::missRate() const
+{
+    if (accesses_ == 0)
+        return 0.0;
+    return static_cast<double>(misses_) /
+           static_cast<double>(accesses_);
+}
+
+} // namespace rsel

@@ -1,0 +1,182 @@
+#include "runtime/region.hpp"
+
+#include "support/error.hpp"
+
+namespace rsel {
+
+Region::Region(Kind kind, RegionId id,
+               std::vector<const BasicBlock *> blocks)
+    : kind_(kind), id_(id), blocks_(std::move(blocks))
+{
+    RSEL_ASSERT(!blocks_.empty(), "a region needs at least one block");
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        const BasicBlock *b = blocks_[i];
+        const bool inserted =
+            memberIndex_.emplace(b->id(), i).second;
+        RSEL_ASSERT(inserted, "duplicate block in region");
+        addrIndex_.emplace(b->startAddr(), i);
+    }
+    computeFootprint();
+    if (kind_ == Kind::Trace)
+        computeTraceStubs();
+    else
+        computeMultiPathStubs();
+}
+
+Region
+Region::makeTrace(RegionId id, std::vector<const BasicBlock *> path)
+{
+    return Region(Kind::Trace, id, std::move(path));
+}
+
+Region
+Region::makeMultiPath(RegionId id,
+                      std::vector<const BasicBlock *> blocks)
+{
+    return Region(Kind::MultiPath, id, std::move(blocks));
+}
+
+bool
+Region::containsBlockAddr(Addr addr) const
+{
+    return addrIndex_.count(addr) != 0;
+}
+
+void
+Region::computeFootprint()
+{
+    for (const BasicBlock *b : blocks_) {
+        instCount_ += b->instCount();
+        byteSize_ += b->sizeBytes();
+    }
+}
+
+void
+Region::computeTraceStubs()
+{
+    // A trace keeps control along the recorded path (block i to
+    // block i+1) and along any direct branch back to its top (the
+    // link that spans a cycle). Every other potential continuation
+    // needs an exit stub. Indirect transfers always need one stub
+    // for the mispredicted-target path, even when the recorded
+    // target is the next trace block.
+    const Addr top = entryAddr();
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        const BasicBlock *b = blocks_[i];
+        const BasicBlock *next =
+            i + 1 < blocks_.size() ? blocks_[i + 1] : nullptr;
+
+        auto needStubFor = [&](Addr target) {
+            if (target == top) {
+                spansCycle_ = true;
+                return false; // linked back to the trace head
+            }
+            if (next != nullptr && target == next->startAddr())
+                return false; // the recorded path, laid out inline
+            return true;
+        };
+
+        switch (b->terminator()) {
+          case BranchKind::CondDirect:
+            if (needStubFor(b->takenTarget()))
+                ++exitStubs_;
+            if (needStubFor(b->fallThroughAddr()))
+                ++exitStubs_;
+            break;
+          case BranchKind::Jump:
+          case BranchKind::Call:
+            if (needStubFor(b->takenTarget()))
+                ++exitStubs_;
+            break;
+          case BranchKind::None:
+            if (needStubFor(b->fallThroughAddr()))
+                ++exitStubs_;
+            break;
+          case BranchKind::IndirectJump:
+          case BranchKind::IndirectCall:
+          case BranchKind::Return:
+            ++exitStubs_;
+            break;
+          case BranchKind::Halt:
+            break;
+        }
+    }
+}
+
+void
+Region::computeMultiPathStubs()
+{
+    // A multi-path region keeps control for any transfer whose
+    // target block is a member: exits targeting member blocks were
+    // replaced by edges (Figure 13, line 16). Stubs remain for
+    // targets outside the region and for indirect misses.
+    for (const BasicBlock *b : blocks_) {
+        auto needStubFor = [&](Addr target) {
+            if (containsBlockAddr(target)) {
+                if (target == entryAddr())
+                    spansCycle_ = true;
+                return false;
+            }
+            return true;
+        };
+
+        switch (b->terminator()) {
+          case BranchKind::CondDirect:
+            if (needStubFor(b->takenTarget()))
+                ++exitStubs_;
+            if (needStubFor(b->fallThroughAddr()))
+                ++exitStubs_;
+            break;
+          case BranchKind::Jump:
+          case BranchKind::Call:
+            if (needStubFor(b->takenTarget()))
+                ++exitStubs_;
+            break;
+          case BranchKind::None:
+            if (needStubFor(b->fallThroughAddr()))
+                ++exitStubs_;
+            break;
+          case BranchKind::IndirectJump:
+          case BranchKind::IndirectCall:
+          case BranchKind::Return:
+            ++exitStubs_;
+            break;
+          case BranchKind::Halt:
+            break;
+        }
+    }
+}
+
+RegionStep
+Region::step(std::size_t &pos, const BasicBlock &next, bool taken) const
+{
+    RSEL_ASSERT(pos < blocks_.size(), "region position out of range");
+
+    if (kind_ == Kind::Trace) {
+        // Branch back to the top: the spanned-cycle link.
+        if (taken && next.startAddr() == entryAddr()) {
+            pos = 0;
+            return RegionStep::CycleRestart;
+        }
+        // The recorded path, laid out consecutively.
+        if (pos + 1 < blocks_.size() &&
+            next.id() == blocks_[pos + 1]->id()) {
+            ++pos;
+            return RegionStep::Internal;
+        }
+        return RegionStep::Exit;
+    }
+
+    // MultiPath: any transfer to a member block stays inside.
+    auto it = memberIndex_.find(next.id());
+    if (it == memberIndex_.end())
+        return RegionStep::Exit;
+    if (next.startAddr() == entryAddr()) {
+        pos = 0;
+        return RegionStep::CycleRestart;
+    }
+    pos = it->second;
+    return RegionStep::Internal;
+}
+
+} // namespace rsel

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Code-cache regions: linear traces and combined multi-path regions.
+ *
+ * A region is a single-entry unit of cached, optimized code. Two
+ * kinds exist, mirroring the paper:
+ *
+ *  - `Trace`: an interprocedural superblock — one path of basic
+ *    blocks laid out consecutively. Control stays inside only along
+ *    the recorded path, or by branching back to the trace top
+ *    (spanning a cycle). Every other potential continuation needs an
+ *    exit stub.
+ *  - `MultiPath`: a trace-combination region — a single-entry CFG of
+ *    blocks with split and join points. Control stays inside for any
+ *    transfer whose target block is a member; exits targeting member
+ *    blocks have been replaced by edges (paper Figure 13, line 16).
+ */
+
+#ifndef RSEL_RUNTIME_REGION_HPP
+#define RSEL_RUNTIME_REGION_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/basic_block.hpp"
+
+namespace rsel {
+
+class Program;
+
+/** Index of a region in its CodeCache, in selection order. */
+using RegionId = std::uint32_t;
+
+/** Sentinel for "no region". */
+constexpr RegionId invalidRegion =
+    std::numeric_limits<RegionId>::max();
+
+/** Result of advancing execution by one block inside a region. */
+enum class RegionStep : std::uint8_t {
+    Internal,     ///< Control stays in the region.
+    CycleRestart, ///< Control branched back to the region top.
+    Exit,         ///< Control left the region.
+};
+
+/**
+ * An immutable code-cache region. Construction precomputes the
+ * instruction/byte footprint, the exit-stub count, and whether the
+ * region statically spans a cycle.
+ */
+class Region
+{
+  public:
+    enum class Kind : std::uint8_t { Trace, MultiPath };
+
+    /**
+     * Build a linear trace from a recorded path.
+     * @param id     region id assigned by the cache.
+     * @param path   blocks in recorded execution order; non-empty,
+     *               no duplicates.
+     */
+    static Region makeTrace(RegionId id,
+                            std::vector<const BasicBlock *> path);
+
+    /**
+     * Build a multi-path region.
+     * @param id     region id assigned by the cache.
+     * @param blocks member blocks; the first is the region entry.
+     */
+    static Region makeMultiPath(RegionId id,
+                                std::vector<const BasicBlock *> blocks);
+
+    /** Region kind. */
+    Kind kind() const { return kind_; }
+
+    /** Region id (selection order). */
+    RegionId id() const { return id_; }
+
+    /** Guest address of the region entry. */
+    Addr entryAddr() const { return blocks_.front()->startAddr(); }
+
+    /** The entry block. */
+    const BasicBlock &entryBlock() const { return *blocks_.front(); }
+
+    /**
+     * Member blocks. For a trace: in recorded path order. For a
+     * multi-path region: entry first, rest unordered.
+     */
+    const std::vector<const BasicBlock *> &blocks() const
+    {
+        return blocks_;
+    }
+
+    /** True if the block is a member of the region. */
+    bool containsBlock(BlockId id) const
+    {
+        return memberIndex_.count(id) != 0;
+    }
+
+    /** True if a block starting at `addr` is a member. */
+    bool containsBlockAddr(Addr addr) const;
+
+    /**
+     * Advance execution within the region.
+     *
+     * @param pos   in/out: index into blocks() of the current block.
+     *              Reset to 0 on CycleRestart; unchanged on Exit.
+     * @param next  the block that executed next in the real stream.
+     * @param taken whether it was reached by a taken branch.
+     */
+    RegionStep step(std::size_t &pos, const BasicBlock &next,
+                    bool taken) const;
+
+    /** Number of guest instructions copied into this region. */
+    std::uint64_t instCount() const { return instCount_; }
+
+    /** Guest code bytes copied into this region. */
+    std::uint64_t byteSize() const { return byteSize_; }
+
+    /** Number of exit stubs the region requires. */
+    std::uint32_t exitStubCount() const { return exitStubs_; }
+
+    /**
+     * True if the region includes a branch to its own top, i.e. it
+     * statically spans a cycle (paper's spanned-cycle metric).
+     */
+    bool spansCycle() const { return spansCycle_; }
+
+  private:
+    Region(Kind kind, RegionId id,
+           std::vector<const BasicBlock *> blocks);
+
+    void computeFootprint();
+    void computeTraceStubs();
+    void computeMultiPathStubs();
+
+    Kind kind_;
+    RegionId id_;
+    std::vector<const BasicBlock *> blocks_;
+    /** block id -> index into blocks_. */
+    std::unordered_map<BlockId, std::size_t> memberIndex_;
+    std::unordered_map<Addr, std::size_t> addrIndex_;
+    std::uint64_t instCount_ = 0;
+    std::uint64_t byteSize_ = 0;
+    std::uint32_t exitStubs_ = 0;
+    bool spansCycle_ = false;
+};
+
+} // namespace rsel
+
+#endif // RSEL_RUNTIME_REGION_HPP

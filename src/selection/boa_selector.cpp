@@ -1,0 +1,50 @@
+#include "selection/boa_selector.hpp"
+
+#include <algorithm>
+
+#include "program/program.hpp"
+#include "runtime/code_cache.hpp"
+#include "support/error.hpp"
+
+namespace rsel {
+
+BoaSelector::BoaSelector(const Program &prog, const CodeCache &cache,
+                         BoaConfig cfg)
+    : prog_(prog), cache_(cache), cfg_(cfg)
+{
+    RSEL_ASSERT(cfg_.hotThreshold >= 1, "hot threshold must be >= 1");
+    RSEL_ASSERT(cfg_.maxTraceInsts >= 1, "size limit must be >= 1");
+}
+
+std::optional<RegionSpec>
+BoaSelector::onInterpreted(const SelectorEvent &ev)
+{
+    profile_.record(ev);
+
+    // Entry-point eligibility mirrors the framework's (Section 2.1):
+    // targets of taken backward branches and of code-cache exits.
+    if (!ev.viaTaken)
+        return std::nullopt;
+    const Addr tgt = ev.block->startAddr();
+    const bool backward = tgt <= ev.branchAddr;
+    if (!backward && !ev.fromCacheExit)
+        return std::nullopt;
+
+    std::uint32_t &count = counters_[tgt];
+    ++count;
+    maxCounters_ = std::max(maxCounters_, counters_.size());
+    if (count < cfg_.hotThreshold)
+        return std::nullopt;
+
+    counters_.erase(tgt);
+    std::vector<const BasicBlock *> path = formMostLikelyPath(
+        prog_, cache_, profile_, *ev.block, cfg_.maxTraceInsts);
+    RSEL_ASSERT(!path.empty(), "BOA trace must contain its entry");
+
+    RegionSpec spec;
+    spec.kind = Region::Kind::Trace;
+    spec.blocks = std::move(path);
+    return spec;
+}
+
+} // namespace rsel

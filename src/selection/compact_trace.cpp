@@ -1,0 +1,166 @@
+#include "selection/compact_trace.hpp"
+
+#include "program/program.hpp"
+#include "support/error.hpp"
+
+namespace rsel {
+
+namespace {
+
+// 2-bit branch codes from the paper's Figure 14.
+constexpr std::uint64_t codeEnd = 0b00;      // end of trace
+constexpr std::uint64_t codeIndirect = 0b01; // taken, target appended
+constexpr std::uint64_t codeNotTaken = 0b10; // conditional not taken
+constexpr std::uint64_t codeTaken = 0b11;    // taken, target in inst
+
+constexpr unsigned addrBits = 64;
+
+/** Hard cap so a corrupt bit string cannot loop a decoder forever. */
+constexpr std::size_t maxDecodedBlocks = 1u << 20;
+
+} // namespace
+
+void
+CompactTrace::appendBits(std::uint64_t value, unsigned nbits)
+{
+    for (unsigned i = 0; i < nbits; ++i) {
+        const std::uint64_t bitIndex = bitLen_ + i;
+        if (bitIndex / 8 >= bits_.size())
+            bits_.push_back(0);
+        if ((value >> i) & 1)
+            bits_[bitIndex / 8] |=
+                static_cast<std::uint8_t>(1u << (bitIndex % 8));
+    }
+    bitLen_ += nbits;
+}
+
+std::uint64_t
+CompactTrace::readBits(std::uint64_t &cursor, unsigned nbits) const
+{
+    RSEL_ASSERT(cursor + nbits <= bitLen_,
+                "compact trace bit stream underrun");
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < nbits; ++i) {
+        const std::uint64_t bitIndex = cursor + i;
+        if ((bits_[bitIndex / 8] >> (bitIndex % 8)) & 1)
+            value |= std::uint64_t{1} << i;
+    }
+    cursor += nbits;
+    return value;
+}
+
+CompactTrace
+CompactTrace::encode(const std::vector<const BasicBlock *> &path)
+{
+    RSEL_ASSERT(!path.empty(), "cannot encode an empty trace");
+
+    CompactTrace ct;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const BasicBlock *b = path[i];
+        const BasicBlock *next = path[i + 1];
+        switch (b->terminator()) {
+          case BranchKind::None:
+            // Fall-through block boundary: not a branch, no bits.
+            RSEL_ASSERT(next->startAddr() == b->fallThroughAddr(),
+                        "fall-through successor mismatch");
+            break;
+          case BranchKind::CondDirect:
+            if (next->startAddr() == b->takenTarget()) {
+                ct.appendBits(codeTaken, 2);
+            } else {
+                RSEL_ASSERT(next->startAddr() == b->fallThroughAddr(),
+                            "conditional successor mismatch");
+                ct.appendBits(codeNotTaken, 2);
+            }
+            break;
+          case BranchKind::Jump:
+          case BranchKind::Call:
+            RSEL_ASSERT(next->startAddr() == b->takenTarget(),
+                        "direct successor mismatch");
+            ct.appendBits(codeTaken, 2);
+            break;
+          case BranchKind::IndirectJump:
+          case BranchKind::IndirectCall:
+          case BranchKind::Return:
+            ct.appendBits(codeIndirect, 2);
+            ct.appendBits(next->startAddr(), addrBits);
+            break;
+          case BranchKind::Halt:
+            panic("a trace cannot continue past a halt");
+        }
+    }
+    ct.appendBits(codeEnd, 2);
+    ct.appendBits(path.back()->lastInstAddr(), addrBits);
+    return ct;
+}
+
+std::vector<const BasicBlock *>
+CompactTrace::decode(const Program &prog, Addr entryAddr) const
+{
+    RSEL_ASSERT(bitLen_ >= 2 + addrBits, "truncated compact trace");
+
+    // The end marker is the tail of the bit string; read it first so
+    // fall-through boundaries (which encode no bits) can be followed
+    // without ambiguity.
+    std::uint64_t tailCursor = bitLen_ - addrBits;
+    const Addr endAddr = readBits(tailCursor, addrBits);
+
+    const BasicBlock *current = prog.blockAtAddr(entryAddr);
+    RSEL_ASSERT(current != nullptr, "trace entry is not a block");
+
+    std::vector<const BasicBlock *> path{current};
+    std::uint64_t cursor = 0;
+    while (current->lastInstAddr() != endAddr) {
+        RSEL_ASSERT(path.size() < maxDecodedBlocks,
+                    "compact trace decode runaway");
+        Addr nextAddr = invalidAddr;
+        switch (current->terminator()) {
+          case BranchKind::None:
+            nextAddr = current->fallThroughAddr();
+            break;
+          case BranchKind::CondDirect: {
+            const std::uint64_t code = readBits(cursor, 2);
+            if (code == codeTaken) {
+                nextAddr = current->takenTarget();
+            } else {
+                RSEL_ASSERT(code == codeNotTaken,
+                            "unexpected branch code in compact trace");
+                nextAddr = current->fallThroughAddr();
+            }
+            break;
+          }
+          case BranchKind::Jump:
+          case BranchKind::Call: {
+            const std::uint64_t code = readBits(cursor, 2);
+            RSEL_ASSERT(code == codeTaken,
+                        "direct branch must be encoded taken");
+            nextAddr = current->takenTarget();
+            break;
+          }
+          case BranchKind::IndirectJump:
+          case BranchKind::IndirectCall:
+          case BranchKind::Return: {
+            const std::uint64_t code = readBits(cursor, 2);
+            RSEL_ASSERT(code == codeIndirect,
+                        "indirect branch must carry a target");
+            nextAddr = readBits(cursor, addrBits);
+            break;
+          }
+          case BranchKind::Halt:
+            panic("decoded trace runs past a halt");
+        }
+        current = prog.blockAtAddr(nextAddr);
+        RSEL_ASSERT(current != nullptr,
+                    "decoded trace target is not a block");
+        path.push_back(current);
+    }
+
+    // Sanity: all payload bits must be consumed up to the end marker.
+    const std::uint64_t endMarker = readBits(cursor, 2);
+    RSEL_ASSERT(endMarker == codeEnd, "missing end-of-trace marker");
+    RSEL_ASSERT(cursor == bitLen_ - addrBits,
+                "compact trace has trailing garbage");
+    return path;
+}
+
+} // namespace rsel

@@ -1,0 +1,76 @@
+#include "selection/history_buffer.hpp"
+
+#include "support/error.hpp"
+
+namespace rsel {
+
+HistoryBuffer::HistoryBuffer(std::size_t capacity)
+    : storage_(capacity)
+{
+    RSEL_ASSERT(capacity > 0, "history buffer needs capacity >= 1");
+}
+
+bool
+HistoryBuffer::inWindow(std::uint64_t seq) const
+{
+    return seq < nextSeq_ && nextSeq_ - seq <= count_;
+}
+
+std::optional<std::uint64_t>
+HistoryBuffer::find(Addr tgt) const
+{
+    auto it = hash_.find(tgt);
+    if (it == hash_.end() || !inWindow(it->second))
+        return std::nullopt;
+    // The hash tracks locations, not content; a slot can have been
+    // truncated and re-filled by a different branch. Reject those.
+    if (storage_[it->second % storage_.size()].tgt != tgt)
+        return std::nullopt;
+    return it->second;
+}
+
+std::uint64_t
+HistoryBuffer::insert(const Entry &entry)
+{
+    const std::uint64_t seq = nextSeq_++;
+    storage_[seq % storage_.size()] = entry;
+    if (count_ < storage_.size())
+        ++count_;
+    return seq;
+}
+
+void
+HistoryBuffer::setHashLocation(Addr tgt, std::uint64_t seq)
+{
+    hash_[tgt] = seq;
+}
+
+const HistoryBuffer::Entry &
+HistoryBuffer::at(std::uint64_t seq) const
+{
+    RSEL_ASSERT(inWindow(seq), "history-buffer sequence out of window");
+    return storage_[seq % storage_.size()];
+}
+
+std::uint64_t
+HistoryBuffer::lastSeq() const
+{
+    RSEL_ASSERT(count_ > 0, "history buffer is empty");
+    return nextSeq_ - 1;
+}
+
+void
+HistoryBuffer::truncateAfter(std::uint64_t seq)
+{
+    RSEL_ASSERT(inWindow(seq), "cannot truncate to an evicted entry");
+    count_ -= static_cast<std::size_t>(nextSeq_ - 1 - seq);
+    nextSeq_ = seq + 1;
+}
+
+void
+HistoryBuffer::clear()
+{
+    count_ = 0;
+}
+
+} // namespace rsel

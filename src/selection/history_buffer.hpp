@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Circular branch-history buffer for LEI (paper Section 3.1).
+ *
+ * Holds the most recently interpreted taken branches as (source,
+ * target) pairs. A hash table over targets makes cycle detection
+ * (the target of the current branch already being in the buffer)
+ * O(1) per branch. Entries are addressed by a monotonically
+ * increasing sequence number; wrapping and the truncation performed
+ * after trace formation (Figure 5, line 13) are expressed by
+ * shrinking the valid window, with stale hash entries rejected
+ * lazily.
+ */
+
+#ifndef RSEL_SELECTION_HISTORY_BUFFER_HPP
+#define RSEL_SELECTION_HISTORY_BUFFER_HPP
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/types.hpp"
+
+namespace rsel {
+
+/** Circular buffer of interpreted taken branches with target hash. */
+class HistoryBuffer
+{
+  public:
+    /** One recorded taken branch. */
+    struct Entry
+    {
+        /** Address of the branch instruction. */
+        Addr src = invalidAddr;
+        /** Branch target (a block start address). */
+        Addr tgt = invalidAddr;
+        /** True if this transfer was an exit from the code cache. */
+        bool fromCacheExit = false;
+    };
+
+    /** @param capacity maximum live entries (the paper uses 500). */
+    explicit HistoryBuffer(std::size_t capacity);
+
+    /**
+     * Find the most recent in-window occurrence of `tgt` recorded in
+     * the hash, or nullopt. Call before insert(): this is the
+     * Figure 5 line 6 lookup, which must see the pre-insert state.
+     */
+    std::optional<std::uint64_t> find(Addr tgt) const;
+
+    /**
+     * Append a branch, evicting the oldest entry when full.
+     * @return the new entry's sequence number.
+     */
+    std::uint64_t insert(const Entry &entry);
+
+    /** Point the target hash at a specific occurrence. */
+    void setHashLocation(Addr tgt, std::uint64_t seq);
+
+    /** Entry by sequence number. @pre inWindow(seq). */
+    const Entry &at(std::uint64_t seq) const;
+
+    /** True if `seq` addresses a live entry. */
+    bool inWindow(std::uint64_t seq) const;
+
+    /** Sequence number of the most recent entry. @pre !empty(). */
+    std::uint64_t lastSeq() const;
+
+    /**
+     * Drop all entries strictly after `seq` (Figure 5, line 13).
+     * Hash entries pointing past the cut become stale and are
+     * rejected lazily by find().
+     */
+    void truncateAfter(std::uint64_t seq);
+
+    /** Drop every entry (used when a formed cycle filled the whole
+     *  buffer and no anchor entry survives). */
+    void clear();
+
+    /** Number of live entries. */
+    std::size_t size() const { return count_; }
+
+    /** True when no live entries exist. */
+    bool empty() const { return count_ == 0; }
+
+    /** Capacity in entries. */
+    std::size_t capacity() const { return storage_.size(); }
+
+  private:
+    std::vector<Entry> storage_;
+    std::unordered_map<Addr, std::uint64_t> hash_;
+    /** Sequence number the next insert will get. */
+    std::uint64_t nextSeq_ = 0;
+    /** Live entries: sequence numbers [nextSeq_-count_, nextSeq_). */
+    std::size_t count_ = 0;
+};
+
+} // namespace rsel
+
+#endif // RSEL_SELECTION_HISTORY_BUFFER_HPP

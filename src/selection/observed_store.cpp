@@ -1,0 +1,74 @@
+#include "selection/observed_store.hpp"
+
+#include <algorithm>
+
+#include "program/program.hpp"
+#include "selection/region_cfg.hpp"
+#include "support/error.hpp"
+
+namespace rsel {
+
+ObservedTraceStore::ObservedTraceStore(std::uint32_t profWindow,
+                                       std::uint32_t minOccur)
+    : profWindow_(profWindow), minOccur_(minOccur)
+{
+    RSEL_ASSERT(profWindow_ >= 1, "T_prof must be >= 1");
+    RSEL_ASSERT(minOccur_ >= 1 && minOccur_ <= profWindow_,
+                "T_min must be in [1, T_prof]");
+}
+
+bool
+ObservedTraceStore::store(Addr entry,
+                          const std::vector<const BasicBlock *> &path)
+{
+    Observation &obs = observations_[entry];
+    RSEL_ASSERT(obs.traces.size() < profWindow_,
+                "entrance already has a full profiling window");
+
+    CompactTrace ct = CompactTrace::encode(path);
+    obs.bytes += ct.sizeBytes();
+    curBytes_ += ct.sizeBytes();
+    peakBytes_ = std::max(peakBytes_, curBytes_);
+    obs.traces.push_back(std::move(ct));
+    return obs.traces.size() == profWindow_;
+}
+
+std::uint32_t
+ObservedTraceStore::observedCount(Addr entry) const
+{
+    auto it = observations_.find(entry);
+    if (it == observations_.end())
+        return 0;
+    return static_cast<std::uint32_t>(it->second.traces.size());
+}
+
+RegionSpec
+ObservedTraceStore::combine(const Program &prog, Addr entry)
+{
+    auto it = observations_.find(entry);
+    RSEL_ASSERT(it != observations_.end() && !it->second.traces.empty(),
+                "no observed traces to combine");
+
+    const BasicBlock *entryBlock = prog.blockAtAddr(entry);
+    RSEL_ASSERT(entryBlock != nullptr, "entrance is not a block start");
+
+    RegionCfg cfg(entryBlock);
+    for (const CompactTrace &ct : it->second.traces)
+        cfg.addTrace(ct.decode(prog, entry));
+
+    cfg.markFrequent(minOccur_);
+    const std::uint32_t sweeps = cfg.markRejoiningPaths();
+    ++sweepRegions_;
+    if (sweeps >= 2)
+        ++multiIterRegions_;
+
+    RegionSpec spec;
+    spec.kind = Region::Kind::MultiPath;
+    spec.blocks = cfg.markedBlocks();
+
+    curBytes_ -= it->second.bytes;
+    observations_.erase(it);
+    return spec;
+}
+
+} // namespace rsel

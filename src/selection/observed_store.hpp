@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Storage and combination of observed traces (paper Section 4.2).
+ *
+ * While an entrance is being profiled, each observed trace is stored
+ * independently in compact form — no cross-trace analysis happens
+ * until the profiling window closes (Section 4.2.1). When the window
+ * closes, the traces are decoded, merged into a RegionCfg, filtered
+ * by occurrence count and rejoining-path marking, and returned as a
+ * multi-path region.
+ *
+ * The store also tracks the peak aggregate size of live observed
+ * traces, which is the paper's Figure 18 memory-overhead metric.
+ */
+
+#ifndef RSEL_SELECTION_OBSERVED_STORE_HPP
+#define RSEL_SELECTION_OBSERVED_STORE_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "selection/compact_trace.hpp"
+#include "selection/selector.hpp"
+
+namespace rsel {
+
+/** Per-entrance observed-trace store with combine step. */
+class ObservedTraceStore
+{
+  public:
+    /**
+     * @param profWindow T_prof: observed traces per entrance.
+     * @param minOccur   T_min: occurrence threshold for keeping a
+     *                   block in the combined region.
+     */
+    ObservedTraceStore(std::uint32_t profWindow, std::uint32_t minOccur);
+
+    /**
+     * Store one observed trace for `entry`.
+     * @return true when the entrance has now observed T_prof traces
+     *         and is ready to combine.
+     */
+    bool store(Addr entry, const std::vector<const BasicBlock *> &path);
+
+    /** Observed traces stored so far for an entrance. */
+    std::uint32_t observedCount(Addr entry) const;
+
+    /**
+     * Combine the stored traces of `entry` into a multi-path region
+     * (Figure 13 lines 12-17) and release their storage.
+     * @pre observedCount(entry) >= 1.
+     */
+    RegionSpec combine(const Program &prog, Addr entry);
+
+    /** Peak aggregate bytes of live observed traces. */
+    std::uint64_t peakBytes() const { return peakBytes_; }
+
+    /** Currently live observed-trace bytes. */
+    std::uint64_t currentBytes() const { return curBytes_; }
+
+    /** Regions whose rejoining-path dataflow marked blocks. */
+    std::uint64_t sweepRegions() const { return sweepRegions_; }
+
+    /** Of those, regions that needed a second or later sweep. */
+    std::uint64_t multiIterRegions() const { return multiIterRegions_; }
+
+  private:
+    struct Observation
+    {
+        std::vector<CompactTrace> traces;
+        std::uint64_t bytes = 0;
+    };
+
+    std::uint32_t profWindow_;
+    std::uint32_t minOccur_;
+    std::unordered_map<Addr, Observation> observations_;
+    std::uint64_t curBytes_ = 0;
+    std::uint64_t peakBytes_ = 0;
+    std::uint64_t sweepRegions_ = 0;
+    std::uint64_t multiIterRegions_ = 0;
+};
+
+} // namespace rsel
+
+#endif // RSEL_SELECTION_OBSERVED_STORE_HPP

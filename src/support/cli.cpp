@@ -1,0 +1,104 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace rsel {
+
+void
+CliOptions::define(const std::string &name, const std::string &defaultValue,
+                   const std::string &help)
+{
+    options_[name] = Option{defaultValue, help};
+}
+
+void
+CliOptions::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            helpRequested_ = true;
+            continue;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+
+        std::string name = arg.substr(2);
+        std::string value;
+        bool haveValue = false;
+
+        const auto eq = name.find('=');
+        if (eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            haveValue = true;
+        }
+
+        auto it = options_.find(name);
+        if (it == options_.end())
+            fatal("unknown option --" + name + "\n" + usage(argv[0]));
+
+        if (!haveValue) {
+            // `--name value` form, or bare boolean flag.
+            if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                value = argv[++i];
+            } else {
+                value = "true";
+            }
+        }
+        it->second.value = value;
+    }
+}
+
+const std::string &
+CliOptions::get(const std::string &name) const
+{
+    auto it = options_.find(name);
+    RSEL_ASSERT(it != options_.end(), "option not defined: " + name);
+    return it->second.value;
+}
+
+std::int64_t
+CliOptions::getInt(const std::string &name) const
+{
+    return std::strtoll(get(name).c_str(), nullptr, 0);
+}
+
+std::uint64_t
+CliOptions::getUint(const std::string &name) const
+{
+    return std::strtoull(get(name).c_str(), nullptr, 0);
+}
+
+double
+CliOptions::getDouble(const std::string &name) const
+{
+    return std::strtod(get(name).c_str(), nullptr);
+}
+
+bool
+CliOptions::getBool(const std::string &name) const
+{
+    const std::string &v = get(name);
+    return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::string
+CliOptions::usage(const std::string &program) const
+{
+    std::ostringstream oss;
+    oss << "usage: " << program << " [options]\n";
+    for (const auto &[name, opt] : options_) {
+        oss << "  --" << name << " (default: "
+            << (opt.value.empty() ? "<empty>" : opt.value) << ")\n"
+            << "      " << opt.help << '\n';
+    }
+    return oss.str();
+}
+
+} // namespace rsel

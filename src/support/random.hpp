@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * We implement xoshiro256** directly rather than relying on
+ * std::mt19937 so that workload streams are bit-identical across
+ * standard libraries and platforms — reproducibility of the synthetic
+ * SPEC-like suite is a correctness requirement for the benchmarks.
+ */
+
+#ifndef RSEL_SUPPORT_RANDOM_HPP
+#define RSEL_SUPPORT_RANDOM_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace rsel {
+
+/**
+ * xoshiro256** 1.0 pseudo-random generator (Blackman & Vigna).
+ *
+ * Seeded through splitmix64 so that small consecutive seeds yield
+ * uncorrelated streams.
+ */
+class Rng
+{
+  public:
+    /** Construct a generator from a 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial: true with probability p (clamped to [0,1]). */
+    bool nextBool(double p);
+
+    /**
+     * Pick an index according to a discrete weight vector.
+     * @param weights non-negative weights, at least one positive.
+     * @return index in [0, weights.size()).
+     */
+    std::size_t nextWeighted(const std::vector<double> &weights);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace rsel
+
+#endif // RSEL_SUPPORT_RANDOM_HPP

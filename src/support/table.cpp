@@ -1,0 +1,114 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace rsel {
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers))
+{
+    RSEL_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    RSEL_ASSERT(cells.size() == headers_.size(),
+                "row width must match header width");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addSummaryRow(std::vector<std::string> cells)
+{
+    RSEL_ASSERT(cells.size() == headers_.size(),
+                "summary row width must match header width");
+    summaryRows_.push_back(std::move(cells));
+}
+
+void
+Table::printRule(std::ostream &os,
+                 const std::vector<std::size_t> &widths) const
+{
+    os << '+';
+    for (std::size_t w : widths)
+        os << std::string(w + 2, '-') << '+';
+    os << '\n';
+}
+
+void
+Table::printRow(std::ostream &os, const std::vector<std::string> &cells,
+                const std::vector<std::size_t> &widths) const
+{
+    os << '|';
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const std::string &c = cells[i];
+        // First column left-aligned (labels), the rest right-aligned
+        // (numbers).
+        if (i == 0) {
+            os << ' ' << c << std::string(widths[i] - c.size(), ' ')
+               << " |";
+        } else {
+            os << ' ' << std::string(widths[i] - c.size(), ' ') << c
+               << " |";
+        }
+    }
+    os << '\n';
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        widths[i] = headers_[i].size();
+
+    auto widen = [&](const std::vector<std::vector<std::string>> &rows) {
+        for (const auto &row : rows)
+            for (std::size_t i = 0; i < row.size(); ++i)
+                widths[i] = std::max(widths[i], row[i].size());
+    };
+    widen(rows_);
+    widen(summaryRows_);
+
+    os << title_ << '\n';
+    printRule(os, widths);
+    printRow(os, headers_, widths);
+    printRule(os, widths);
+    for (const auto &row : rows_)
+        printRow(os, row, widths);
+    if (!summaryRows_.empty()) {
+        printRule(os, widths);
+        for (const auto &row : summaryRows_)
+            printRow(os, row, widths);
+    }
+    printRule(os, widths);
+}
+
+std::string
+Table::toString() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+std::string
+formatDouble(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+formatPercent(double ratio, int decimals)
+{
+    return formatDouble(ratio * 100.0, decimals) + "%";
+}
+
+} // namespace rsel

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * ASCII table rendering for benchmark harness output.
+ *
+ * Every bench binary prints its figure or table through this class so
+ * that all reproduction output shares one format: a title, a header
+ * row, aligned data rows, and an optional summary row (e.g. the
+ * cross-benchmark average the paper quotes).
+ */
+
+#ifndef RSEL_SUPPORT_TABLE_HPP
+#define RSEL_SUPPORT_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rsel {
+
+/** A titled, column-aligned ASCII table. */
+class Table
+{
+  public:
+    /**
+     * @param title   table caption printed above the grid.
+     * @param headers column headers; fixes the column count.
+     */
+    Table(std::string title, std::vector<std::string> headers);
+
+    /** Append a data row. @pre cells.size() == column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /**
+     * Append a summary row rendered after a separator rule.
+     * @pre cells.size() == column count.
+     */
+    void addSummaryRow(std::vector<std::string> cells);
+
+    /** Render the table. */
+    void print(std::ostream &os) const;
+
+    /** Render the table to a string. */
+    std::string toString() const;
+
+    /** Number of data rows added so far (summary rows excluded). */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    void printRule(std::ostream &os,
+                   const std::vector<std::size_t> &widths) const;
+    void printRow(std::ostream &os, const std::vector<std::string> &cells,
+                  const std::vector<std::size_t> &widths) const;
+
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::vector<std::string>> summaryRows_;
+};
+
+/** Format a double with the given number of decimal places. */
+std::string formatDouble(double value, int decimals = 2);
+
+/** Format a ratio as a percentage string, e.g. 0.92 -> "92.0%". */
+std::string formatPercent(double ratio, int decimals = 1);
+
+} // namespace rsel
+
+#endif // RSEL_SUPPORT_TABLE_HPP

@@ -1,0 +1,72 @@
+#include "workloads/scenarios.hpp"
+
+#include "program/program_builder.hpp"
+
+namespace rsel {
+
+Program
+buildInterproceduralCycle(std::uint64_t seed)
+{
+    ProgramBuilder b(seed);
+
+    // Callee first: the call to it is a backward branch (Figure 2
+    // assumes "the function beginning with E is at a lower address").
+    const FuncId callee = b.beginFunction("callee");
+    b.block(3);                 // E
+    const BlockId f = b.block(3);
+    b.ret(f);                   // F: returns to the call fall-through
+
+    b.beginFunction("main");
+    const BlockId a = b.block(3);
+    b.block(3);                 // B: falls through to D
+    const BlockId d = b.block(2);
+    b.callTo(d, callee);        // D: backward call on the hot path
+    const BlockId l = b.block(2);
+    b.jumpTo(l, a);             // L: loop forever
+
+    return b.build();
+}
+
+Program
+buildNestedLoops(std::uint64_t seed, std::uint32_t inner_trips,
+                 std::uint32_t outer_trips)
+{
+    ProgramBuilder b(seed);
+
+    b.beginFunction("main");
+    const BlockId a = b.block(3);       // outer-loop head
+    const BlockId inner = b.block(3);   // B: single-block inner loop
+    b.loopTo(inner, inner, inner_trips, inner_trips);
+    const BlockId c = b.block(3);       // outer latch
+    b.loopTo(c, a, outer_trips, outer_trips);
+    const BlockId stop = b.block(1);    // fall-through for the latch
+    b.halt(stop);
+    b.setEntry(a);
+
+    return b.build();
+}
+
+Program
+buildUnbiasedBranch(std::uint64_t seed, double probC, double probE)
+{
+    ProgramBuilder b(seed);
+
+    b.beginFunction("main");
+    const BlockId a = b.block(2);  // unbiased split
+    const BlockId blkB = b.block(3);
+    const BlockId c = b.block(3);  // falls through to D
+    const BlockId d = b.block(2);  // biased split (join of B and C)
+    const BlockId e = b.block(3);  // rare side
+    const BlockId f = b.block(2);  // latch
+
+    b.condTo(a, c, CondBehavior::bernoulli(probC));
+    b.jumpTo(blkB, d);
+    // D: taken -> F (common), fall-through -> E (rare).
+    b.condTo(d, f, CondBehavior::bernoulli(1.0 - probE));
+    b.jumpTo(e, f);
+    b.jumpTo(f, a);
+
+    return b.build();
+}
+
+} // namespace rsel

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The paper's three illustrative control-flow scenarios (Figures 2,
+ * 3 and 4), as tiny buildable programs. Shared by the unit tests,
+ * the scenario tests, and the examples.
+ */
+
+#ifndef RSEL_WORKLOADS_SCENARIOS_HPP
+#define RSEL_WORKLOADS_SCENARIOS_HPP
+
+#include <cstdint>
+
+#include "program/program.hpp"
+
+namespace rsel {
+
+/**
+ * Figure 2: a loop whose dominant path contains a function call,
+ * with the callee at a lower address (so the call is a backward
+ * branch). Cycle: A -> B -> D -> call E -> F -> return -> L -> A.
+ *
+ * Block names map to ids as:
+ *   callee:  E = 0, F = 1
+ *   main:    A = 2, B = 3, D = 4 (the call), L = 5 (the latch)
+ *
+ * NET selects two traces (A B D and E F L) and cannot span the
+ * interprocedural cycle; LEI selects a single cycle-spanning trace
+ * (a rotation of A B D E F L entering at E, whose cycle counter
+ * fires earliest in the iteration).
+ */
+Program buildInterproceduralCycle(std::uint64_t seed = 1);
+
+/** Block ids of buildInterproceduralCycle. */
+struct InterprocCycleIds
+{
+    static constexpr BlockId e = 0, f = 1, a = 2, b = 3, d = 4, l = 5;
+};
+
+/**
+ * Figure 3: simple nested loops. A is the outer-loop head, B a
+ * single-block inner loop, C the outer latch branching back to A.
+ *
+ *   A = 0, B = 1 (self-loop), C = 2 (latch to A)
+ *
+ * NET selects three traces (B; C; A B) duplicating the inner loop.
+ * LEI never duplicates B: under the literal Figure 5 semantics it
+ * selects three single-block traces (B, then A, then C), one block
+ * fewer than NET; the paper's idealized narrative merges C and A
+ * into one trace.
+ */
+Program buildNestedLoops(std::uint64_t seed = 1,
+                         std::uint32_t inner_trips = 4,
+                         std::uint32_t outer_trips = 100000);
+
+/** Block ids of buildNestedLoops. */
+struct NestedLoopIds
+{
+    static constexpr BlockId a = 0, b = 1, c = 2;
+};
+
+/**
+ * Figure 4: an unbiased branch followed by a biased branch, inside a
+ * loop so the paths stay hot.
+ *
+ *   A = 0 (unbiased split), B = 1 (fall-through side),
+ *   C = 2 (taken side), D = 3 (join, biased split),
+ *   E = 4 (rare side), F = 5 (latch back to A)
+ *
+ * Single-path selection splits B and C into separate traces and
+ * duplicates D and F; trace combination selects one region holding
+ * both sides with no duplication.
+ *
+ * @param probC probability the unbiased branch goes to C.
+ * @param probE probability the biased branch goes to E.
+ */
+Program buildUnbiasedBranch(std::uint64_t seed = 1, double probC = 0.5,
+                            double probE = 0.08);
+
+/** Block ids of buildUnbiasedBranch. */
+struct UnbiasedBranchIds
+{
+    static constexpr BlockId a = 0, b = 1, c = 2, d = 3, e = 4, f = 5;
+};
+
+} // namespace rsel
+
+#endif // RSEL_WORKLOADS_SCENARIOS_HPP

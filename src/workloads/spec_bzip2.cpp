@@ -1,0 +1,103 @@
+/**
+ * @file
+ * bzip2: block-sorting compression. Execution concentrates in the
+ * Burrows-Wheeler sort — whose comparison loop exits on nearly
+ * unbiased data-dependent branches — plus move-to-front, run-length
+ * and Huffman coding loops. Few functions, very hot cycles: like
+ * gzip it has a small cover set, and in the paper it is the
+ * benchmark whose LEI cover set is already so small that
+ * combination helps LEI less than NET (the only such case in
+ * Figure 17).
+ */
+
+#include "workloads/workload_motifs.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rsel {
+
+Program
+buildBzip2(std::uint64_t seed)
+{
+    WorkloadKit kit(seed);
+
+    const auto cold = makeColdPeriphery(kit, "bzip2", 3);
+
+    KernelSpec cmpSpec;                // suffix comparison
+    cmpSpec.bodyInsts = 4;
+    cmpSpec.tripMin = 2;
+    cmpSpec.tripMax = 10;
+    cmpSpec.unbiasedProb = 0.5;        // bytes differ -> direction
+    cmpSpec.biasedSkipProb = 0.0;
+    const FuncId fullGtU = makeKernel(kit, "fullGtU", cmpSpec);
+
+    const FuncId simpleSort = kit.beginFunction("simpleSort");
+    {
+        auto outer = kit.loopBegin(4); // insertion-sort outer
+        auto inner = kit.loopBegin(3); // shift loop
+        kit.call(2, fullGtU);          // comparison call on path
+        kit.ifThen(0.5, 2, 2);         // swap or stop
+        kit.loopEnd(inner, 2, 2, 8);
+        kit.loopEnd(outer, 2, 10, 30);
+        kit.ret(2);
+    }
+
+    KernelSpec radixSpec;              // radix bucket counting
+    radixSpec.bodyInsts = 4;
+    radixSpec.tripMin = 80;
+    radixSpec.tripMax = 180;
+    radixSpec.biasedSkipProb = 0.96;
+    const FuncId radixPass = makeKernel(kit, "radix_pass", radixSpec);
+
+    KernelSpec mtfSpec;                // move-to-front list scan
+    mtfSpec.bodyInsts = 4;
+    mtfSpec.tripMin = 2;
+    mtfSpec.tripMax = 12;
+    mtfSpec.biasedSkipProb = 0.85;     // run-length special case
+    const FuncId mtfScan = makeKernel(kit, "mtf_scan", mtfSpec);
+
+    const FuncId generateMTF = kit.beginFunction("generateMTFValues");
+    {
+        auto syms = kit.loopBegin(4);  // per symbol
+        kit.callFromTwoSites(0.15, 2, 2, mtfScan);
+        kit.ifThen(0.8, 2, 3);
+        kit.loopEnd(syms, 2, 60, 160);
+        kit.ret(2);
+    }
+
+    KernelSpec huffCostSpec;           // per-group cost computation
+    huffCostSpec.bodyInsts = 4;
+    huffCostSpec.tripMin = 20;
+    huffCostSpec.tripMax = 50;
+    huffCostSpec.biasedSkipProb = 0.9;
+    const FuncId huffCost = makeKernel(kit, "huff_cost", huffCostSpec);
+
+    const FuncId sendMTF = kit.beginFunction("sendMTFValues");
+    {
+        auto groups = kit.loopBegin(4);
+        kit.callFromTwoSites(0.15, 2, 2, huffCost);
+        kit.ifThen(0.7, 2, 2);
+        kit.loopEnd(groups, 2, 4, 8);
+        auto emit = kit.loopBegin(3);  // bit emission
+        kit.loopEnd(emit, 2, 30, 80);
+        kit.ret(2);
+    }
+
+    kit.beginFunction("main");
+    {
+        auto blocks = kit.loopBegin(5); // per 900k block
+        kit.callFromTwoSites(0.15, 2, 2, radixPass);
+        auto buckets = kit.loopBegin(4);
+        kit.call(2, simpleSort);
+        kit.loopEnd(buckets, 2, 15, 40);
+        kit.callFromTwoSites(0.15, 2, 2, generateMTF);
+        kit.callFromTwoSites(0.15, 2, 2, sendMTF);
+        kit.callIf(0.95, 2, 2, cold[0]);
+        kit.callIf(0.97, 2, 2, cold[1]);
+        kit.callIf(0.99, 2, 2, cold[2]);
+        kit.loopForever(blocks, 3);
+    }
+
+    return kit.build();
+}
+
+} // namespace rsel

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * crafty: chess search. Heavy 64-bit bitboard manipulation in
+ * self-contained intraprocedural loops — attack generation, move
+ * ordering, evaluation scans — whose dominant cycles contain no
+ * calls. NET already spans those cycles, so crafty is the workload
+ * where LEI gains least (the paper's Figure 7/8 outlier). Calls to
+ * helpers exist but sit behind biased guards off the hot cycles.
+ */
+
+#include "workloads/workload_motifs.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rsel {
+
+Program
+buildCrafty(std::uint64_t seed)
+{
+    WorkloadKit kit(seed);
+
+    const auto cold = makeColdPeriphery(kit, "crafty", 4);
+    const FuncId popcnt = makeLeaf(kit, "popcount", 3, false);
+
+    // Intraprocedural hot kernels: no calls on the dominant paths.
+    auto intraKernel = [&](const char *name, unsigned body,
+                           std::uint32_t tmin, std::uint32_t tmax,
+                           double bias, bool nested) {
+        KernelSpec spec;
+        spec.bodyInsts = body;
+        spec.tripMin = tmin;
+        spec.tripMax = tmax;
+        spec.biasedSkipProb = bias;
+        spec.nestedInner = nested;
+        return makeKernel(kit, name, spec);
+    };
+
+    // No nested inner loops here: crafty's kernels are flat bitboard
+    // scans NET already spans, which is why LEI gains least on it.
+    const FuncId attacks =
+        intraKernel("attacks_from", 6, 8, 16, 0.92, false);
+    const FuncId mobility =
+        intraKernel("mobility_scan", 5, 10, 24, 0.9, false);
+    const FuncId pawnScore =
+        intraKernel("evaluate_pawns", 5, 6, 14, 0.94, false);
+    const FuncId kingSafety =
+        intraKernel("king_safety", 5, 4, 10, 0.9, false);
+    const FuncId ordering =
+        intraKernel("next_move_sort", 5, 10, 30, 0.85, false);
+    const FuncId hashLoop =
+        intraKernel("hash_chain_scan", 4, 2, 6, 0.8, false);
+
+    const FuncId evaluate = kit.beginFunction("evaluate");
+    {
+        kit.straight(12);           // material and PST sums
+        kit.call(2, pawnScore);     // off the innermost cycles
+        kit.callFromTwoSites(0.15, 2, 2, kingSafety);
+        kit.callFromTwoSites(0.15, 2, 2, popcnt);
+        kit.ifThen(0.7, 3, 6);      // endgame scaling
+        kit.straight(8);
+        kit.ret(3);
+    }
+
+    const FuncId quiesce = kit.beginFunction("quiesce");
+    {
+        auto caps = kit.loopBegin(5); // capture loop (no calls)
+        kit.ifThen(0.75, 2, 4);       // SEE pruning
+        kit.loopEnd(caps, 2, 4, 10);
+        kit.callFromTwoSites(0.15, 2, 2, evaluate);
+        kit.ret(3);
+    }
+
+    const FuncId genMoves = kit.beginFunction("generate_moves");
+    {
+        auto pieces = kit.loopBegin(6);  // per piece bitboard
+        auto targets = kit.loopBegin(5); // per target square
+        kit.ifThen(0.85, 2, 3);          // capture vs quiet
+        kit.loopEnd(targets, 2, 4, 10);
+        kit.loopEnd(pieces, 2, 8, 16);
+        kit.ret(3);
+    }
+
+    const FuncId search = kit.beginFunction("search");
+    {
+        kit.call(2, genMoves);           // once per node
+        kit.callIf(0.8, 2, 2, hashLoop); // transposition probe
+        auto moves = kit.loopBegin(6);   // per move at this node
+        kit.callFromTwoSites(0.15, 2, 2, ordering);
+        kit.callFromTwoSites(0.15, 2, 2, attacks);
+        kit.callFromTwoSites(0.15, 2, 2, mobility);
+        kit.callIf(0.6, 2, 2, quiesce);  // leaf-ish children
+        kit.ifThen(0.7, 3, 4);           // beta-cutoff bookkeeping
+        kit.callIf(0.97, 2, 2, cold[0]);
+        kit.loopEnd(moves, 3, 15, 40);
+        kit.callIf(0.98, 2, 2, cold[1]);
+        kit.ret(3);
+    }
+
+    kit.beginFunction("main");
+    {
+        auto iterate = kit.loopBegin(5); // iterative deepening
+        kit.call(3, search);
+        kit.callIf(0.95, 2, 2, cold[2]); // PV display etc.
+        kit.callIf(0.98, 2, 2, cold[3]);
+        kit.loopForever(iterate, 3);
+    }
+
+    return kit.build();
+}
+
+} // namespace rsel

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * eon: C++ probabilistic ray tracer. Small, widely shared callees —
+ * the paper names the ggPoint3 constructors — invoked from many hot
+ * call sites across the shading and intersection functions. Once a
+ * trace is selected for such a constructor, every frequently
+ * executing caller selects a trace that the constructor's trace
+ * exit-dominates, making eon the paper's Figure 12 outlier. Virtual
+ * dispatch over surface shaders adds indirect-call fan-out.
+ */
+
+#include "workloads/workload_motifs.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rsel {
+
+Program
+buildEon(std::uint64_t seed)
+{
+    WorkloadKit kit(seed);
+
+    const auto cold = makeColdPeriphery(kit, "eon", 3);
+
+    // The shared tiny callees (constructors / vector ops).
+    const FuncId ctorPoint =
+        makeLeaf(kit, "ggPoint3::ggPoint3", 4, false);
+    const FuncId ctorVec =
+        makeLeaf(kit, "ggVector3::ggVector3", 4, false);
+    const FuncId ctorOnb = makeLeaf(kit, "ggONB3::ggONB3", 5, false);
+    const FuncId dotLeaf = makeLeaf(kit, "ggDot", 5, false);
+    const FuncId crossLeaf = makeLeaf(kit, "ggCross", 6, false);
+
+    // Surface shaders: each a hot function with several constructor
+    // call sites on its dominant path.
+    std::vector<FuncId> shaders;
+    const char *shaderNames[] = {
+        "LambertianBRDF::eval", "SpecularBRDF::eval",
+        "DielectricBRDF::eval", "PolishedBRDF::eval",
+        "TextureBRDF::eval",    "EmissiveBRDF::eval",
+    };
+    unsigned twist = 0;
+    for (const char *name : shaderNames) {
+        const FuncId f = kit.beginFunction(name);
+        kit.call(3, ctorVec);
+        kit.call(2, dotLeaf);
+        kit.diamond(0.4 + 0.04 * twist, 2, 4, 3);
+        kit.call(2, ctorPoint);
+        if (twist % 2 == 0)
+            kit.call(2, crossLeaf);
+        if (twist % 3 == 0)
+            kit.call(2, ctorOnb);
+        kit.ifThen(0.6, 2, 3);
+        kit.call(2, ctorVec);
+        kit.ret(3);
+        ++twist;
+        shaders.push_back(f);
+    }
+
+    // Geometry kernels, all constructing points/vectors on the path.
+    KernelSpec gridSpec;
+    gridSpec.bodyInsts = 5;
+    gridSpec.tripMin = 4;
+    gridSpec.tripMax = 12;
+    gridSpec.biasedSkipProb = 0.7; // primitive in cell?
+    gridSpec.callee = ctorPoint;
+    const FuncId gridWalk = makeKernel(kit, "ggGrid::walk", gridSpec);
+
+    KernelSpec triSpec;
+    triSpec.bodyInsts = 6;
+    triSpec.tripMin = 3;
+    triSpec.tripMax = 8;
+    triSpec.biasedSkipProb = 0.8;
+    triSpec.callee = crossLeaf;
+    const FuncId triTest = makeKernel(kit, "ggTriangle::hit", triSpec);
+
+    KernelSpec sphSpec;
+    sphSpec.bodyInsts = 5;
+    sphSpec.tripMin = 2;
+    sphSpec.tripMax = 6;
+    sphSpec.biasedSkipProb = 0.75;
+    sphSpec.callee = dotLeaf;
+    const FuncId sphTest = makeKernel(kit, "ggSphere::hit", sphSpec);
+
+    const FuncId intersect = kit.beginFunction("ggGrid::intersect");
+    {
+        kit.call(3, gridWalk);
+        kit.call(2, triTest);
+        kit.callIf(0.5, 2, 2, sphTest);
+        kit.call(2, ctorPoint); // hit-point construction
+        kit.ret(3);
+    }
+
+    const FuncId sampler = kit.beginFunction("ggJitterSample");
+    {
+        auto pts = kit.loopBegin(4);
+        kit.call(2, ctorVec);
+        kit.loopEnd(pts, 2, 3, 6);
+        kit.ret(2);
+    }
+
+    const FuncId trace = kit.beginFunction("ggRayTrace");
+    {
+        kit.call(3, intersect);
+        kit.indirectCall(3, shaders, {1.0, 0.9, 0.7, 0.6, 0.5, 0.3});
+        kit.call(2, ctorVec);
+        kit.ifThen(0.6, 2, 4); // secondary ray?
+        kit.call(2, ctorPoint);
+        kit.callIf(0.97, 2, 2, cold[0]);
+        kit.ret(3);
+    }
+
+    kit.beginFunction("main");
+    {
+        auto pixels = kit.loopBegin(5);
+        kit.call(2, sampler);
+        auto samples = kit.loopBegin(4); // jittered samples
+        kit.call(2, trace);
+        kit.loopEnd(samples, 2, 4, 8);
+        kit.call(2, ctorPoint);          // pixel accumulation
+        kit.callIf(0.97, 2, 2, cold[1]);
+        kit.callIf(0.99, 2, 2, cold[2]);
+        kit.loopForever(pixels, 3);
+    }
+
+    return kit.build();
+}
+
+} // namespace rsel

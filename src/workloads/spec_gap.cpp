@@ -1,0 +1,100 @@
+/**
+ * @file
+ * gap: computational group theory — an interpreter for the GAP
+ * language with heavier handlers than perlbmk: big-integer
+ * arithmetic, permutation products, list operations. The arithmetic
+ * kernels are called from the handlers, so both the interpreter
+ * rejoin structure (combination-friendly) and interprocedural
+ * cycles (LEI-friendly) appear.
+ */
+
+#include "workloads/workload_motifs.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rsel {
+
+Program
+buildGap(std::uint64_t seed)
+{
+    WorkloadKit kit(seed);
+
+    const auto cold = makeColdPeriphery(kit, "gap", 4);
+    const FuncId bagLeaf = makeLeaf(kit, "NewBag", 5, false);
+
+    KernelSpec addSpec;                // big-integer addition
+    addSpec.bodyInsts = 4;
+    addSpec.tripMin = 3;
+    addSpec.tripMax = 12;
+    addSpec.biasedSkipProb = 0.9;      // carry propagation
+    const FuncId bigAdd = makeKernel(kit, "SumInt", addSpec);
+
+    KernelSpec mulSpec;                // big-integer product
+    mulSpec.bodyInsts = 4;
+    mulSpec.tripMin = 3;
+    mulSpec.tripMax = 10;
+    mulSpec.nestedInner = true;
+    mulSpec.biasedSkipProb = 0.95;
+    const FuncId bigMul = makeKernel(kit, "ProdInt", mulSpec);
+
+    KernelSpec permSpec;               // permutation product
+    permSpec.bodyInsts = 7;            // index arithmetic inlined
+    permSpec.tripMin = 20;
+    permSpec.tripMax = 60;
+    permSpec.biasedSkipProb = 0.92;
+    const FuncId permProd = makeKernel(kit, "ProdPerm", permSpec);
+
+    KernelSpec listSpec;               // list element scan
+    listSpec.bodyInsts = 4;
+    listSpec.tripMin = 10;
+    listSpec.tripMax = 30;
+    listSpec.biasedSkipProb = 0.85;
+    listSpec.callee = bagLeaf;
+    listSpec.calleeSkipProb = 0.7;
+    const FuncId elmList = makeKernel(kit, "ElmListLevel", listSpec);
+
+    KernelSpec orbitSpec;              // orbit enumeration
+    orbitSpec.bodyInsts = 5;
+    orbitSpec.tripMin = 15;
+    orbitSpec.tripMax = 45;
+    orbitSpec.callee = permProd;       // interprocedural cycle
+    orbitSpec.biasedSkipProb = 0.8;
+    orbitSpec.rareCallee = cold[0];
+    const FuncId orbit = makeKernel(kit, "OrbitOp", orbitSpec);
+
+    const FuncId evalExpr = kit.beginFunction("EvalExpr");
+    {
+        // Evaluator dispatch over 10 node kinds.
+        kit.switchStmt(4, {4, 3, 5, 3, 4, 6, 3, 4, 5, 3},
+                       {2.0, 1.6, 1.4, 1.0, 0.9, 0.8, 0.6, 0.5, 0.4,
+                        0.3});
+        kit.diamond(0.5, 2, 3, 3); // immediate vs boxed value
+        kit.ret(2);
+    }
+
+    const FuncId execStat = kit.beginFunction("ExecStat");
+    {
+        kit.call(2, evalExpr);
+        kit.diamond(0.4, 2, 3, 4); // assignment vs call
+        kit.callIf(0.3, 2, 2, bigAdd); // most statements do arithmetic
+        kit.callIf(0.7, 2, 2, bigMul);
+        kit.callIf(0.6, 2, 2, elmList);
+        kit.callIf(0.8, 2, 2, orbit);
+        kit.callIf(0.98, 2, 2, cold[1]);
+        kit.ret(2);
+    }
+
+    kit.beginFunction("main");
+    {
+        auto repl = kit.loopBegin(5);
+        auto stats = kit.loopBegin(4); // statements in a block
+        kit.callFromTwoSites(0.15, 2, 2, execStat);
+        kit.loopEnd(stats, 2, 25, 80);
+        kit.callIf(0.9, 2, 2, cold[2]); // garbage collection
+        kit.callIf(0.97, 2, 2, cold[3]);
+        kit.loopForever(repl, 3);
+    }
+
+    return kit.build();
+}
+
+} // namespace rsel

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * gcc: optimizing compiler. The paper's stress case: "large
+ * applications with many important procedures and a mix of biased
+ * and unbiased branches". By far the largest static footprint of
+ * the suite — dozens of pass drivers, analysis kernels and helpers,
+ * an RTL pattern-matching switch with a flat target distribution,
+ * many unbiased diamonds, and phase behaviour as passes run in
+ * sequence. Execution spreads across far more hot paths than in any
+ * other workload, giving the largest cover sets and the lowest hit
+ * rates.
+ */
+
+#include "workloads/workload_motifs.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rsel {
+
+namespace {
+
+const char *const helperNames[] = {
+    "fold_rtx",        "simplify_binary", "canon_reg",
+    "note_stores",     "invalidate",      "cse_insn",
+    "try_combine",     "subst",           "recog",
+    "constrain_ops",   "reg_scan_mark",   "propagate_block",
+    "mark_used_regs",  "sched_analyze",   "rank_for_sched",
+    "find_reloads",    "push_reload",     "reload_reg_class",
+    "record_jump",     "merge_blocks",    "life_analysis",
+    "ggc_mark",        "walk_tree",       "expand_expr",
+    "emit_move",       "gen_rtx",         "rtx_cost",
+    "side_effects_p",  "copy_rtx",        "validate_change",
+    "reg_mentioned_p", "single_set",
+};
+
+} // namespace
+
+Program
+buildGcc(std::uint64_t seed)
+{
+    WorkloadKit kit(seed);
+
+    const auto cold = makeColdPeriphery(kit, "gcc", 6);
+    const FuncId obstackLeaf = makeLeaf(kit, "obstack_alloc", 5, false);
+    const FuncId hashLeaf = makeLeaf(kit, "htab_find", 6, true);
+
+    // A wide population of analysis/transform helpers with varied
+    // shapes: some with loops, some with unbiased operand checks,
+    // some calling the shared leaves.
+    std::vector<FuncId> helpers;
+    unsigned variant = 0;
+    for (const char *name : helperNames) {
+        KernelSpec spec;
+        spec.preInsts = 3 + variant % 3;
+        spec.bodyInsts = 3 + variant % 4;
+        spec.tripMin = 3 + variant % 5;
+        spec.tripMax = 8 + variant % 9;
+        switch (variant % 5) {
+          case 0:
+            spec.unbiasedProb = 0.5; // operand-class diamond
+            spec.biasedSkipProb = 0.0;
+            break;
+          case 1:
+            spec.biasedSkipProb = 0.75;
+            break;
+          case 2:
+            spec.biasedSkipProb = 0.9;
+            spec.callee = obstackLeaf;
+            break;
+          case 3:
+            spec.unbiasedProb = 0.45;
+            spec.biasedSkipProb = 0.8;
+            spec.callee = hashLeaf;
+            spec.calleeSkipProb = 0.5;
+            break;
+          default:
+            spec.biasedSkipProb = 0.85;
+            spec.nestedInner = true;
+            break;
+        }
+        if (variant % 7 == 3)
+            spec.rareCallee = cold[variant % cold.size()];
+        helpers.push_back(makeKernel(kit, name, spec));
+        ++variant;
+    }
+
+    // The RTL pattern matcher: a flat switch over many insn codes.
+    const FuncId recogMemoized = kit.beginFunction("recog_memoized");
+    {
+        std::vector<unsigned> cases;
+        std::vector<double> weights;
+        for (unsigned i = 0; i < 22; ++i) {
+            cases.push_back(3 + i % 5);
+            weights.push_back(1.0 + (i % 4) * 0.3); // nearly flat
+        }
+        kit.switchStmt(4, cases, weights);
+        kit.ret(2);
+    }
+
+    // Pass drivers: each loops over "insns", exercising a different
+    // slice of the helpers with unbiased control in between.
+    std::vector<FuncId> passes;
+    for (unsigned p = 0; p < 9; ++p) {
+        const FuncId pass =
+            kit.beginFunction("pass_" + std::to_string(p));
+        auto insns = kit.loopBegin(4);
+        kit.call(2, recogMemoized);
+        kit.diamond(0.5, 2, 3, 3); // unbiased: pattern matched?
+        kit.call(2, helpers[(p * 5 + 0) % helpers.size()]);
+        kit.callIf(0.5, 2, 2, helpers[(p * 5 + 1) % helpers.size()]);
+        kit.diamond(0.4, 2, 4, 3);
+        kit.call(2, helpers[(p * 5 + 2) % helpers.size()]);
+        kit.callIf(0.7, 2, 2, helpers[(p * 5 + 3) % helpers.size()]);
+        kit.callIf(0.6, 2, 2, helpers[(p * 5 + 4) % helpers.size()]);
+        kit.callIf(0.98, 2, 2, cold[p % cold.size()]);
+        kit.loopEnd(insns, 3, 12, 40);
+        kit.ret(2);
+        passes.push_back(pass);
+    }
+
+    // The tree/RTL front end: parsing-ish loops feeding the passes.
+    KernelSpec lexSpec;
+    lexSpec.bodyInsts = 5;
+    lexSpec.tripMin = 40;
+    lexSpec.tripMax = 90;
+    lexSpec.biasedSkipProb = 0.85;
+    lexSpec.unbiasedProb = 0.5;
+    const FuncId lexer = makeKernel(kit, "yylex", lexSpec);
+
+    kit.beginFunction("main");
+    {
+        auto functions = kit.loopBegin(5); // per compiled function
+        kit.callFromTwoSites(0.15, 2, 2, lexer);
+        for (FuncId p : passes)
+            kit.callFromTwoSites(0.15, 2, 2, p);
+        kit.callIf(0.97, 2, 2, cold[5]);
+        kit.loopForever(functions, 3);
+    }
+
+    // Passes dominate different stretches of execution.
+    kit.setPhaseLengths({300'000, 300'000, 300'000});
+    return kit.build();
+}
+
+} // namespace rsel

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * gzip: LZ77 compression. Execution concentrates in a modest set of
+ * very hot, strongly biased loops — the hash-chain match loop inside
+ * deflate, literal/match emission, Huffman bit output, CRC and copy
+ * loops — which is why gzip has one of the smallest 90% cover sets
+ * in the paper. Several dominant paths carry calls (longest_match,
+ * send_bits), forming the interprocedural cycles NET cannot span.
+ * A cold periphery (header output, error paths, table resets)
+ * executes rarely.
+ */
+
+#include "workloads/workload_motifs.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rsel {
+
+Program
+buildGzip(std::uint64_t seed)
+{
+    WorkloadKit kit(seed);
+
+    const auto cold = makeColdPeriphery(kit, "gzip", 4);
+
+    // Leaves (callee-first layout keeps the calls backward).
+    const FuncId crcByte = makeLeaf(kit, "updcrc_byte", 4, false);
+    const FuncId putByte = makeLeaf(kit, "put_byte", 3, false);
+
+    const FuncId sendBits = kit.beginFunction("send_bits");
+    {
+        kit.ifThen(0.7, 4, 3); // bit-buffer spill
+        kit.call(2, putByte);
+        kit.ret(2);
+    }
+
+    // Hot kernels.
+    KernelSpec match;        // the hash-chain walk
+    match.bodyInsts = 6;
+    match.tripMin = 8;
+    match.tripMax = 24;
+    match.biasedSkipProb = 0.95; // longer match found rarely
+    const FuncId longestMatch = makeKernel(kit, "longest_match", match);
+
+    KernelSpec crc;          // CRC over the input buffer
+    crc.bodyInsts = 4;
+    crc.tripMin = 60;
+    crc.tripMax = 140;
+    crc.biasedSkipProb = 0.0;
+    crc.callee = crcByte;
+    const FuncId crcLoop = makeKernel(kit, "updcrc", crc);
+
+    KernelSpec window;       // sliding-window copy
+    window.bodyInsts = 5;
+    window.tripMin = 40;
+    window.tripMax = 90;
+    window.biasedSkipProb = 0.97;
+    const FuncId fillWindow = makeKernel(kit, "fill_window", window);
+
+    KernelSpec huffBuild;    // build_tree: heap sift loop
+    huffBuild.bodyInsts = 5;
+    huffBuild.tripMin = 12;
+    huffBuild.tripMax = 30;
+    huffBuild.biasedSkipProb = 0.9;
+    huffBuild.nestedInner = true; // pqdownheap inner loop
+    const FuncId buildTree = makeKernel(kit, "build_tree", huffBuild);
+
+    KernelSpec huffSend;     // compress_block: emit codes
+    huffSend.bodyInsts = 5;
+    huffSend.tripMin = 50;
+    huffSend.tripMax = 120;
+    huffSend.callee = sendBits; // call on the dominant path
+    huffSend.biasedSkipProb = 0.88; // literal vs match code
+    const FuncId compressBlock =
+        makeKernel(kit, "compress_block", huffSend);
+
+    KernelSpec scanSpec;     // ct_tally / run scanning
+    scanSpec.bodyInsts = 4;
+    scanSpec.tripMin = 30;
+    scanSpec.tripMax = 70;
+    scanSpec.biasedSkipProb = 0.93;
+    scanSpec.rareCallee = cold[0];
+    const FuncId ctTally = makeKernel(kit, "ct_tally", scanSpec);
+
+    const FuncId flushBlock = kit.beginFunction("flush_block");
+    {
+        kit.callFromTwoSites(0.15, 2, 3, buildTree);
+        kit.callFromTwoSites(0.15, 2, 3, compressBlock);
+        kit.callIf(0.9, 2, 2, cold[1]); // stored-block fallback
+        kit.ret(3);
+    }
+
+    const FuncId deflate = kit.beginFunction("deflate");
+    {
+        auto scan = kit.loopBegin(5);       // per input position
+        kit.callFromTwoSites(0.15, 2, 4, longestMatch);          // interprocedural cycle
+        kit.diamond(0.8, 3, 6, 4);          // literal vs match emit
+        kit.call(2, ctTally);
+        kit.callIf(0.96, 2, 3, fillWindow); // rare window refill
+        kit.ifThen(0.97, 2, 2);             // block-boundary check
+        kit.loopEnd(scan, 3, 100, 220);
+        kit.callFromTwoSites(0.15, 2, 2, flushBlock);
+        kit.ret(3);
+    }
+
+    kit.beginFunction("main");
+    {
+        auto files = kit.loopBegin(6); // per input buffer
+        kit.callFromTwoSites(0.15, 2, 3, crcLoop);
+        kit.callFromTwoSites(0.15, 2, 4, deflate);
+        kit.callIf(0.95, 2, 2, cold[2]); // occasional header refresh
+        kit.callIf(0.98, 2, 2, cold[3]);
+        kit.loopForever(files, 3);
+    }
+
+    return kit.build();
+}
+
+} // namespace rsel

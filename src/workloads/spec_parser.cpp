@@ -1,0 +1,110 @@
+/**
+ * @file
+ * parser: link-grammar natural-language parser. Dominated by
+ * dictionary lookups and connector matching — short, mostly
+ * intraprocedural list-scan loops with moderately biased exits.
+ * Like crafty, the dominant cycles rarely cross procedure
+ * boundaries, so LEI's region-transition gain is minimal here
+ * (Figure 8's flat benchmark).
+ */
+
+#include "workloads/workload_motifs.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rsel {
+
+Program
+buildParser(std::uint64_t seed)
+{
+    WorkloadKit kit(seed);
+
+    const auto cold = makeColdPeriphery(kit, "parser", 4);
+    const FuncId strcmpLeaf = makeLeaf(kit, "streq", 4, true);
+
+    auto intraKernel = [&](const char *name, unsigned body,
+                           std::uint32_t tmin, std::uint32_t tmax,
+                           double bias) {
+        KernelSpec spec;
+        spec.bodyInsts = body;
+        spec.tripMin = tmin;
+        spec.tripMax = tmax;
+        spec.biasedSkipProb = bias;
+        return makeKernel(kit, name, spec);
+    };
+
+    const FuncId hashWord = intraKernel("hash_word", 3, 3, 10, 0.0);
+    const FuncId chainWalk =
+        intraKernel("dict_chain_walk", 4, 2, 8, 0.75);
+    const FuncId matchScan =
+        intraKernel("connector_match", 5, 3, 9, 0.85);
+    const FuncId powerPrune =
+        intraKernel("power_prune", 4, 5, 15, 0.8);
+    const FuncId regionScan =
+        intraKernel("region_valid", 4, 4, 12, 0.9);
+
+    const FuncId dictLookup = kit.beginFunction("dict_lookup");
+    {
+        kit.call(2, hashWord);
+        kit.callFromTwoSites(0.15, 2, 2, chainWalk);
+        kit.callIf(0.6, 2, 2, strcmpLeaf); // full compare on hits
+        kit.ret(2);
+    }
+
+    const FuncId match = kit.beginFunction("match");
+    {
+        // The hottest kernel: nested intraprocedural list scans.
+        auto left = kit.loopBegin(5);
+        auto right = kit.loopBegin(4);
+        kit.diamond(0.6, 2, 3, 3); // connector types
+        kit.loopEnd(right, 2, 3, 9);
+        kit.loopEnd(left, 2, 3, 9);
+        kit.ret(2);
+    }
+
+    const FuncId count = kit.beginFunction("count");
+    {
+        auto span = kit.loopBegin(5);
+        kit.callFromTwoSites(0.15, 2, 2, matchScan);
+        kit.callFromTwoSites(0.15, 2, 2, match);
+        kit.diamond(0.5, 2, 3, 3);     // unbiased: link formed?
+        kit.callIf(0.9, 2, 2, regionScan);
+        kit.loopEnd(span, 2, 8, 24);
+        kit.ret(3);
+    }
+
+    const FuncId expressionPrune = kit.beginFunction("expression_prune");
+    {
+        auto rounds = kit.loopBegin(4);
+        kit.call(2, powerPrune);
+        kit.ifThen(0.6, 2, 3); // fixed point reached?
+        kit.loopEnd(rounds, 2, 2, 5);
+        kit.ret(2);
+    }
+
+    KernelSpec tokenSpec;              // sentence tokenizer
+    tokenSpec.bodyInsts = 4;
+    tokenSpec.tripMin = 10;
+    tokenSpec.tripMax = 25;
+    tokenSpec.biasedSkipProb = 0.88;
+    tokenSpec.rareCallee = cold[0];
+    const FuncId tokenize = makeKernel(kit, "separate_sentence", tokenSpec);
+
+    kit.beginFunction("main");
+    {
+        auto sentences = kit.loopBegin(5);
+        kit.callFromTwoSites(0.15, 2, 2, tokenize);
+        auto words = kit.loopBegin(4);
+        kit.callFromTwoSites(0.15, 2, 2, dictLookup);
+        kit.loopEnd(words, 2, 8, 20);
+        kit.callFromTwoSites(0.15, 2, 2, expressionPrune);
+        kit.call(2, count);
+        kit.callIf(0.95, 2, 2, cold[1]);
+        kit.callIf(0.97, 2, 2, cold[2]);
+        kit.callIf(0.99, 2, 2, cold[3]);
+        kit.loopForever(sentences, 3);
+    }
+
+    return kit.build();
+}
+
+} // namespace rsel

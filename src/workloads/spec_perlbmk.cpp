@@ -1,0 +1,132 @@
+/**
+ * @file
+ * perlbmk: the Perl interpreter. The classic bytecode-dispatch
+ * shape: a hot runloop whose indirect jump fans out to many opcode
+ * handlers with a flattish frequency distribution, every handler
+ * rejoining the dispatch head — a dense split/rejoin structure that
+ * single-path traces fragment and trace combination repairs. Heavy
+ * handlers (string ops, hashes, regex) contain their own loops and
+ * call shared runtime helpers.
+ */
+
+#include "workloads/workload_motifs.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rsel {
+
+Program
+buildPerlbmk(std::uint64_t seed)
+{
+    WorkloadKit kit(seed);
+
+    const auto cold = makeColdPeriphery(kit, "perl", 4);
+
+    // Runtime helpers.
+    const FuncId svNew = makeLeaf(kit, "newSV", 5, false);
+    KernelSpec growSpec;
+    growSpec.bodyInsts = 4;
+    growSpec.tripMin = 2;
+    growSpec.tripMax = 8;
+    growSpec.biasedSkipProb = 0.6;
+    const FuncId svGrow = makeKernel(kit, "sv_grow", growSpec);
+
+    KernelSpec hashSpec;
+    hashSpec.bodyInsts = 4;
+    hashSpec.tripMin = 2;
+    hashSpec.tripMax = 7;
+    hashSpec.biasedSkipProb = 0.65;
+    const FuncId hvFetch = makeKernel(kit, "hv_fetch", hashSpec);
+
+    KernelSpec cmpSpec;
+    cmpSpec.bodyInsts = 3;
+    cmpSpec.tripMin = 4;
+    cmpSpec.tripMax = 16;
+    cmpSpec.biasedSkipProb = 0.9;
+    const FuncId svCmp = makeKernel(kit, "sv_cmp", cmpSpec);
+
+    KernelSpec regexSpec;              // the regex engine inner loop
+    regexSpec.bodyInsts = 5;
+    regexSpec.tripMin = 10;
+    regexSpec.tripMax = 40;
+    regexSpec.biasedSkipProb = 0.85;
+    regexSpec.nestedInner = true;      // backtracking
+    regexSpec.rareCallee = cold[0];
+    const FuncId regmatch = makeKernel(kit, "regmatch", regexSpec);
+
+    KernelSpec concatSpec;             // string concat/copy loop
+    concatSpec.bodyInsts = 4;
+    concatSpec.tripMin = 8;
+    concatSpec.tripMax = 30;
+    concatSpec.biasedSkipProb = 0.95;
+    concatSpec.callee = svGrow;
+    concatSpec.calleeSkipProb = 0.8;
+    const FuncId svCat = makeKernel(kit, "sv_catsv", concatSpec);
+
+    const FuncId runops = kit.beginFunction("runops_standard");
+    {
+        auto dispatch = kit.loopBegin(4); // the runloop head
+
+        ProgramBuilder &b = kit.builder();
+        const BlockId sw = kit.straight(3);
+        std::vector<BlockId> cases;
+        std::vector<double> weights;
+        // 18 opcode handlers; helpers distributed across them.
+        const FuncId helperFor[] = {svNew, svGrow,  hvFetch,
+                                    svCmp, regmatch, svCat};
+        for (unsigned i = 0; i < 18; ++i) {
+            const BlockId c = b.block(3 + i % 4);
+            cases.push_back(c);
+            weights.push_back(2.0 - (i % 6) * 0.25);
+            switch (i % 4) {
+              case 0: // simple handler: straight to the join
+                kit.joinNext(c);
+                break;
+              case 1: { // handler calling a runtime helper
+                b.callTo(c, helperFor[i % 6]);
+                const BlockId after = b.block(2);
+                kit.joinNext(after);
+                break;
+              }
+              case 2: { // handler with an unbiased type check
+                const BlockId arm = b.block(3); // c falls through
+                kit.joinNext(arm);
+                const BlockId other = b.block(2); // c's taken side
+                b.condTo(c, other, CondBehavior::bernoulli(0.5));
+                kit.joinNext(other);
+                break;
+              }
+              default: { // heavy handler: helper then a scan loop
+                b.callTo(c, helperFor[(i + 3) % 6]);
+                const BlockId scanHead = b.block(3);
+                const BlockId scanLatch = b.block(2);
+                b.loopTo(scanLatch, scanHead, 3, 9);
+                const BlockId after = b.block(1);
+                kit.joinNext(after);
+                break;
+              }
+            }
+        }
+        IndirectBehavior ib;
+        ib.targets = cases;
+        ib.weightsByPhase = {std::move(weights)};
+        b.indirectJump(sw, std::move(ib));
+
+        // All handlers rejoin here, then loop back to dispatch.
+        kit.loopEnd(dispatch, 3, 300, 800);
+        kit.ret(2);
+    }
+
+    kit.beginFunction("main");
+    {
+        auto scripts = kit.loopBegin(5);
+        kit.call(3, runops);
+        kit.callIf(0.95, 2, 2, cold[1]);
+        kit.callIf(0.97, 2, 2, cold[2]);
+        kit.callIf(0.99, 2, 2, cold[3]);
+        kit.loopForever(scripts, 3);
+    }
+
+    return kit.build();
+}
+
+} // namespace rsel

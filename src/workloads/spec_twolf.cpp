@@ -1,0 +1,106 @@
+/**
+ * @file
+ * twolf: standard-cell placement by simulated annealing. The
+ * accept/reject decision at the heart of the annealer is the
+ * textbook unbiased branch (paper Figure 4): both outcomes are
+ * frequent, lead through different bookkeeping, and rejoin at the
+ * next move. Cost evaluation runs through a chain of small
+ * functions on the dominant path, giving interprocedural cycles.
+ */
+
+#include "workloads/workload_motifs.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rsel {
+
+Program
+buildTwolf(std::uint64_t seed)
+{
+    WorkloadKit kit(seed);
+
+    const auto cold = makeColdPeriphery(kit, "twolf", 4);
+    const FuncId rngLeaf = makeLeaf(kit, "yacm_random", 4, false);
+
+    KernelSpec netSpec;                // per-net bounding-box cost
+    netSpec.bodyInsts = 8;             // dimbox work inlined
+    netSpec.tripMin = 3;
+    netSpec.tripMax = 9;
+    netSpec.unbiasedProb = 0.5;        // pin moved left/right
+    netSpec.biasedSkipProb = 0.0;
+    const FuncId newDbox = makeKernel(kit, "new_dbox", netSpec);
+
+    KernelSpec overlapSpec;            // row-overlap penalty scan
+    overlapSpec.bodyInsts = 4;
+    overlapSpec.tripMin = 4;
+    overlapSpec.tripMax = 10;
+    overlapSpec.biasedSkipProb = 0.75;
+    const FuncId newOld = makeKernel(kit, "new_old", overlapSpec);
+
+    const FuncId pickCell = kit.beginFunction("pick_cell");
+    {
+        kit.call(2, rngLeaf);
+        kit.ifThen(0.7, 2, 3); // retry pick
+        kit.ret(2);
+    }
+
+    const FuncId acceptFn = kit.beginFunction("accept_func");
+    {
+        kit.callFromTwoSites(0.15, 2, 2, rngLeaf);
+        kit.diamond(0.5, 3, 3, 3); // Boltzmann test
+        kit.ret(2);
+    }
+
+    const FuncId uCellSwap = kit.beginFunction("ucxx2");
+    {
+        kit.callFromTwoSites(0.15, 2, 2, pickCell);
+        auto nets = kit.loopBegin(4);  // nets touched by the move
+        kit.callFromTwoSites(0.15, 2, 2, newDbox);          // dominant-path call
+        kit.loopEnd(nets, 2, 3, 10);
+        kit.call(2, newOld);
+        kit.callFromTwoSites(0.15, 2, 2, acceptFn);
+        // THE unbiased branch: accept vs reject, both hot, both
+        // rejoining at the return.
+        kit.diamond(0.5, 3, 6, 6);
+        kit.callIf(0.97, 2, 2, cold[0]);
+        kit.ret(3);
+    }
+
+    const FuncId uCellMove = kit.beginFunction("ucxx1");
+    {
+        kit.callFromTwoSites(0.15, 2, 2, pickCell);
+        auto nets = kit.loopBegin(4);
+        kit.callFromTwoSites(0.15, 2, 2, newDbox);
+        kit.loopEnd(nets, 2, 2, 7);
+        kit.call(2, acceptFn);
+        kit.diamond(0.5, 3, 5, 5);
+        kit.ret(3);
+    }
+
+    KernelSpec penaltySpec;            // row-penalty recompute
+    penaltySpec.bodyInsts = 4;
+    penaltySpec.tripMin = 20;
+    penaltySpec.tripMax = 50;
+    penaltySpec.biasedSkipProb = 0.92;
+    penaltySpec.nestedInner = true;    // per-row inner scan
+    penaltySpec.rareCallee = cold[1];
+    const FuncId rowPenalty = makeKernel(kit, "row_penalty", penaltySpec);
+
+    kit.beginFunction("main");
+    {
+        auto temps = kit.loopBegin(5);  // temperature schedule
+        auto moves = kit.loopBegin(4);  // moves per temperature
+        kit.diamond(0.4, 2, 2, 2);      // swap vs displace
+        kit.callFromTwoSites(0.15, 2, 2, uCellSwap);
+        kit.callIf(0.5, 2, 2, uCellMove);
+        kit.loopEnd(moves, 2, 60, 160);
+        kit.callFromTwoSites(0.15, 2, 2, rowPenalty);
+        kit.straight(4);                // cooling bookkeeping
+        kit.callIf(0.95, 2, 2, cold[2]);
+        kit.callIf(0.98, 2, 2, cold[3]);
+        kit.loopForever(temps, 3);
+    }
+
+    return kit.build();
+}
+
+} // namespace rsel

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * vortex: object-oriented database. Deep call chains through the
+ * object-management layers (Mem, Chunk, Obj, Grp, Prim) with
+ * validation diamonds at each layer, three transaction phases with
+ * different operation mixes, and moderately biased branches
+ * throughout. The layered calls create many related traces; in the
+ * paper vortex is the one benchmark where combined NET's region
+ * transitions rose slightly, because T_min pruning shortens the
+ * selected paths.
+ */
+
+#include "workloads/workload_motifs.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rsel {
+
+Program
+buildVortex(std::uint64_t seed)
+{
+    WorkloadKit kit(seed);
+
+    const auto cold = makeColdPeriphery(kit, "vortex", 5);
+
+    // Layer 0: memory.
+    const FuncId memGet = makeLeaf(kit, "Mem_GetWord", 4, false);
+    KernelSpec pageSpec;
+    pageSpec.bodyInsts = 4;
+    pageSpec.tripMin = 2;
+    pageSpec.tripMax = 6;
+    pageSpec.biasedSkipProb = 0.85; // page resident?
+    const FuncId pageIn = makeKernel(kit, "Mem_PageIn", pageSpec);
+
+    // Layer 1: chunks.
+    const FuncId chunkCheck = kit.beginFunction("Chunk_ChkGetChunk");
+    {
+        kit.call(2, memGet);
+        kit.diamond(0.7, 2, 3, 3); // chunk status
+        kit.callIf(0.9, 2, 2, pageIn);
+        kit.ret(2);
+    }
+
+    // Layer 2: objects.
+    const FuncId objValidate = kit.beginFunction("Obj_Validate");
+    {
+        kit.callFromTwoSites(0.15, 2, 2, chunkCheck);
+        kit.ifThen(0.6, 2, 4);  // attribute check
+        kit.ifThen(0.5, 2, 3);  // unbiased type check
+        kit.ret(2);
+    }
+
+    KernelSpec fieldSpec;              // per-field copy loop
+    fieldSpec.bodyInsts = 4;
+    fieldSpec.tripMin = 4;
+    fieldSpec.tripMax = 12;
+    fieldSpec.callee = memGet;
+    fieldSpec.biasedSkipProb = 0.9;
+    const FuncId objCopy = makeKernel(kit, "Obj_CopyFields", fieldSpec);
+
+    // Layer 3: groups.
+    const FuncId grpEnter = kit.beginFunction("Grp_Enter");
+    {
+        kit.callFromTwoSites(0.15, 2, 2, objValidate);
+        auto members = kit.loopBegin(4); // member-list walk
+        kit.callFromTwoSites(0.15, 2, 2, memGet);
+        kit.ifThen(0.8, 2, 2);
+        kit.loopEnd(members, 2, 3, 9);
+        kit.ret(2);
+    }
+
+    KernelSpec treeSpec;               // index-tree descent
+    treeSpec.bodyInsts = 5;
+    treeSpec.tripMin = 3;
+    treeSpec.tripMax = 8;
+    treeSpec.callee = chunkCheck;
+    treeSpec.nestedInner = true;       // per-node key scan
+    treeSpec.biasedSkipProb = 0.7;
+    const FuncId treeWalk = makeKernel(kit, "Tree_Descend", treeSpec);
+
+    // Layer 4: primitives (transactions).
+    const FuncId primInsert = kit.beginFunction("Prim_Insert");
+    {
+        kit.call(3, grpEnter);
+        kit.callFromTwoSites(0.15, 2, 2, objCopy);
+        kit.diamond(0.55, 2, 4, 3);
+        kit.callFromTwoSites(0.15, 2, 2, chunkCheck);
+        kit.callIf(0.96, 2, 2, cold[0]);
+        kit.ret(2);
+    }
+
+    const FuncId primLookup = kit.beginFunction("Prim_Lookup");
+    {
+        kit.callFromTwoSites(0.15, 2, 2, treeWalk);
+        kit.call(2, objValidate);
+        kit.ifThen(0.65, 2, 3);
+        kit.ret(2);
+    }
+
+    const FuncId primDelete = kit.beginFunction("Prim_Delete");
+    {
+        kit.callFromTwoSites(0.15, 2, 2, primLookup);
+        kit.callFromTwoSites(0.15, 2, 2, grpEnter);
+        kit.diamond(0.5, 2, 3, 3);
+        kit.callIf(0.9, 2, 2, objCopy);
+        kit.callIf(0.97, 2, 2, cold[1]);
+        kit.ret(2);
+    }
+
+    const FuncId primUpdate = kit.beginFunction("Prim_Update");
+    {
+        kit.callFromTwoSites(0.15, 2, 2, primLookup);
+        kit.call(2, objCopy);
+        kit.ifThen(0.7, 2, 4);
+        kit.ret(2);
+    }
+
+    kit.beginFunction("main");
+    {
+        auto txns = kit.loopBegin(5);
+        // Transaction mix shifts across the three phases.
+        ProgramBuilder &b = kit.builder();
+        const BlockId pick = kit.straight(3);
+        const BlockId insSite = b.block(2);
+        b.callTo(insSite, primInsert);
+        const BlockId insDone = b.block(1);
+        kit.joinNext(insDone);
+        const BlockId lookSite = b.block(2);
+        b.callTo(lookSite, primLookup);
+        const BlockId lookDone = b.block(1);
+        kit.joinNext(lookDone);
+        const BlockId updSite = b.block(2);
+        b.callTo(updSite, primUpdate);
+        const BlockId updDone = b.block(1);
+        kit.joinNext(updDone);
+        const BlockId delSite = b.block(2);
+        b.callTo(delSite, primDelete);
+        IndirectBehavior ib;
+        ib.targets = {insSite, lookSite, updSite, delSite};
+        ib.weightsByPhase = {{6.0, 3.0, 2.0, 1.0},
+                             {1.0, 8.0, 3.0, 1.0},
+                             {2.0, 3.0, 3.0, 5.0}};
+        b.indirectJump(pick, std::move(ib));
+        // delSite's return continues into the join below.
+        kit.callIf(0.95, 2, 2, cold[2]);
+        kit.callIf(0.98, 2, 2, cold[3]);
+        kit.callIf(0.99, 2, 2, cold[4]);
+        kit.loopForever(txns, 3);
+    }
+
+    kit.setPhaseLengths({350'000, 350'000, 350'000});
+    return kit.build();
+}
+
+} // namespace rsel

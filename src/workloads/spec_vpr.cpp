@@ -1,0 +1,134 @@
+/**
+ * @file
+ * vpr: FPGA placement and routing. Two distinct program phases —
+ * annealing placement, then maze routing — each with its own family
+ * of hot loops, switched by a phase-biased dispatch branch. Cost
+ * computation runs through calls on the dominant paths; the
+ * accept/reject comparison is near-unbiased; routing has wavefront
+ * loops with early exits.
+ */
+
+#include "workloads/workload_motifs.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rsel {
+
+Program
+buildVpr(std::uint64_t seed)
+{
+    WorkloadKit kit(seed);
+
+    const auto cold = makeColdPeriphery(kit, "vpr", 4);
+
+    // Shared leaves.
+    const FuncId rngLeaf = makeLeaf(kit, "my_irand", 4, false);
+
+    // --- Placement side -------------------------------------------------
+    KernelSpec bboxSpec;              // per-net bounding-box update
+    bboxSpec.bodyInsts = 9;           // bb-cost work inlined
+    bboxSpec.tripMin = 4;
+    bboxSpec.tripMax = 12;
+    bboxSpec.biasedSkipProb = 0.9;
+    const FuncId netCost = makeKernel(kit, "comp_delta_cost", bboxSpec);
+
+    KernelSpec timingSpec;            // timing-driven cost terms
+    timingSpec.bodyInsts = 6;
+    timingSpec.tripMin = 6;
+    timingSpec.tripMax = 16;
+    timingSpec.biasedSkipProb = 0.92;
+    const FuncId timingCost = makeKernel(kit, "comp_td_cost", timingSpec);
+
+    const FuncId trySwap = kit.beginFunction("try_swap");
+    {
+        kit.call(3, rngLeaf);          // pick two blocks
+        kit.callFromTwoSites(0.15, 2, 3, netCost);          // dominant-path calls
+        kit.callFromTwoSites(0.15, 2, 2, timingCost);
+        kit.diamond(0.45, 3, 5, 5);    // accept vs reject (unbiased)
+        kit.callIf(0.96, 2, 2, cold[0]);
+        kit.ret(2);
+    }
+
+    KernelSpec recomputeSpec;         // periodic cost recompute
+    recomputeSpec.bodyInsts = 5;
+    recomputeSpec.tripMin = 20;
+    recomputeSpec.tripMax = 50;
+    recomputeSpec.nestedInner = true;
+    const FuncId recompute =
+        makeKernel(kit, "recompute_cost", recomputeSpec);
+
+    // --- Routing side ----------------------------------------------------
+    const FuncId heapLeaf = makeLeaf(kit, "heap_push", 5, false);
+
+    KernelSpec expandSpec;            // wavefront neighbour expansion
+    expandSpec.bodyInsts = 5;
+    expandSpec.tripMin = 3;
+    expandSpec.tripMax = 7;
+    expandSpec.biasedSkipProb = 0.6;  // visited check
+    expandSpec.callee = heapLeaf;
+    const FuncId expand = makeKernel(kit, "expand_neighbours", expandSpec);
+
+    const FuncId routeNet = kit.beginFunction("route_net");
+    {
+        auto wave = kit.loopBegin(5);   // maze expansion
+        kit.callFromTwoSites(0.15, 2, 3, expand);            // interprocedural cycle
+        kit.ifThen(0.85, 2, 4);         // sink reached early?
+        kit.loopEnd(wave, 3, 15, 45);
+        auto traceback = kit.loopBegin(4);
+        kit.loopEnd(traceback, 2, 6, 14);
+        kit.ret(3);
+    }
+
+    KernelSpec ripupSpec;             // rip-up and retry bookkeeping
+    ripupSpec.bodyInsts = 4;
+    ripupSpec.tripMin = 8;
+    ripupSpec.tripMax = 20;
+    ripupSpec.biasedSkipProb = 0.9;
+    ripupSpec.rareCallee = cold[1];
+    const FuncId ripup = makeKernel(kit, "ripup_net", ripupSpec);
+
+    KernelSpec congSpec;              // congestion cost update
+    congSpec.bodyInsts = 4;
+    congSpec.tripMin = 30;
+    congSpec.tripMax = 60;
+    congSpec.biasedSkipProb = 0.94;
+    const FuncId congestion =
+        makeKernel(kit, "update_congestion", congSpec);
+
+    kit.beginFunction("main");
+    {
+        auto outer = kit.loopBegin(5);
+        ProgramBuilder &b = kit.builder();
+        const BlockId dispatch = kit.straight(3);
+
+        // Placement burst.
+        const BlockId placeSite = b.block(2);
+        b.callTo(placeSite, trySwap);
+        const BlockId placeLatch = b.block(3);
+        b.loopTo(placeLatch, placeSite, 25, 60);
+        const BlockId placeEnd = b.block(2);
+        b.callTo(placeEnd, recompute);
+        const BlockId placeExit = b.block(1);
+        kit.joinNext(placeExit);
+
+        // Routing burst.
+        const BlockId routeSite = b.block(2);
+        b.callTo(routeSite, routeNet);
+        const BlockId routeMid = b.block(2);
+        b.callTo(routeMid, ripup);
+        const BlockId routeLatch = b.block(3);
+        b.loopTo(routeLatch, routeSite, 8, 20);
+        const BlockId routeEnd = b.block(2);
+        b.callTo(routeEnd, congestion);
+
+        // Phase 0 places, phase 1 routes.
+        b.condTo(dispatch, routeSite, CondBehavior::phased({0.02, 0.98}));
+        kit.callIf(0.97, 2, 2, cold[2]);
+        kit.callIf(0.985, 2, 2, cold[3]);
+        kit.loopForever(outer, 3);
+    }
+
+    kit.setPhaseLengths({500'000, 500'000});
+    return kit.build();
+}
+
+} // namespace rsel

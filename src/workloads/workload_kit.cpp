@@ -1,0 +1,203 @@
+#include "workloads/workload_kit.hpp"
+
+#include "support/error.hpp"
+
+namespace rsel {
+
+WorkloadKit::WorkloadKit(std::uint64_t seed)
+    : builder_(seed)
+{}
+
+FuncId
+WorkloadKit::beginFunction(const std::string &name)
+{
+    RSEL_ASSERT(pendingJoins_.empty() && pendingSkips_.empty(),
+                "unresolved joins at function boundary");
+    return builder_.beginFunction(name);
+}
+
+BlockId
+WorkloadKit::newBlock(unsigned ninsts)
+{
+    const BlockId id = builder_.block(ninsts);
+    for (BlockId src : pendingJoins_)
+        builder_.jumpTo(src, id);
+    pendingJoins_.clear();
+    for (const PendingSkip &skip : pendingSkips_)
+        builder_.condTo(skip.src, id,
+                        CondBehavior::bernoulli(skip.probTaken));
+    pendingSkips_.clear();
+    return id;
+}
+
+BlockId
+WorkloadKit::straight(unsigned ninsts)
+{
+    return newBlock(ninsts);
+}
+
+void
+WorkloadKit::diamond(double probElse, unsigned nSplit, unsigned nThen,
+                     unsigned nElse)
+{
+    const BlockId split = newBlock(nSplit);
+    const BlockId thenSide = builder_.block(nThen);
+    const BlockId elseSide = builder_.block(nElse);
+    builder_.condTo(split, elseSide, CondBehavior::bernoulli(probElse));
+    // The then-side jumps over the else-side to the join; the
+    // else-side falls through to the join (the next block created).
+    pendingJoins_.push_back(thenSide);
+}
+
+void
+WorkloadKit::ifThen(double probSkip, unsigned nSplit, unsigned nThen)
+{
+    const BlockId split = newBlock(nSplit);
+    builder_.block(nThen); // falls through to the join
+    // The split's taken direction skips the then-side; its target is
+    // the next block created, so the terminator is deferred.
+    pendingSkips_.push_back({split, probSkip});
+}
+
+WorkloadKit::LoopHandle
+WorkloadKit::loopBegin(unsigned nHead)
+{
+    LoopHandle handle;
+    handle.head = newBlock(nHead);
+    return handle;
+}
+
+void
+WorkloadKit::loopEnd(LoopHandle loop, unsigned nLatch,
+                     std::uint32_t trip_min, std::uint32_t trip_max)
+{
+    const BlockId latch = newBlock(nLatch);
+    builder_.loopTo(latch, loop.head, trip_min, trip_max);
+}
+
+void
+WorkloadKit::loopForever(LoopHandle loop, unsigned nLatch)
+{
+    const BlockId latch = newBlock(nLatch);
+    builder_.jumpTo(latch, loop.head);
+}
+
+void
+WorkloadKit::call(unsigned nBlock, FuncId callee)
+{
+    const BlockId site = newBlock(nBlock);
+    builder_.callTo(site, callee);
+}
+
+void
+WorkloadKit::callIf(double probSkip, unsigned nSplit, unsigned nSite,
+                    FuncId callee)
+{
+    const BlockId split = newBlock(nSplit);
+    const BlockId site = builder_.block(nSite);
+    builder_.callTo(site, callee);
+    // The callee returns to the site's fall-through — the join — and
+    // the split's taken direction skips straight to the same join.
+    pendingSkips_.push_back({split, probSkip});
+}
+
+void
+WorkloadKit::callFromTwoSites(double probB, unsigned nSplit,
+                              unsigned nSite, FuncId callee)
+{
+    const BlockId split = newBlock(nSplit);
+    const BlockId siteA = builder_.block(nSite); // fall-through side
+    builder_.callTo(siteA, callee);
+    const BlockId afterA = builder_.block(1);
+    pendingJoins_.push_back(afterA);
+    const BlockId siteB = builder_.block(nSite); // taken side
+    builder_.callTo(siteB, callee);
+    builder_.condTo(split, siteB, CondBehavior::bernoulli(probB));
+    // siteB's return lands on its fall-through — the join created
+    // by the next block, same place afterA jumps to.
+}
+
+void
+WorkloadKit::indirectCall(unsigned nBlock, std::vector<FuncId> callees,
+                          std::vector<double> weights)
+{
+    const BlockId site = newBlock(nBlock);
+    std::vector<BlockId> targets;
+    targets.reserve(callees.size());
+    for (FuncId f : callees)
+        targets.push_back(builder_.functionEntry(f));
+    IndirectBehavior ib;
+    ib.targets = std::move(targets);
+    ib.weightsByPhase = {std::move(weights)};
+    builder_.indirectCall(site, std::move(ib));
+}
+
+void
+WorkloadKit::switchStmt(unsigned nSwitch,
+                        const std::vector<unsigned> &caseSizes,
+                        std::vector<double> weights)
+{
+    RSEL_ASSERT(!caseSizes.empty(), "switch needs at least one case");
+    RSEL_ASSERT(caseSizes.size() == weights.size(),
+                "switch weights must match cases");
+    const BlockId sw = newBlock(nSwitch);
+    std::vector<BlockId> cases;
+    cases.reserve(caseSizes.size());
+    for (unsigned n : caseSizes) {
+        const BlockId c = builder_.block(n);
+        cases.push_back(c);
+        pendingJoins_.push_back(c); // every case jumps to the join
+    }
+    IndirectBehavior ib;
+    ib.targets = cases;
+    ib.weightsByPhase = {std::move(weights)};
+    builder_.indirectJump(sw, std::move(ib));
+}
+
+void
+WorkloadKit::joinNext(BlockId src)
+{
+    pendingJoins_.push_back(src);
+}
+
+void
+WorkloadKit::skipToNext(BlockId src, double probTaken)
+{
+    pendingSkips_.push_back({src, probTaken});
+}
+
+void
+WorkloadKit::ret(unsigned ninsts)
+{
+    const BlockId b = newBlock(ninsts);
+    builder_.ret(b);
+}
+
+void
+WorkloadKit::halt(unsigned ninsts)
+{
+    const BlockId b = newBlock(ninsts);
+    builder_.halt(b);
+}
+
+void
+WorkloadKit::setEntry(BlockId entry)
+{
+    builder_.setEntry(entry);
+}
+
+void
+WorkloadKit::setPhaseLengths(std::vector<std::uint64_t> lengths)
+{
+    builder_.setPhaseLengths(std::move(lengths));
+}
+
+Program
+WorkloadKit::build()
+{
+    RSEL_ASSERT(pendingJoins_.empty() && pendingSkips_.empty(),
+                "unresolved joins at end of program");
+    return builder_.build();
+}
+
+} // namespace rsel

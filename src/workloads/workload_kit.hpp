@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Motif-level construction kit for synthetic workloads.
+ *
+ * Wraps ProgramBuilder with the control-flow motifs the SPEC-like
+ * suite is assembled from: straight-line runs, if/else diamonds with
+ * a configurable taken probability, counted loops, calls, indirect
+ * dispatch, and interpreter-style switches. Motifs append blocks in
+ * layout order; a motif whose paths rejoin defers the join target to
+ * the next block created, so workloads read top-to-bottom like the
+ * code they imitate.
+ */
+
+#ifndef RSEL_WORKLOADS_WORKLOAD_KIT_HPP
+#define RSEL_WORKLOADS_WORKLOAD_KIT_HPP
+
+#include <string>
+#include <vector>
+
+#include "program/program_builder.hpp"
+
+namespace rsel {
+
+/** Fluent workload construction over ProgramBuilder. */
+class WorkloadKit
+{
+  public:
+    /** Handle for closing a loop opened with loopBegin(). */
+    struct LoopHandle
+    {
+        BlockId head = invalidBlock;
+    };
+
+    /** @param seed seed for instruction-size synthesis. */
+    explicit WorkloadKit(std::uint64_t seed = 1);
+
+    /** Direct access for constructs the motifs do not cover. */
+    ProgramBuilder &builder() { return builder_; }
+
+    /** Begin a function; subsequent motifs build its body. */
+    FuncId beginFunction(const std::string &name);
+
+    /**
+     * Append one straight-line block (resolving pending joins).
+     * @return the block id.
+     */
+    BlockId straight(unsigned ninsts);
+
+    /**
+     * Append an if/else diamond. Layout: split, then-side,
+     * else-side; both sides rejoin at the next block created.
+     * @param probElse probability of branching to the else side
+     *                 (0.5 models the paper's unbiased branch).
+     */
+    void diamond(double probElse, unsigned nSplit, unsigned nThen,
+                 unsigned nElse);
+
+    /**
+     * Append an if-then (no else): the split either falls into the
+     * then-side or branches past it to the next block created.
+     * @param probSkip probability of skipping the then-side.
+     */
+    void ifThen(double probSkip, unsigned nSplit, unsigned nThen);
+
+    /** Open a counted loop; its head is the next block. */
+    LoopHandle loopBegin(unsigned nHead);
+
+    /**
+     * Close a loop with a latch drawing trip counts uniformly from
+     * [tripMin, tripMax]; execution continues after the latch.
+     */
+    void loopEnd(LoopHandle loop, unsigned nLatch,
+                 std::uint32_t trip_min, std::uint32_t trip_max);
+
+    /** Close a loop with an unconditional back edge (no exit). */
+    void loopForever(LoopHandle loop, unsigned nLatch);
+
+    /** Append a block that calls `callee` and continues after it. */
+    void call(unsigned nBlock, FuncId callee);
+
+    /**
+     * Append a conditional call: with probability `probSkip` the
+     * split branches past the call site to the next block created;
+     * otherwise it falls into the site, calls `callee`, and returns
+     * to the same join.
+     */
+    void callIf(double probSkip, unsigned nSplit, unsigned nSite,
+                FuncId callee);
+
+    /**
+     * Append a call made from two distinct sites: a split picks one
+     * of two call-site blocks (probability `probB` for the second),
+     * both invoking `callee` and rejoining at the next block. Models
+     * functions invoked from multiple hot places — the callee's
+     * entry gains a second executed predecessor, which blocks the
+     * exit-domination condition (paper Section 4.1).
+     */
+    void callFromTwoSites(double probB, unsigned nSplit,
+                          unsigned nSite, FuncId callee);
+
+    /**
+     * Append a block making a weighted indirect call to the entry of
+     * one of `callees` and continuing after it (virtual dispatch).
+     */
+    void indirectCall(unsigned nBlock, std::vector<FuncId> callees,
+                      std::vector<double> weights);
+
+    /**
+     * Append an interpreter-style switch: an indirect jump over
+     * `caseSizes.size()` case blocks, all rejoining at the next
+     * block created.
+     */
+    void switchStmt(unsigned nSwitch,
+                    const std::vector<unsigned> &caseSizes,
+                    std::vector<double> weights);
+
+    /**
+     * For hand-built constructs: make `src` (currently without a
+     * terminator) jump to the next block created by the kit.
+     */
+    void joinNext(BlockId src);
+
+    /**
+     * For hand-built constructs: make `src` a conditional whose
+     * taken target is the next block created by the kit.
+     */
+    void skipToNext(BlockId src, double probTaken);
+
+    /** Append a returning block (ends the current function body). */
+    void ret(unsigned ninsts);
+
+    /** Append a halting block. */
+    void halt(unsigned ninsts);
+
+    /** Set the program entry block. */
+    void setEntry(BlockId entry);
+
+    /** Set the phase schedule (executed blocks per phase). */
+    void setPhaseLengths(std::vector<std::uint64_t> lengths);
+
+    /** Finalize the program. */
+    Program build();
+
+  private:
+    /** A conditional whose taken target is the next block created. */
+    struct PendingSkip
+    {
+        BlockId src = invalidBlock;
+        double probTaken = 0.0;
+    };
+
+    /** Create a block, resolving all pending joins onto it. */
+    BlockId newBlock(unsigned ninsts);
+
+    ProgramBuilder builder_;
+    std::vector<BlockId> pendingJoins_;
+    std::vector<PendingSkip> pendingSkips_;
+};
+
+} // namespace rsel
+
+#endif // RSEL_WORKLOADS_WORKLOAD_KIT_HPP

@@ -1,0 +1,129 @@
+#include "workloads/workload_motifs.hpp"
+
+namespace rsel {
+
+FuncId
+makeKernel(WorkloadKit &kit, const std::string &name,
+           const KernelSpec &spec)
+{
+    const FuncId f = kit.beginFunction(name);
+    ProgramBuilder &b = kit.builder();
+    if (spec.preInsts > 0)
+        kit.straight(spec.preInsts);
+
+    auto loop = kit.loopBegin(spec.bodyInsts);
+
+    // The biased branches are modelled as `continue` statements:
+    // two splits in the body share one arm that jumps back to the
+    // loop head. Sharing gives the arm two executed predecessors,
+    // as compiler-generated code typically has, which keeps
+    // exit-domination rates realistic (a single-predecessor arm
+    // trace is exit-dominated by construction).
+    std::vector<BlockId> continueSplits;
+
+    if (spec.nestedInner) {
+        auto inner = kit.loopBegin(3);
+        kit.loopEnd(inner, 2, spec.innerTripMin, spec.innerTripMax);
+    }
+    if (spec.biasedSkipProb > 0.0)
+        continueSplits.push_back(kit.straight(2));
+    if (spec.callee != invalidFunc) {
+        if (spec.calleeSkipProb > 0.0)
+            kit.callIf(spec.calleeSkipProb, 2, 2, spec.callee);
+        else
+            kit.callFromTwoSites(0.15, 2, 2, spec.callee);
+    }
+    if (spec.unbiasedProb > 0.0)
+        kit.diamond(spec.unbiasedProb, 2, 4, 4);
+    if (spec.biasedSkipProb > 0.0)
+        continueSplits.push_back(kit.straight(2));
+    if (spec.rareCallee != invalidFunc)
+        kit.callIf(0.97, 2, 2, spec.rareCallee);
+
+    kit.loopEnd(loop, 2, spec.tripMin, spec.tripMax);
+    kit.ret(spec.retInsts);
+
+    if (!continueSplits.empty()) {
+        // The shared arm sits after the return, out of the
+        // fall-through chain, and loops back to the head.
+        const BlockId arm = b.block(spec.biasedArmInsts);
+        b.jumpTo(arm, loop.head);
+        for (BlockId split : continueSplits) {
+            b.condTo(split, arm,
+                     CondBehavior::bernoulli(1.0 -
+                                             spec.biasedSkipProb));
+        }
+    }
+    return f;
+}
+
+FuncId
+makeLeaf(WorkloadKit &kit, const std::string &name, unsigned insts,
+         bool with_loop)
+{
+    const FuncId f = kit.beginFunction(name);
+    if (with_loop) {
+        kit.straight(insts > 2 ? insts / 2 : 1);
+        auto l = kit.loopBegin(3);
+        kit.loopEnd(l, 2, 2, 6);
+        kit.ret(2);
+    } else {
+        kit.ret(insts);
+    }
+    return f;
+}
+
+FuncId
+makeColdUtil(WorkloadKit &kit, const std::string &name,
+             unsigned variant)
+{
+    const FuncId f = kit.beginFunction(name);
+    switch (variant % 4) {
+      case 0: { // error formatting: loop over a message buffer
+        kit.straight(6);
+        auto l = kit.loopBegin(4);
+        kit.ifThen(0.6, 2, 3);
+        kit.loopEnd(l, 2, 8, 24);
+        break;
+      }
+      case 1: { // allocation slow path: chained checks then a scan
+        kit.ifThen(0.5, 3, 4);
+        kit.ifThen(0.5, 3, 4);
+        auto l = kit.loopBegin(3);
+        kit.loopEnd(l, 2, 4, 12);
+        break;
+      }
+      case 2: { // statistics dump: two sequential loops
+        auto l1 = kit.loopBegin(4);
+        kit.loopEnd(l1, 2, 5, 10);
+        auto l2 = kit.loopBegin(3);
+        kit.ifThen(0.7, 2, 2);
+        kit.loopEnd(l2, 2, 5, 10);
+        break;
+      }
+      default: { // table rebuild: nested cold loops
+        auto outer = kit.loopBegin(4);
+        auto inner = kit.loopBegin(3);
+        kit.loopEnd(inner, 2, 3, 7);
+        kit.loopEnd(outer, 2, 3, 7);
+        break;
+      }
+    }
+    kit.ret(3);
+    return f;
+}
+
+std::vector<FuncId>
+makeColdPeriphery(WorkloadKit &kit, const std::string &prefix,
+                  unsigned count)
+{
+    std::vector<FuncId> cold;
+    cold.reserve(count);
+    for (unsigned i = 0; i < count; ++i) {
+        cold.push_back(makeColdUtil(
+            kit, prefix + "_cold" + std::to_string(i), i));
+    }
+    return cold;
+}
+
+} // namespace rsel

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Parameterized generators for the recurring structures of the
+ * SPEC-like suite: hot kernels (loops with biased/unbiased branches,
+ * calls on the dominant path, optional inner loops), leaf helpers,
+ * and cold peripheral utilities.
+ *
+ * The paper's effects depend on structural properties the generators
+ * expose as knobs:
+ *  - a call on a loop's dominant path creates the interprocedural
+ *    cycle NET cannot span (Figure 2);
+ *  - a nested inner loop entered by fall-through recreates the
+ *    Figure 3 duplication pattern under NET;
+ *  - an unbiased diamond inside a loop body creates the Figure 4
+ *    tail-duplication pattern that trace combination repairs;
+ *  - cold utilities give NET profiling counters that LEI avoids
+ *    (their targets rarely sit in the history buffer — Figure 10).
+ */
+
+#ifndef RSEL_WORKLOADS_WORKLOAD_MOTIFS_HPP
+#define RSEL_WORKLOADS_WORKLOAD_MOTIFS_HPP
+
+#include <string>
+
+#include "workloads/workload_kit.hpp"
+
+namespace rsel {
+
+/** Specification of a generated hot-kernel function. */
+struct KernelSpec
+{
+    /** Straight-line instructions before the loop. */
+    unsigned preInsts = 4;
+    /** Loop trip-count range. */
+    std::uint32_t tripMin = 10;
+    std::uint32_t tripMax = 30;
+    /** Straight-line instructions at the loop head. */
+    unsigned bodyInsts = 5;
+    /**
+     * Probability of skipping the biased arm in the body (0 = no
+     * biased branch). Realistic hot loops are >= 0.9.
+     */
+    double biasedSkipProb = 0.95;
+    /** Instructions in the biased arm. */
+    unsigned biasedArmInsts = 3;
+    /**
+     * If positive, an if/else diamond with this else-probability is
+     * placed in the body (0.5 = the paper's unbiased branch).
+     */
+    double unbiasedProb = 0.0;
+    /** Callee invoked on the dominant path (invalidFunc = none). */
+    FuncId callee = invalidFunc;
+    /**
+     * Skip probability for the dominant-path call; 0 makes the call
+     * unconditional.
+     */
+    double calleeSkipProb = 0.0;
+    /** Rarely invoked callee (cold path), skip probability 0.97. */
+    FuncId rareCallee = invalidFunc;
+    /** Add a small inner loop at the top of the body (Figure 3). */
+    bool nestedInner = false;
+    /** Inner-loop trip-count range (when nestedInner). */
+    std::uint32_t innerTripMin = 3;
+    std::uint32_t innerTripMax = 8;
+    /** Instructions in the function's return block. */
+    unsigned retInsts = 3;
+};
+
+/** Generate a hot-kernel function from a spec. @return its id. */
+FuncId makeKernel(WorkloadKit &kit, const std::string &name,
+                  const KernelSpec &spec);
+
+/**
+ * Generate a small leaf helper: straight-line work, optionally a
+ * tiny loop, then return. Shared leaves called from many kernels
+ * model eon's constructor pattern.
+ */
+FuncId makeLeaf(WorkloadKit &kit, const std::string &name,
+                unsigned insts, bool with_loop);
+
+/**
+ * Generate a cold utility (error handling, allocation slow path,
+ * statistics dump): contains loops and branches but is reached
+ * rarely. `variant` varies the shape.
+ */
+FuncId makeColdUtil(WorkloadKit &kit, const std::string &name,
+                    unsigned variant);
+
+/**
+ * Attach a standard cold periphery to a workload: `count` cold
+ * utilities are created and returned so the caller can sprinkle
+ * rare call sites (kit.callIf with skip 0.97+) over its hot code.
+ */
+std::vector<FuncId> makeColdPeriphery(WorkloadKit &kit,
+                                      const std::string &prefix,
+                                      unsigned count);
+
+} // namespace rsel
+
+#endif // RSEL_WORKLOADS_WORKLOAD_MOTIFS_HPP

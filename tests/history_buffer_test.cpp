@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for LEI's circular branch-history buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "selection/history_buffer.hpp"
+#include "support/error.hpp"
+
+namespace rsel {
+namespace {
+
+HistoryBuffer::Entry
+entry(Addr src, Addr tgt, bool exitFlag = false)
+{
+    return {src, tgt, exitFlag};
+}
+
+TEST(HistoryBufferTest, InsertFindAndUpdate)
+{
+    HistoryBuffer buf(8);
+    EXPECT_TRUE(buf.empty());
+    EXPECT_FALSE(buf.find(0x100).has_value());
+
+    const auto s0 = buf.insert(entry(0x10, 0x100));
+    buf.setHashLocation(0x100, s0);
+    EXPECT_EQ(buf.size(), 1u);
+    ASSERT_TRUE(buf.find(0x100).has_value());
+    EXPECT_EQ(*buf.find(0x100), s0);
+    EXPECT_EQ(buf.at(s0).src, 0x10u);
+    EXPECT_FALSE(buf.at(s0).fromCacheExit);
+
+    // A second occurrence: find() sees the recorded location until
+    // the hash is repointed.
+    const auto s1 = buf.insert(entry(0x20, 0x100));
+    EXPECT_EQ(*buf.find(0x100), s0);
+    buf.setHashLocation(0x100, s1);
+    EXPECT_EQ(*buf.find(0x100), s1);
+}
+
+TEST(HistoryBufferTest, EvictionInvalidatesOldEntries)
+{
+    HistoryBuffer buf(4);
+    const auto s0 = buf.insert(entry(0x10, 0x100));
+    buf.setHashLocation(0x100, s0);
+    for (Addr a = 0; a < 4; ++a) {
+        const auto s = buf.insert(entry(0x20, 0x200 + a));
+        buf.setHashLocation(0x200 + a, s);
+    }
+    // 0x100's entry has been overwritten by the wrap.
+    EXPECT_FALSE(buf.find(0x100).has_value());
+    EXPECT_FALSE(buf.inWindow(s0));
+    EXPECT_EQ(buf.size(), 4u);
+}
+
+TEST(HistoryBufferTest, TruncateDropsSuffix)
+{
+    HistoryBuffer buf(8);
+    const auto s0 = buf.insert(entry(0x1, 0xA));
+    buf.setHashLocation(0xA, s0);
+    const auto s1 = buf.insert(entry(0x2, 0xB));
+    buf.setHashLocation(0xB, s1);
+    const auto s2 = buf.insert(entry(0x3, 0xC));
+    buf.setHashLocation(0xC, s2);
+
+    buf.truncateAfter(s0);
+    EXPECT_EQ(buf.size(), 1u);
+    EXPECT_TRUE(buf.inWindow(s0));
+    EXPECT_FALSE(buf.inWindow(s1));
+    EXPECT_FALSE(buf.inWindow(s2));
+    // Stale hash entries are rejected lazily.
+    EXPECT_FALSE(buf.find(0xB).has_value());
+    EXPECT_TRUE(buf.find(0xA).has_value());
+}
+
+TEST(HistoryBufferTest, ReuseAfterTruncationChecksContent)
+{
+    HistoryBuffer buf(8);
+    const auto s0 = buf.insert(entry(0x1, 0xA));
+    buf.setHashLocation(0xA, s0);
+    const auto s1 = buf.insert(entry(0x2, 0xB));
+    buf.setHashLocation(0xB, s1);
+    buf.truncateAfter(s0);
+
+    // The slot that held 0xB is re-filled by a different target;
+    // 0xB's stale hash entry must not match it.
+    const auto s2 = buf.insert(entry(0x3, 0xC));
+    buf.setHashLocation(0xC, s2);
+    EXPECT_EQ(s2, s1); // sequence numbers restart after the cut
+    EXPECT_FALSE(buf.find(0xB).has_value());
+    EXPECT_EQ(*buf.find(0xC), s2);
+}
+
+TEST(HistoryBufferTest, CacheExitFlagIsPreserved)
+{
+    HistoryBuffer buf(4);
+    const auto s = buf.insert(entry(0x9, 0x90, true));
+    EXPECT_TRUE(buf.at(s).fromCacheExit);
+}
+
+TEST(HistoryBufferTest, LastSeqTracksNewestEntry)
+{
+    HistoryBuffer buf(4);
+    buf.insert(entry(0x1, 0xA));
+    const auto s1 = buf.insert(entry(0x2, 0xB));
+    EXPECT_EQ(buf.lastSeq(), s1);
+}
+
+TEST(HistoryBufferTest, GuardsAgainstMisuse)
+{
+    HistoryBuffer buf(4);
+    EXPECT_THROW(buf.lastSeq(), PanicError);
+    EXPECT_THROW(buf.at(0), PanicError);
+    EXPECT_THROW(HistoryBuffer(0), PanicError);
+}
+
+} // namespace
+} // namespace rsel

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the instruction-cache model and the locality claim it
+ * measures: the paper's argument that trace separation degrades
+ * I-cache performance, which better region selection repairs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dynopt/dynopt_system.hpp"
+#include "runtime/icache.hpp"
+#include "support/error.hpp"
+#include "workloads/scenarios.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rsel {
+namespace {
+
+TEST(ICacheModelTest, ColdMissesThenHits)
+{
+    ICacheModel cache({1024, 64, 2});
+    EXPECT_EQ(cache.fetchRange(0, 64), 1u);  // cold miss
+    EXPECT_EQ(cache.fetchRange(0, 64), 0u);  // hit
+    EXPECT_EQ(cache.fetchRange(32, 64), 1u); // second line cold
+    EXPECT_EQ(cache.accesses(), 4u);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_DOUBLE_EQ(cache.missRate(), 0.5);
+}
+
+TEST(ICacheModelTest, RangeSpansLines)
+{
+    ICacheModel cache({1024, 64, 2});
+    // 130 bytes from 60 touches lines 0, 1, 2.
+    EXPECT_EQ(cache.fetchRange(60, 130), 3u);
+    EXPECT_EQ(cache.accesses(), 3u);
+}
+
+TEST(ICacheModelTest, LruEvictsLeastRecentlyUsed)
+{
+    // 2 sets, 2 ways, 64B lines: lines 0,2,4 map to set 0.
+    ICacheModel cache({256, 64, 2});
+    cache.fetchRange(0 * 64, 1);   // set0 way A
+    cache.fetchRange(2 * 64, 1);   // set0 way B
+    cache.fetchRange(0 * 64, 1);   // touch A
+    cache.fetchRange(4 * 64, 1);   // evicts B (LRU)
+    EXPECT_EQ(cache.fetchRange(0 * 64, 1), 0u); // A still present
+    EXPECT_EQ(cache.fetchRange(2 * 64, 1), 1u); // B was evicted
+}
+
+TEST(ICacheModelTest, WorkingSetWithinCapacityStopsMissing)
+{
+    ICacheModel cache({4096, 64, 2});
+    for (int round = 0; round < 10; ++round)
+        cache.fetchRange(0, 2048); // half the capacity, repeatedly
+    // Only the first round misses.
+    EXPECT_EQ(cache.misses(), 32u);
+    EXPECT_EQ(cache.accesses(), 320u);
+}
+
+TEST(ICacheModelTest, GeometryValidation)
+{
+    EXPECT_THROW(ICacheModel({100, 60, 2}), PanicError);  // line !pow2
+    EXPECT_THROW(ICacheModel({64, 64, 2}), PanicError);   // < one set
+    EXPECT_NO_THROW(ICacheModel({128, 64, 2}));           // one set
+}
+
+TEST(ICacheLocalityTest, SpanningTraceBeatsSplitTraces)
+{
+    // Figure 2 end-to-end: LEI's single spanning trace stays within
+    // one contiguous layout chunk; NET ping-pongs between two.
+    // With a tiny I-cache the separation becomes measurable misses.
+    Program p = buildInterproceduralCycle();
+    SimOptions opts;
+    opts.maxEvents = 120'000;
+    opts.seed = 9;
+    opts.icache = {128, 16, 1}; // 8 tiny lines, direct-mapped
+
+    SimResult net = simulate(p, Algorithm::Net, opts);
+    SimResult lei = simulate(p, Algorithm::Lei, opts);
+    EXPECT_GT(net.icacheAccesses, 0u);
+    EXPECT_LT(lei.icacheMissRate(), net.icacheMissRate());
+}
+
+TEST(ICacheLocalityTest, CombinationImprovesLocalityOnSuiteWorkload)
+{
+    Program p = buildTwolf(42);
+    SimOptions opts;
+    opts.maxEvents = 600'000;
+    opts.seed = 7;
+    opts.icache = {2048, 64, 2}; // scaled-down L1I
+
+    SimResult net = simulate(p, Algorithm::Net, opts);
+    SimResult clei = simulate(p, Algorithm::LeiCombined, opts);
+    EXPECT_LT(clei.icacheMissRate(), net.icacheMissRate());
+}
+
+} // namespace
+} // namespace rsel

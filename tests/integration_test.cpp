@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Integration tests: the full workload suite under all four
+ * algorithm configurations. Checks cross-metric invariants on every
+ * run and the paper's headline directions on suite aggregates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dynopt/dynopt_system.hpp"
+#include "support/stats.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rsel {
+namespace {
+
+constexpr std::uint64_t integrationEvents = 400'000;
+
+SimResult
+runOne(const WorkloadInfo &w, Algorithm algo)
+{
+    Program p = w.build(42);
+    SimOptions opts;
+    opts.maxEvents = integrationEvents;
+    opts.seed = 7;
+    SimResult r = simulate(p, algo, opts);
+    r.workload = w.name;
+    return r;
+}
+
+/** Invariants every run must satisfy, regardless of algorithm. */
+void
+checkInvariants(const SimResult &r)
+{
+    SCOPED_TRACE(r.workload + " / " + r.selector);
+    EXPECT_EQ(r.totalInsts, r.cachedInsts + r.interpretedInsts);
+    EXPECT_GE(r.hitRate(), 0.0);
+    EXPECT_LE(r.hitRate(), 1.0);
+    EXPECT_EQ(r.regions.size(), r.regionCount);
+    EXPECT_LE(r.coverSet90, r.regionCount);
+    EXPECT_LE(r.spanningRegions, r.regionCount);
+    EXPECT_LE(r.cycleTerminations, r.regionExecutions);
+    EXPECT_LE(r.exitDominatedRegions, r.regionCount);
+    EXPECT_LE(r.exitDominatedDupInsts, r.expansionInsts);
+    EXPECT_GE(r.estimatedCacheBytes, r.expansionBytes);
+
+    std::uint64_t insts = 0, stubs = 0, execs = 0;
+    for (const RegionStats &reg : r.regions) {
+        insts += reg.instCount;
+        stubs += reg.exitStubs;
+        execs += reg.executions;
+        EXPECT_GE(reg.instCount, reg.blockCount); // >=1 inst/block
+        EXPECT_LE(reg.cycleEnds, reg.executions);
+    }
+    EXPECT_EQ(insts, r.expansionInsts);
+    EXPECT_EQ(stubs, r.exitStubs);
+    EXPECT_EQ(execs, r.regionExecutions);
+}
+
+class IntegrationTest
+    : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(IntegrationTest, AllAlgorithmsSatisfyInvariants)
+{
+    const WorkloadInfo *w = findWorkload(GetParam());
+    ASSERT_NE(w, nullptr);
+    for (Algorithm algo : allAlgorithms) {
+        SimResult r = runOne(*w, algo);
+        checkInvariants(r);
+        // The paper's systems keep 98%+ of execution in the cache;
+        // with this test's short warm-up budget, demand 85%+ on
+        // every workload (gcc, the largest, warms up slowest — in
+        // the paper too it has the lowest hit rate).
+        EXPECT_GT(r.hitRate(), 0.85) << w->name << " under "
+                                     << algorithmName(algo);
+        EXPECT_GE(r.regionCount, 1u);
+    }
+}
+
+TEST_P(IntegrationTest, ResultsAreReproducible)
+{
+    const WorkloadInfo *w = findWorkload(GetParam());
+    SimResult a = runOne(*w, Algorithm::LeiCombined);
+    SimResult b = runOne(*w, Algorithm::LeiCombined);
+    EXPECT_EQ(a.regionCount, b.regionCount);
+    EXPECT_EQ(a.expansionInsts, b.expansionInsts);
+    EXPECT_EQ(a.regionTransitions, b.regionTransitions);
+    EXPECT_EQ(a.cachedInsts, b.cachedInsts);
+    EXPECT_EQ(a.coverSet90, b.coverSet90);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, IntegrationTest,
+    ::testing::Values("gzip", "vpr", "gcc", "mcf", "crafty", "parser",
+                      "eon", "perlbmk", "gap", "vortex", "bzip2",
+                      "twolf"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        return std::string(info.param);
+    });
+
+/**
+ * The headline directions must be robust to the executor seed, not
+ * artifacts of one particular branch-outcome stream.
+ */
+class SeedRobustnessTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(SeedRobustnessTest, KeyDirectionsHoldAcrossSeeds)
+{
+    std::vector<double> coverLeiOverNet, transCombLeiOverLei;
+    for (const WorkloadInfo &w : workloadSuite()) {
+        Program p = w.build(42);
+        SimOptions opts;
+        opts.maxEvents = integrationEvents;
+        opts.seed = static_cast<std::uint64_t>(GetParam());
+        SimResult net = simulate(p, Algorithm::Net, opts);
+        SimResult lei = simulate(p, Algorithm::Lei, opts);
+        SimResult clei = simulate(p, Algorithm::LeiCombined, opts);
+        coverLeiOverNet.push_back(
+            ratio(lei.coverSet90, net.coverSet90));
+        transCombLeiOverLei.push_back(ratio(
+            static_cast<double>(clei.regionTransitions),
+            static_cast<double>(lei.regionTransitions)));
+    }
+    EXPECT_LT(mean(coverLeiOverNet), 1.0);
+    EXPECT_LT(mean(transCombLeiOverLei), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedRobustnessTest,
+                         ::testing::Values(3, 11, 29));
+
+/**
+ * Paper-direction checks on suite aggregates. These use generous
+ * margins: the synthetic workloads reproduce directions, not exact
+ * magnitudes.
+ */
+TEST(PaperDirectionTest, SuiteAggregatesMatchThePaper)
+{
+    std::vector<double> coverLeiOverNet;
+    std::vector<double> transCombNetOverNet;
+    std::vector<double> transCombLeiOverLei;
+    std::vector<double> coverCombLeiOverNet;
+    std::vector<double> spannedNet, spannedLei;
+    double netStubs = 0, combLeiStubs = 0;
+    double netTrans = 0, combLeiTrans = 0;
+
+    for (const WorkloadInfo &w : workloadSuite()) {
+        SimResult net = runOne(w, Algorithm::Net);
+        SimResult lei = runOne(w, Algorithm::Lei);
+        SimResult combNet = runOne(w, Algorithm::NetCombined);
+        SimResult combLei = runOne(w, Algorithm::LeiCombined);
+
+        coverLeiOverNet.push_back(
+            ratio(lei.coverSet90, net.coverSet90));
+        transCombNetOverNet.push_back(ratio(
+            combNet.regionTransitions, net.regionTransitions));
+        transCombLeiOverLei.push_back(ratio(
+            combLei.regionTransitions, lei.regionTransitions));
+        coverCombLeiOverNet.push_back(
+            ratio(combLei.coverSet90, net.coverSet90));
+        spannedNet.push_back(net.spannedCycleRatio());
+        spannedLei.push_back(lei.spannedCycleRatio());
+        netStubs += static_cast<double>(net.exitStubs);
+        combLeiStubs += static_cast<double>(combLei.exitStubs);
+        netTrans += static_cast<double>(net.regionTransitions);
+        combLeiTrans += static_cast<double>(combLei.regionTransitions);
+    }
+
+    // Section 3.2.3: LEI's 90% cover sets are smaller on average.
+    EXPECT_LT(mean(coverLeiOverNet), 1.0);
+    // Section 3.2.1: LEI spans more cycles on average.
+    EXPECT_GT(mean(spannedLei), mean(spannedNet));
+    // Section 4.3.2: combination reduces transitions for both bases.
+    EXPECT_LT(mean(transCombNetOverNet), 1.0);
+    EXPECT_LT(mean(transCombLeiOverLei), 1.0);
+    // Section 6 headline: combined LEI vs NET — far fewer exit
+    // stubs, transitions roughly halved or better, cover sets much
+    // smaller.
+    EXPECT_LT(combLeiStubs, netStubs);
+    EXPECT_LT(combLeiTrans, 0.75 * netTrans);
+    EXPECT_LT(mean(coverCombLeiOverNet), 0.85);
+}
+
+} // namespace
+} // namespace rsel

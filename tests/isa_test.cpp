@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the ISA layer: instructions and basic blocks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/basic_block.hpp"
+#include "support/error.hpp"
+
+namespace rsel {
+namespace {
+
+std::vector<Instruction>
+makeInsts(Addr start, std::initializer_list<std::uint8_t> sizes)
+{
+    std::vector<Instruction> insts;
+    Addr a = start;
+    for (std::uint8_t s : sizes) {
+        insts.push_back({a, s});
+        a += s;
+    }
+    return insts;
+}
+
+TEST(BranchKindTest, Predicates)
+{
+    EXPECT_TRUE(isIndirect(BranchKind::IndirectJump));
+    EXPECT_TRUE(isIndirect(BranchKind::IndirectCall));
+    EXPECT_TRUE(isIndirect(BranchKind::Return));
+    EXPECT_FALSE(isIndirect(BranchKind::Call));
+    EXPECT_FALSE(isIndirect(BranchKind::CondDirect));
+
+    EXPECT_TRUE(canFallThrough(BranchKind::None));
+    EXPECT_TRUE(canFallThrough(BranchKind::CondDirect));
+    EXPECT_FALSE(canFallThrough(BranchKind::Jump));
+    EXPECT_FALSE(canFallThrough(BranchKind::Return));
+
+    EXPECT_TRUE(isUnconditional(BranchKind::Jump));
+    EXPECT_TRUE(isUnconditional(BranchKind::Call));
+    EXPECT_FALSE(isUnconditional(BranchKind::None));
+    EXPECT_FALSE(isUnconditional(BranchKind::CondDirect));
+    EXPECT_FALSE(isUnconditional(BranchKind::Halt));
+}
+
+TEST(BranchKindTest, NamesAreDistinct)
+{
+    EXPECT_EQ(branchKindName(BranchKind::Call), "call");
+    EXPECT_EQ(branchKindName(BranchKind::None), "fall-through");
+    EXPECT_NE(branchKindName(BranchKind::Jump),
+              branchKindName(BranchKind::IndirectJump));
+}
+
+TEST(BasicBlockTest, AddressAccounting)
+{
+    BasicBlock b(0, 0, makeInsts(0x100, {4, 2, 6}),
+                 BranchKind::Jump, 0x50);
+    EXPECT_EQ(b.startAddr(), 0x100u);
+    EXPECT_EQ(b.lastInstAddr(), 0x106u);
+    EXPECT_EQ(b.fallThroughAddr(), 0x10cu);
+    EXPECT_EQ(b.instCount(), 3u);
+    EXPECT_EQ(b.sizeBytes(), 12u);
+}
+
+TEST(BasicBlockTest, BackwardTransferUsesBranchAddress)
+{
+    BasicBlock b(0, 0, makeInsts(0x100, {4, 4}), BranchKind::Jump,
+                 0x100);
+    // Branch instruction sits at 0x104.
+    EXPECT_TRUE(b.isBackwardTransferTo(0x100));  // self-loop head
+    EXPECT_TRUE(b.isBackwardTransferTo(0x104));  // branch-to-self
+    EXPECT_FALSE(b.isBackwardTransferTo(0x105)); // forward
+}
+
+TEST(BasicBlockTest, RejectsNonContiguousInstructions)
+{
+    std::vector<Instruction> insts = {{0x100, 4}, {0x105, 4}};
+    EXPECT_THROW(
+        BasicBlock(0, 0, std::move(insts), BranchKind::None, invalidAddr),
+        PanicError);
+}
+
+TEST(BasicBlockTest, RejectsEmptyBlock)
+{
+    EXPECT_THROW(
+        BasicBlock(0, 0, {}, BranchKind::None, invalidAddr), PanicError);
+}
+
+TEST(BasicBlockTest, DirectBranchRequiresTarget)
+{
+    EXPECT_THROW(BasicBlock(0, 0, makeInsts(0x10, {4}),
+                            BranchKind::Jump, invalidAddr),
+                 PanicError);
+    EXPECT_THROW(BasicBlock(0, 0, makeInsts(0x10, {4}),
+                            BranchKind::Return, 0x50),
+                 PanicError);
+    // Valid combinations construct fine.
+    EXPECT_NO_THROW(BasicBlock(0, 0, makeInsts(0x10, {4}),
+                               BranchKind::Return, invalidAddr));
+    EXPECT_NO_THROW(BasicBlock(0, 0, makeInsts(0x10, {4}),
+                               BranchKind::Call, 0x50));
+}
+
+} // namespace
+} // namespace rsel

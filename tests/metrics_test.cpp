@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the metrics layer: cover sets, ratios, and the
+ * Section 4.1 exit-domination analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dynopt/dynopt_system.hpp"
+#include "metrics/metrics_collector.hpp"
+#include "workloads/scenarios.hpp"
+
+namespace rsel {
+namespace {
+
+SimResult
+makeResultWithExecutions(std::vector<std::uint64_t> perRegion,
+                         std::uint64_t interpreted)
+{
+    SimResult r;
+    for (std::size_t i = 0; i < perRegion.size(); ++i) {
+        RegionStats stats;
+        stats.id = static_cast<RegionId>(i);
+        stats.executedInsts = perRegion[i];
+        r.regions.push_back(stats);
+        r.cachedInsts += perRegion[i];
+    }
+    r.interpretedInsts = interpreted;
+    r.totalInsts = r.cachedInsts + interpreted;
+    r.regionCount = perRegion.size();
+    return r;
+}
+
+TEST(CoverSetTest, PicksSmallestSet)
+{
+    // 100 total executed; regions cover 50, 30, 15; interpreter 5.
+    SimResult r = makeResultWithExecutions({50, 30, 15}, 5);
+    EXPECT_EQ(r.coverSet(0.50), 1u);
+    EXPECT_EQ(r.coverSet(0.80), 2u);
+    EXPECT_EQ(r.coverSet(0.90), 3u); // 50+30=80 < 90, need 3rd
+    EXPECT_EQ(r.coverSet(0.95), 3u);
+}
+
+TEST(CoverSetTest, OrderIndependent)
+{
+    SimResult a = makeResultWithExecutions({15, 50, 30}, 5);
+    SimResult b = makeResultWithExecutions({50, 30, 15}, 5);
+    EXPECT_EQ(a.coverSet(0.90), b.coverSet(0.90));
+}
+
+TEST(CoverSetTest, SaturationWhenRegionsCannotCover)
+{
+    SimResult r = makeResultWithExecutions({10, 10}, 80);
+    EXPECT_EQ(r.coverSet(0.90), 2u); // all regions, still short
+}
+
+TEST(SimResultTest, RatioHelpers)
+{
+    SimResult r;
+    r.totalInsts = 200;
+    r.cachedInsts = 150;
+    r.interpretedInsts = 50;
+    EXPECT_DOUBLE_EQ(r.hitRate(), 0.75);
+
+    r.regionCount = 4;
+    r.spanningRegions = 1;
+    EXPECT_DOUBLE_EQ(r.spannedCycleRatio(), 0.25);
+
+    r.regionExecutions = 10;
+    r.cycleTerminations = 4;
+    EXPECT_DOUBLE_EQ(r.executedCycleRatio(), 0.4);
+
+    r.expansionInsts = 100;
+    EXPECT_DOUBLE_EQ(r.avgRegionInsts(), 25.0);
+    r.exitDominatedRegions = 1;
+    EXPECT_DOUBLE_EQ(r.exitDominatedRegionRatio(), 0.25);
+    r.exitDominatedDupInsts = 7;
+    EXPECT_DOUBLE_EQ(r.exitDominatedDupRatio(), 0.07);
+
+    r.estimatedCacheBytes = 1000;
+    r.peakObservedTraceBytes = 60;
+    EXPECT_DOUBLE_EQ(r.observedMemoryRatio(), 0.06);
+}
+
+TEST(SimResultTest, DegenerateDenominators)
+{
+    SimResult r;
+    EXPECT_DOUBLE_EQ(r.hitRate(), 0.0);
+    EXPECT_DOUBLE_EQ(r.spannedCycleRatio(), 0.0);
+    EXPECT_DOUBLE_EQ(r.executedCycleRatio(), 0.0);
+    EXPECT_DOUBLE_EQ(r.avgRegionInsts(), 0.0);
+    EXPECT_DOUBLE_EQ(r.observedMemoryRatio(), 0.0);
+}
+
+TEST(ExitDominationTest, Figure2TracesAreExitDominated)
+{
+    // NET on the interprocedural cycle: trace 2 (E F L) begins at
+    // the sole exit of trace 1 (A B D), whose call block D is the
+    // only executed predecessor of E — textbook exit domination.
+    Program p = buildInterproceduralCycle();
+    SimOptions opts;
+    opts.maxEvents = 60'000;
+    opts.seed = 1;
+    SimResult r = simulate(p, Algorithm::Net, opts);
+    ASSERT_EQ(r.regionCount, 2u);
+    EXPECT_EQ(r.exitDominatedRegions, 1u);
+    // The two traces share no blocks, so no duplication.
+    EXPECT_EQ(r.exitDominatedDupInsts, 0u);
+}
+
+TEST(ExitDominationTest, LeiSpanningTraceHasNoDomination)
+{
+    Program p = buildInterproceduralCycle();
+    SimOptions opts;
+    opts.maxEvents = 60'000;
+    opts.seed = 1;
+    SimResult r = simulate(p, Algorithm::Lei, opts);
+    ASSERT_EQ(r.regionCount, 1u);
+    EXPECT_EQ(r.exitDominatedRegions, 0u);
+}
+
+TEST(ExitDominationTest, DuplicationCountedOnSharedBlocks)
+{
+    // NET on Figure 4: the second trace (B D F) is entered only
+    // from the first trace's exit at A and duplicates D and F.
+    Program p = buildUnbiasedBranch(1, 0.5, 0.05);
+    SimOptions opts;
+    opts.maxEvents = 200'000;
+    opts.seed = 9;
+    SimResult r = simulate(p, Algorithm::Net, opts);
+    ASSERT_GE(r.regionCount, 2u);
+    EXPECT_GE(r.exitDominatedRegions, 1u);
+    // D (2 insts) and F (2 insts) shared with the dominator.
+    EXPECT_GE(r.exitDominatedDupInsts, 4u);
+}
+
+TEST(ExitDominationTest, MultiplePredecessorsBlockDomination)
+{
+    // A region entered from two different earlier regions' exits is
+    // not exit-dominated (condition 2 of the definition).
+    Program p = buildUnbiasedBranch(1, 0.5, 0.05);
+    SimOptions opts;
+    opts.maxEvents = 200'000;
+    opts.seed = 9;
+    SimResult comb = simulate(p, Algorithm::NetCombined, opts);
+    // The combined region holds all hot blocks; at most the rare E
+    // path could form a dominated region later.
+    EXPECT_LE(comb.exitDominatedRegions, comb.regionCount);
+}
+
+} // namespace
+} // namespace rsel

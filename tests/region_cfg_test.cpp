@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit and property tests for RegionCfg: CFG construction from
+ * observed traces and the Figure 15 mark-rejoining-paths dataflow.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "selection/region_cfg.hpp"
+#include "support/error.hpp"
+#include "support/random.hpp"
+#include "workloads/scenarios.hpp"
+
+namespace rsel {
+namespace {
+
+std::vector<const BasicBlock *>
+pathOf(const Program &p, std::initializer_list<BlockId> ids)
+{
+    std::vector<const BasicBlock *> path;
+    for (BlockId id : ids)
+        path.push_back(&p.block(id));
+    return path;
+}
+
+TEST(RegionCfgTest, OccurrenceCountsOncePerTrace)
+{
+    Program p = buildUnbiasedBranch();
+    using Ids = UnbiasedBranchIds;
+    RegionCfg cfg(&p.block(Ids::a));
+    cfg.addTrace(pathOf(p, {Ids::a, Ids::c, Ids::d, Ids::f}));
+    cfg.addTrace(pathOf(p, {Ids::a, Ids::b, Ids::d, Ids::f}));
+    cfg.addTrace(pathOf(p, {Ids::a, Ids::c, Ids::d, Ids::e, Ids::f}));
+
+    EXPECT_EQ(cfg.traceCount(), 3u);
+    EXPECT_EQ(cfg.occurrences(Ids::a), 3u);
+    EXPECT_EQ(cfg.occurrences(Ids::c), 2u);
+    EXPECT_EQ(cfg.occurrences(Ids::b), 1u);
+    EXPECT_EQ(cfg.occurrences(Ids::d), 3u);
+    EXPECT_EQ(cfg.occurrences(Ids::e), 1u);
+    EXPECT_EQ(cfg.occurrences(Ids::f), 3u);
+    EXPECT_EQ(cfg.occurrences(999), 0u); // absent block
+    EXPECT_EQ(cfg.blockCount(), 6u);
+    // Edges: a->c, c->d, d->f, a->b, b->d, d->e, e->f (deduped).
+    EXPECT_EQ(cfg.edgeCount(), 7u);
+}
+
+TEST(RegionCfgTest, MarkFrequentAppliesThreshold)
+{
+    Program p = buildUnbiasedBranch();
+    using Ids = UnbiasedBranchIds;
+    RegionCfg cfg(&p.block(Ids::a));
+    cfg.addTrace(pathOf(p, {Ids::a, Ids::c, Ids::d, Ids::f}));
+    cfg.addTrace(pathOf(p, {Ids::a, Ids::b, Ids::d, Ids::f}));
+    cfg.addTrace(pathOf(p, {Ids::a, Ids::c, Ids::d, Ids::f}));
+
+    cfg.markFrequent(2);
+    EXPECT_TRUE(cfg.isMarked(Ids::a));
+    EXPECT_TRUE(cfg.isMarked(Ids::c));
+    EXPECT_TRUE(cfg.isMarked(Ids::d));
+    EXPECT_FALSE(cfg.isMarked(Ids::b)); // occurred once
+}
+
+TEST(RegionCfgTest, RejoiningPathsAreIncluded)
+{
+    // The Figure 4 scenario: B occurs in few traces but rejoins the
+    // frequently occurring D, so it must be kept.
+    Program p = buildUnbiasedBranch();
+    using Ids = UnbiasedBranchIds;
+    RegionCfg cfg(&p.block(Ids::a));
+    for (int i = 0; i < 4; ++i)
+        cfg.addTrace(pathOf(p, {Ids::a, Ids::c, Ids::d, Ids::f}));
+    cfg.addTrace(pathOf(p, {Ids::a, Ids::b, Ids::d, Ids::f}));
+
+    cfg.markFrequent(4);
+    EXPECT_FALSE(cfg.isMarked(Ids::b));
+    cfg.markRejoiningPaths();
+    // B is on an observed path that rejoins marked D.
+    EXPECT_TRUE(cfg.isMarked(Ids::b));
+
+    auto blocks = cfg.markedBlocks();
+    EXPECT_EQ(blocks.front()->id(), Ids::a); // entry first
+    EXPECT_EQ(blocks.size(), 5u);            // everything but E
+}
+
+TEST(RegionCfgTest, DeadEndsStayExcluded)
+{
+    // A block whose observed continuation never rejoins a frequent
+    // block must be dropped even after rejoining-path marking.
+    Program p = buildUnbiasedBranch();
+    using Ids = UnbiasedBranchIds;
+    RegionCfg cfg(&p.block(Ids::a));
+    for (int i = 0; i < 5; ++i)
+        cfg.addTrace(pathOf(p, {Ids::a, Ids::c, Ids::d, Ids::f}));
+    // One trace ends cold at E without rejoining.
+    cfg.addTrace(pathOf(p, {Ids::a, Ids::c, Ids::d, Ids::e}));
+
+    cfg.markFrequent(5);
+    cfg.markRejoiningPaths();
+    EXPECT_FALSE(cfg.isMarked(Ids::e));
+}
+
+TEST(RegionCfgTest, SingleDominantPathStaysSinglePath)
+{
+    // "If there is a single dominant path ... it should be selected
+    // as a trace and no additional paths should be added."
+    Program p = buildUnbiasedBranch();
+    using Ids = UnbiasedBranchIds;
+    RegionCfg cfg(&p.block(Ids::a));
+    for (int i = 0; i < 6; ++i)
+        cfg.addTrace(pathOf(p, {Ids::a, Ids::c, Ids::d, Ids::f}));
+    cfg.markFrequent(3);
+    cfg.markRejoiningPaths();
+    EXPECT_EQ(cfg.markedBlocks().size(), 4u);
+}
+
+TEST(RegionCfgTest, MarkSweepsUsuallyOne)
+{
+    Program p = buildUnbiasedBranch();
+    using Ids = UnbiasedBranchIds;
+    RegionCfg cfg(&p.block(Ids::a));
+    for (int i = 0; i < 3; ++i)
+        cfg.addTrace(pathOf(p, {Ids::a, Ids::c, Ids::d, Ids::f}));
+    cfg.addTrace(pathOf(p, {Ids::a, Ids::b, Ids::d, Ids::f}));
+    cfg.markFrequent(3);
+    // Post-order visiting makes one marking sweep suffice here (a
+    // second sweep runs but marks nothing and is not counted).
+    EXPECT_EQ(cfg.markRejoiningPaths(), 1u);
+}
+
+TEST(RegionCfgTest, EntranceMismatchIsRejected)
+{
+    Program p = buildUnbiasedBranch();
+    using Ids = UnbiasedBranchIds;
+    RegionCfg cfg(&p.block(Ids::a));
+    EXPECT_THROW(cfg.addTrace(pathOf(p, {Ids::b, Ids::d})), PanicError);
+    EXPECT_THROW(cfg.addTrace({}), PanicError);
+}
+
+/**
+ * Property test over randomized observed-trace sets: after
+ * markRejoiningPaths, (1) the entry is marked, (2) no unmarked
+ * block has a marked successor (the Figure 15 fixpoint condition),
+ * and (3) marks are monotone in T_min.
+ */
+class MarkFixpointProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(MarkFixpointProperty, FixpointHolds)
+{
+    Program p = buildUnbiasedBranch();
+    using Ids = UnbiasedBranchIds;
+    Rng rng(GetParam());
+
+    RegionCfg cfg(&p.block(Ids::a));
+    std::set<std::pair<BlockId, BlockId>> observedEdges;
+    const int traces = 3 + static_cast<int>(rng.nextBelow(12));
+    for (int t = 0; t < traces; ++t) {
+        // Random valid path through the diamond structure.
+        std::vector<const BasicBlock *> path{&p.block(Ids::a)};
+        if (rng.nextBool(0.5))
+            path.push_back(&p.block(Ids::c));
+        else
+            path.push_back(&p.block(Ids::b));
+        path.push_back(&p.block(Ids::d));
+        if (rng.nextBool(0.2))
+            path.push_back(&p.block(Ids::e));
+        if (rng.nextBool(0.8))
+            path.push_back(&p.block(Ids::f));
+        for (std::size_t i = 0; i + 1 < path.size(); ++i)
+            observedEdges.emplace(path[i]->id(), path[i + 1]->id());
+        cfg.addTrace(path);
+    }
+
+    const std::uint32_t tmin =
+        1 + static_cast<std::uint32_t>(rng.nextBelow(traces));
+    cfg.markFrequent(tmin);
+    cfg.markRejoiningPaths();
+
+    EXPECT_TRUE(cfg.isMarked(Ids::a));
+    // Fixpoint (Figure 15 termination condition): no unmarked block
+    // may have a marked successor along an observed edge.
+    for (const auto &[u, v] : observedEdges) {
+        if (cfg.isMarked(v)) {
+            EXPECT_TRUE(cfg.isMarked(u))
+                << "unmarked block " << u << " has marked successor "
+                << v;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MarkFixpointProperty,
+                         ::testing::Range(1, 21));
+
+} // namespace
+} // namespace rsel

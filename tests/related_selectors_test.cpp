@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for the Section 5 related-work selectors: Mojo (NET with a
+ * lower trace-exit threshold), BOA (edge-profile-guided selection)
+ * and WRS (Wiggins/Redstone-style sampling).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dynopt/dynopt_system.hpp"
+#include "program/program_builder.hpp"
+#include "selection/boa_selector.hpp"
+#include "selection/path_profile.hpp"
+#include "workloads/scenarios.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rsel {
+namespace {
+
+SimResult
+run(const Program &p, Algorithm algo, std::uint64_t events,
+    SimOptions opts = {})
+{
+    opts.maxEvents = events;
+    opts.seed = 9;
+    return simulate(p, algo, opts);
+}
+
+TEST(MojoSelectorTest, LowerExitThresholdSelectsExitTargetsEarlier)
+{
+    // Figure 3 nested loops: C is a cache-exit target. Under NET, A
+    // (backward target, counting from iteration 1) is selected
+    // before C; Mojo's lower exit threshold flips the order.
+    Program p = buildNestedLoops(1, 4, 1000000);
+    using Ids = NestedLoopIds;
+
+    SimOptions opts;
+    SimResult net = run(p, Algorithm::Net, 150'000, opts);
+    opts.net.exitThreshold = 10;
+    SimResult mojo = run(p, Algorithm::Mojo, 150'000, opts);
+
+    EXPECT_EQ(mojo.selector, "Mojo");
+    auto idOf = [&](const SimResult &r, BlockId entry) -> int {
+        for (const RegionStats &reg : r.regions)
+            if (reg.entryAddr == p.block(entry).startAddr())
+                return static_cast<int>(reg.id);
+        return -1;
+    };
+    // NET: A's region precedes C's.
+    ASSERT_GE(idOf(net, Ids::a), 0);
+    ASSERT_GE(idOf(net, Ids::c), 0);
+    EXPECT_LT(idOf(net, Ids::a), idOf(net, Ids::c));
+    // Mojo: C's region precedes A's.
+    ASSERT_GE(idOf(mojo, Ids::c), 0);
+    EXPECT_LT(idOf(mojo, Ids::c), idOf(mojo, Ids::a));
+}
+
+TEST(MojoSelectorTest, BehavesLikeNetWhenExitThresholdUnset)
+{
+    Program p = buildNestedLoops(1, 4, 1000000);
+    SimOptions opts;
+    SimResult net = run(p, Algorithm::Net, 150'000, opts);
+
+    DynOptSystem system(p);
+    NetConfig cfg; // exitThreshold = 0
+    system.useNet(cfg);
+    EXPECT_EQ(system.selector().name(), "NET");
+
+    opts.net = NetConfig::mojo(50, 50); // equal thresholds
+    SimResult mojoEq = run(p, Algorithm::Mojo, 150'000, opts);
+    EXPECT_EQ(mojoEq.regionCount, net.regionCount);
+    EXPECT_EQ(mojoEq.expansionInsts, net.expansionInsts);
+}
+
+TEST(BoaSelectorTest, EdgeProfileCountsDirections)
+{
+    // Drive the profile directly with synthetic events.
+    Program p = buildUnbiasedBranch(1, 0.5, 0.0);
+    using Ids = UnbiasedBranchIds;
+    PathProfile profile;
+
+    auto event = [&](BlockId id, bool taken, Addr src) {
+        SelectorEvent ev;
+        ev.block = &p.block(id);
+        ev.viaTaken = taken;
+        ev.branchAddr = src;
+        return ev;
+    };
+
+    // A taken -> C (twice), A fall -> B (once).
+    const Addr aBranch = p.block(Ids::a).lastInstAddr();
+    profile.record(event(Ids::a, false, invalidAddr));
+    profile.record(event(Ids::c, true, aBranch));
+    profile.record(event(Ids::a, true, 0x1)); // re-enter A
+    profile.record(event(Ids::c, true, aBranch));
+    profile.record(event(Ids::a, true, 0x1));
+    profile.record(event(Ids::b, false, invalidAddr));
+
+    EXPECT_EQ(profile.takenCount(Ids::a), 2u);
+    EXPECT_EQ(profile.notTakenCount(Ids::a), 1u);
+    EXPECT_TRUE(profile.prefersTaken(Ids::a));
+}
+
+TEST(BoaSelectorTest, TraceFollowsMajorityDirection)
+{
+    // Strongly biased unbiased-branch program: probC = 0.9 means
+    // A's taken direction (to C) dominates; BOA's trace from A must
+    // go through C, not B.
+    Program p = buildUnbiasedBranch(1, 0.9, 0.0);
+    using Ids = UnbiasedBranchIds;
+    SimResult r = run(p, Algorithm::Boa, 50'000);
+    ASSERT_GE(r.regionCount, 1u);
+
+    const RegionStats *atA = nullptr;
+    for (const RegionStats &reg : r.regions)
+        if (reg.entryAddr == p.block(Ids::a).startAddr())
+            atA = &reg;
+    ASSERT_NE(atA, nullptr);
+    // A C D F: four blocks, spanning the cycle back to A.
+    EXPECT_EQ(atA->blockCount, 4u);
+    EXPECT_TRUE(atA->spansCycle);
+}
+
+TEST(BoaSelectorTest, SelectsAfterFifteenExecutionsByDefault)
+{
+    ProgramBuilder b(1);
+    b.beginFunction("main");
+    const BlockId head = b.block(1);
+    const BlockId latch = b.block(1);
+    b.loopTo(latch, head, 1000000, 1000000);
+    const BlockId stop = b.block(1);
+    b.halt(stop);
+    Program p = b.build();
+
+    DynOptSystem system(p);
+    system.useBoa();
+    Executor exec(p, 1);
+    // head's counter reaches 15 on its 15th taken entry (event 31).
+    exec.run(30, system);
+    EXPECT_EQ(system.cache().regionCount(), 0u);
+    exec.run(1, system);
+    EXPECT_EQ(system.cache().regionCount(), 1u);
+    system.finish();
+}
+
+TEST(BoaSelectorTest, StopsAtUnprofiledIndirectBranch)
+{
+    // A trace reaching a return before any return was observed must
+    // stop there rather than guess.
+    Program p = buildInterproceduralCycle();
+    using Ids = InterprocCycleIds;
+    DynOptSystem system(p);
+    BoaConfig cfg;
+    // Threshold 1: E triggers on its very first execution, before
+    // F's return has ever been observed.
+    cfg.hotThreshold = 1;
+    system.useBoa(cfg);
+    Executor exec(p, 1);
+    exec.run(30, system);
+    SimResult r = system.finish();
+    const RegionStats *atE = nullptr;
+    for (const RegionStats &reg : r.regions)
+        if (reg.entryAddr == p.block(Ids::e).startAddr())
+            atE = &reg;
+    ASSERT_NE(atE, nullptr);
+    // The walk must stop at the unprofiled return: E F only.
+    EXPECT_EQ(atE->blockCount, 2u);
+}
+
+TEST(WrsSelectorTest, SamplingFindsTheHotLoop)
+{
+    Program p = buildInterproceduralCycle();
+    SimOptions opts;
+    opts.wrs.samplePeriod = 7;
+    opts.wrs.hotSamples = 3;
+    SimResult r = run(p, Algorithm::Wrs, 100'000, opts);
+    EXPECT_EQ(r.selector, "WRS");
+    ASSERT_GE(r.regionCount, 1u);
+    // The edge-profiled walk spans the whole six-block cycle from
+    // whatever block sampling elected.
+    EXPECT_GT(r.hitRate(), 0.95);
+    EXPECT_GT(r.spannedCycleRatio(), 0.0);
+}
+
+TEST(WrsSelectorTest, SamplePeriodBoundsProfilingWork)
+{
+    // With a huge sample period nothing ever gets hot.
+    Program p = buildInterproceduralCycle();
+    SimOptions opts;
+    opts.wrs.samplePeriod = 1'000'000;
+    SimResult r = run(p, Algorithm::Wrs, 100'000, opts);
+    EXPECT_EQ(r.regionCount, 0u);
+    EXPECT_DOUBLE_EQ(r.hitRate(), 0.0);
+}
+
+TEST(RelatedSelectorsTest, SinglePathFamiliesSufferOnUnbiasedBranches)
+{
+    // The paper's Section 5 argument: careful profiling (BOA, WRS)
+    // still selects a single path, so on an unbiased branch they
+    // fragment and duplicate like NET — only combination fixes it.
+    Program p = buildUnbiasedBranch(1, 0.5, 0.0);
+    SimResult boa = run(p, Algorithm::Boa, 150'000);
+    SimResult comb = run(p, Algorithm::NetCombined, 150'000);
+
+    EXPECT_GT(boa.regionCount, comb.regionCount);
+    EXPECT_GT(boa.duplicatedInsts, comb.duplicatedInsts);
+    EXPECT_GT(boa.regionTransitions, comb.regionTransitions);
+}
+
+TEST(RelatedSelectorsTest, AllSelectorsRunTheSuiteWorkloads)
+{
+    // Smoke coverage: every shipped selector handles a dispatch-
+    // heavy workload (indirect branches stress BOA/WRS walks).
+    Program p = buildPerlbmk(42);
+    for (Algorithm algo : allSelectors) {
+        SimResult r = run(p, algo, 120'000);
+        EXPECT_LE(r.hitRate(), 1.0) << algorithmName(algo);
+        EXPECT_EQ(r.totalInsts, r.cachedInsts + r.interpretedInsts)
+            << algorithmName(algo);
+    }
+}
+
+} // namespace
+} // namespace rsel

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for program serialization and trace record/replay: the
+ * trace-driven front door external tools (Pin/DynamoRIO clients)
+ * would use.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dynopt/dynopt_system.hpp"
+#include "program/trace_io.hpp"
+#include "support/error.hpp"
+#include "workloads/scenarios.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rsel {
+namespace {
+
+class TraceIoSuiteTest : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(TraceIoSuiteTest, ProgramRoundTripsExactly)
+{
+    const WorkloadInfo *w = findWorkload(GetParam());
+    ASSERT_NE(w, nullptr);
+    Program original = w->build(42);
+
+    std::stringstream file;
+    saveProgram(original, file);
+    Program loaded = loadProgram(file);
+
+    ASSERT_EQ(loaded.blocks().size(), original.blocks().size());
+    ASSERT_EQ(loaded.functions().size(), original.functions().size());
+    EXPECT_EQ(loaded.entry(), original.entry());
+    EXPECT_EQ(loaded.phaseLengths(), original.phaseLengths());
+    for (std::size_t i = 0; i < original.blocks().size(); ++i) {
+        const BasicBlock &a = original.blocks()[i];
+        const BasicBlock &b = loaded.blocks()[i];
+        EXPECT_EQ(a.startAddr(), b.startAddr());
+        EXPECT_EQ(a.sizeBytes(), b.sizeBytes());
+        EXPECT_EQ(a.instCount(), b.instCount());
+        EXPECT_EQ(a.terminator(), b.terminator());
+        EXPECT_EQ(a.takenTarget(), b.takenTarget());
+        EXPECT_EQ(a.func(), b.func());
+    }
+    for (std::size_t i = 0; i < original.functions().size(); ++i)
+        EXPECT_EQ(loaded.functions()[i].name,
+                  original.functions()[i].name);
+}
+
+TEST_P(TraceIoSuiteTest, ExecutionMatchesAfterRoundTrip)
+{
+    const WorkloadInfo *w = findWorkload(GetParam());
+    Program original = w->build(42);
+    std::stringstream file;
+    saveProgram(original, file);
+    Program loaded = loadProgram(file);
+
+    // Behaviours must round-trip too: identical seeds produce
+    // identical streams.
+    class Ids : public ExecutionSink
+    {
+      public:
+        bool
+        onEvent(const ExecEvent &ev) override
+        {
+            ids.push_back(ev.block->id());
+            return true;
+        }
+        std::vector<BlockId> ids;
+    };
+    Executor e1(original, 17), e2(loaded, 17);
+    Ids s1, s2;
+    e1.run(30'000, s1);
+    e2.run(30'000, s2);
+    EXPECT_EQ(s1.ids, s2.ids);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, TraceIoSuiteTest,
+    ::testing::Values("gzip", "gcc", "eon", "perlbmk", "vortex"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        return std::string(info.param);
+    });
+
+TEST(TraceIoTest, RecordedTraceReplaysIdentically)
+{
+    Program p = buildGzip(42);
+
+    // Record 200k events while simulating under NET.
+    std::stringstream traceFile;
+    class Tee : public ExecutionSink
+    {
+      public:
+        Tee(ExecutionSink &a, ExecutionSink &b) : a_(a), b_(b) {}
+        bool
+        onEvent(const ExecEvent &ev) override
+        {
+            a_.onEvent(ev);
+            return b_.onEvent(ev);
+        }
+
+      private:
+        ExecutionSink &a_;
+        ExecutionSink &b_;
+    };
+
+    DynOptSystem live(p);
+    live.useNet();
+    TraceWriter writer(traceFile, p);
+    Tee tee(writer, live);
+    Executor exec(p, 7);
+    exec.run(200'000, tee);
+    SimResult liveResult = live.finish();
+    EXPECT_EQ(writer.eventCount(), 200'000u);
+
+    // Replay the trace into a fresh system: identical metrics.
+    DynOptSystem replayed(p);
+    replayed.useNet();
+    TraceReplayer replayer(p, traceFile);
+    EXPECT_EQ(replayer.run(400'000, replayed), 200'000u);
+    SimResult replayResult = replayed.finish();
+
+    EXPECT_EQ(replayResult.regionCount, liveResult.regionCount);
+    EXPECT_EQ(replayResult.expansionInsts, liveResult.expansionInsts);
+    EXPECT_EQ(replayResult.regionTransitions,
+              liveResult.regionTransitions);
+    EXPECT_EQ(replayResult.cachedInsts, liveResult.cachedInsts);
+    EXPECT_EQ(replayResult.coverSet90, liveResult.coverSet90);
+    EXPECT_EQ(replayResult.exitDominatedRegions,
+              liveResult.exitDominatedRegions);
+}
+
+TEST(TraceIoTest, ReplayerCanPause)
+{
+    Program p = buildNestedLoops();
+    std::stringstream traceFile;
+    TraceWriter writer(traceFile, p);
+    Executor exec(p, 7);
+    exec.run(1'000, writer);
+
+    class Count : public ExecutionSink
+    {
+      public:
+        bool
+        onEvent(const ExecEvent &) override
+        {
+            ++n;
+            return true;
+        }
+        std::uint64_t n = 0;
+    };
+    Count sink;
+    TraceReplayer replayer(p, traceFile);
+    EXPECT_EQ(replayer.run(300, sink), 300u);
+    EXPECT_EQ(replayer.run(10'000, sink), 700u);
+    EXPECT_EQ(replayer.run(10, sink), 0u); // exhausted
+    EXPECT_EQ(sink.n, 1'000u);
+}
+
+TEST(TraceIoTest, MalformedInputsAreFatal)
+{
+    Program p = buildNestedLoops();
+    {
+        std::stringstream bad("not-a-program\n");
+        EXPECT_THROW(loadProgram(bad), FatalError);
+    }
+    {
+        std::stringstream bad("BADMAGIC\n");
+        EXPECT_THROW(TraceReplayer(p, bad), FatalError);
+    }
+    {
+        // Valid header, garbage block id.
+        std::stringstream trace;
+        trace << "RSTR1 4\n"; // matching block count
+        trace.put(static_cast<char>(0xff));
+        trace.put(static_cast<char>(0x7f)); // id 16383
+        TraceReplayer replayer(p, trace);
+        class Null : public ExecutionSink
+        {
+          public:
+            bool
+            onEvent(const ExecEvent &) override
+            {
+                return true;
+            }
+        };
+        Null sink;
+        EXPECT_THROW(replayer.run(10, sink), FatalError);
+    }
+    {
+        // A trace recorded against a different program.
+        std::stringstream trace;
+        trace << "RSTR1 9999\n";
+        EXPECT_THROW(TraceReplayer(p, trace), FatalError);
+    }
+    {
+        // An out-of-range instruction size must not truncate.
+        std::stringstream bad;
+        bad << "rsel-program 1\n"
+            << "function main\n"
+            << "block 1 300 halt\n";
+        EXPECT_THROW(loadProgram(bad), FatalError);
+    }
+    {
+        // A conditional block without a behaviour line.
+        std::stringstream bad;
+        bad << "rsel-program 1\n"
+            << "function main\n"
+            << "block 1 4 cond 0\n"
+            << "block 1 4 halt\n";
+        EXPECT_THROW(loadProgram(bad), FatalError);
+    }
+}
+
+} // namespace
+} // namespace rsel
