@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "driver/sweep_runner.hpp"
 #include "support/error.hpp"
 
 namespace rsel::bench {
@@ -22,6 +23,9 @@ parseArgs(int argc, char **argv, const std::string &description)
     cli.define("buffer", "500", "LEI history-buffer capacity");
     cli.define("tprof", "15", "observed traces per entrance (T_prof)");
     cli.define("tmin", "5", "block occurrence threshold (T_min)");
+    cli.define("jobs", "0",
+               "parallel sweep workers (0 = hardware concurrency, "
+               "1 = serial)");
 
     try {
         cli.parse(argc, argv);
@@ -39,6 +43,7 @@ parseArgs(int argc, char **argv, const std::string &description)
     opts.seed = cli.getUint("seed");
     opts.buildSeed = cli.getUint("build-seed");
     opts.workloadFilter = cli.get("workload");
+    opts.jobs = static_cast<std::size_t>(cli.getUint("jobs"));
     opts.net.hotThreshold =
         static_cast<std::uint32_t>(cli.getUint("net-threshold"));
     opts.lei.hotThreshold =
@@ -67,6 +72,18 @@ SuiteRunner::SuiteRunner(BenchOptions opts)
         fatal("unknown workload: " + opts_.workloadFilter);
 }
 
+SimOptions
+BenchOptions::simOptions() const
+{
+    SimOptions sim;
+    sim.maxEvents = events;
+    sim.seed = seed;
+    sim.net = net;
+    sim.lei = lei;
+    sim.icache = icache;
+    return sim;
+}
+
 const std::vector<SimResult> &
 SuiteRunner::results(Algorithm algo)
 {
@@ -74,21 +91,12 @@ SuiteRunner::results(Algorithm algo)
     if (it != cache_.end())
         return it->second;
 
-    std::vector<SimResult> results;
-    results.reserve(workloads_.size());
-    for (const WorkloadInfo *w : workloads_) {
-        Program prog = w->build(opts_.buildSeed);
-        SimOptions sim;
-        sim.maxEvents =
-            opts_.events != 0 ? opts_.events : w->defaultEvents;
-        sim.seed = opts_.seed;
-        sim.net = opts_.net;
-        sim.lei = opts_.lei;
-        sim.icache = opts_.icache;
-        SimResult r = simulate(prog, algo, sim);
-        r.workload = w->name;
-        results.push_back(std::move(r));
-    }
+    // One workload-major grid per algorithm, fanned out over the
+    // pool; collection is in suite order, so the printed tables are
+    // byte-identical to the old serial loop at any job count.
+    const SweepRunner runner(opts_.jobs);
+    std::vector<SimResult> results = runner.run(SweepRunner::makeGrid(
+        workloads_, {algo}, opts_.simOptions(), opts_.buildSeed));
     return cache_.emplace(algo, std::move(results)).first->second;
 }
 

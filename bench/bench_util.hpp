@@ -11,6 +11,8 @@
  *   --seed N     executor seed
  *   --build-seed N  program-synthesis seed
  *   --workload NAME  restrict to one workload
+ *   --jobs N     parallel sweep workers (0 = hardware concurrency,
+ *                1 = serial); results are identical at any count
  */
 
 #ifndef RSEL_BENCH_BENCH_UTIL_HPP
@@ -39,11 +41,16 @@ struct BenchOptions
     std::uint64_t buildSeed = 42;
     /** Optional single-workload filter (empty = whole suite). */
     std::string workloadFilter;
+    /** Sweep workers (0 = hardware concurrency, 1 = serial). */
+    std::size_t jobs = 0;
     /** Threshold configuration shared by all runs. */
     NetConfig net;
     LeiConfig lei;
     /** Modelled I-cache geometry shared by all runs. */
     ICacheConfig icache;
+
+    /** The equivalent SimOptions (maxEvents 0 = workload default). */
+    SimOptions simOptions() const;
 };
 
 /**

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Wall-clock scaling of the parallel sweep engine.
+ *
+ * Runs the full (workload × algorithm) grid at 1, 2, 4 and 8
+ * workers (capped by --max-jobs), reports wall-clock and speedup
+ * versus the serial path, and cross-checks that every job count
+ * produced identical results — the SweepRunner's determinism
+ * contract, enforced here on the real suite.
+ *
+ * Defaults use a reduced event budget so the 4-point sweep stays in
+ * the seconds range; pass --events 0 for the workloads' full default
+ * lengths (the EXPERIMENTS.md methodology).
+ */
+
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "driver/sweep_runner.hpp"
+#include "driver/thread_pool.hpp"
+#include "support/error.hpp"
+
+using namespace rsel;
+using namespace rsel::bench;
+
+namespace {
+
+/** Order-sensitive FNV-1a over the counters that matter. */
+std::uint64_t
+fingerprint(const std::vector<SimResult> &results)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    for (const SimResult &r : results) {
+        mix(r.events);
+        mix(r.totalInsts);
+        mix(r.cachedInsts);
+        mix(r.regionCount);
+        mix(r.expansionInsts);
+        mix(r.regionTransitions);
+        mix(r.coverSet90);
+    }
+    return h;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions cli;
+    cli.define("events", "100000",
+               "events per run (0 = workload defaults)");
+    cli.define("seed", "7", "executor seed");
+    cli.define("build-seed", "42", "program-synthesis seed");
+    cli.define("max-jobs", "8", "largest worker count to measure");
+    try {
+        cli.parse(argc, argv);
+    } catch (const FatalError &e) {
+        std::cerr << e.what() << '\n';
+        return 2;
+    }
+    if (cli.helpRequested()) {
+        std::cout << "Sweep-engine scaling: wall-clock at 1/2/4/8 "
+                     "workers over the full suite.\n\n"
+                  << cli.usage(argv[0]);
+        return 0;
+    }
+
+    try {
+        std::vector<const WorkloadInfo *> workloads;
+        for (const WorkloadInfo &w : workloadSuite())
+            workloads.push_back(&w);
+        const std::vector<Algorithm> algos{allAlgorithms,
+                                           allAlgorithms +
+                                               std::size(allAlgorithms)};
+
+        SimOptions base;
+        base.maxEvents = cli.getUint("events");
+        base.seed = cli.getUint("seed");
+        const std::vector<SweepCell> grid = SweepRunner::makeGrid(
+            workloads, algos, base, cli.getUint("build-seed"));
+
+        const std::size_t maxJobs = cli.getUint("max-jobs");
+        std::vector<std::size_t> jobCounts;
+        for (std::size_t j = 1; j <= maxJobs; j *= 2)
+            jobCounts.push_back(j);
+
+        Table t("perf_sweep_scaling: " + std::to_string(grid.size()) +
+                    " cells, hardware concurrency " +
+                    std::to_string(ThreadPool::hardwareWorkers()),
+                {"jobs", "wall (s)", "speedup", "cells/s"});
+        double serialSeconds = 0.0;
+        std::uint64_t serialPrint = 0;
+        std::vector<SimResult> serialResults;
+        for (std::size_t jobs : jobCounts) {
+            const SweepRunner runner(jobs);
+            const auto start = std::chrono::steady_clock::now();
+            std::vector<SimResult> results = runner.run(grid);
+            const std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - start;
+
+            const std::uint64_t print = fingerprint(results);
+            if (jobs == 1) {
+                serialSeconds = elapsed.count();
+                serialPrint = print;
+                serialResults = std::move(results);
+            } else if (print != serialPrint) {
+                fatal("parallel sweep at " + std::to_string(jobs) +
+                      " jobs diverged from the serial results");
+            }
+            t.addRow({std::to_string(jobs),
+                      formatDouble(elapsed.count(), 2),
+                      formatDouble(serialSeconds / elapsed.count(), 2),
+                      formatDouble(static_cast<double>(grid.size()) /
+                                       elapsed.count(),
+                                   1)});
+        }
+        printFigure(
+            t,
+            "not a paper figure — infrastructure: speedup should "
+            "track min(jobs, cores); all job counts byte-identical");
+        const SimResult total = mergeResults(serialResults);
+        std::cout << "suite total: " << total.events << " events, "
+                  << total.totalInsts << " insts, aggregate hit "
+                  << formatPercent(total.hitRate(), 2) << '\n';
+    } catch (const FatalError &e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 2;
+    }
+    return 0;
+}

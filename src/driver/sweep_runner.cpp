@@ -1,0 +1,100 @@
+#include "driver/sweep_runner.hpp"
+
+#include <exception>
+
+#include "driver/thread_pool.hpp"
+#include "support/error.hpp"
+
+namespace rsel {
+
+std::uint64_t
+mixSeed(std::uint64_t base, std::uint64_t index)
+{
+    // One splitmix64 step over base + index·golden-gamma: adjacent
+    // indices yield uncorrelated seeds (same mixer Rng seeding uses).
+    std::uint64_t z = base + (index + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+SweepRunner::SweepRunner(std::size_t jobs)
+    : jobs_(jobs == 0 ? ThreadPool::hardwareWorkers() : jobs)
+{}
+
+std::vector<SweepCell>
+SweepRunner::makeGrid(const std::vector<const WorkloadInfo *> &workloads,
+                      const std::vector<Algorithm> &algos,
+                      const SimOptions &base, std::uint64_t buildSeed,
+                      SeedPolicy policy)
+{
+    RSEL_ASSERT(!algos.empty(), "sweep grid needs at least one algorithm");
+    std::vector<SweepCell> cells;
+    cells.reserve(workloads.size() * algos.size());
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        const WorkloadInfo *w = workloads[wi];
+        RSEL_ASSERT(w != nullptr, "sweep grid got a null workload");
+        for (Algorithm algo : algos) {
+            SweepCell cell;
+            cell.workload = w;
+            cell.algo = algo;
+            cell.buildSeed = buildSeed;
+            cell.opts = base;
+            if (cell.opts.maxEvents == 0)
+                cell.opts.maxEvents = w->defaultEvents;
+            if (policy == SeedPolicy::PerWorkload)
+                cell.opts.seed = mixSeed(base.seed, wi);
+            cells.push_back(cell);
+        }
+    }
+    return cells;
+}
+
+SimResult
+SweepRunner::runCell(const SweepCell &cell)
+{
+    RSEL_ASSERT(cell.workload != nullptr, "sweep cell has no workload");
+    // A private Program per cell: builders are deterministic, so
+    // rebuilding costs a little CPU but removes every cross-thread
+    // dependency (and any aliasing question about sharing one
+    // Program across concurrent simulations).
+    Program prog = cell.workload->build(cell.buildSeed);
+    SimResult r = simulate(prog, cell.algo, cell.opts);
+    r.workload = cell.workload->name;
+    return r;
+}
+
+std::vector<SimResult>
+SweepRunner::run(const std::vector<SweepCell> &cells) const
+{
+    std::vector<SimResult> results(cells.size());
+    if (jobs_ <= 1 || cells.size() <= 1) {
+        // Legacy serial path: identical iteration to the historical
+        // per-harness loops, no pool machinery involved.
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            results[i] = runCell(cells[i]);
+        return results;
+    }
+
+    std::vector<std::exception_ptr> errors(cells.size());
+    {
+        ThreadPool pool(std::min(jobs_, cells.size()));
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            pool.submit([&cells, &results, &errors, i] {
+                try {
+                    results[i] = SweepRunner::runCell(cells[i]);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            });
+        }
+        pool.wait();
+    }
+    for (const std::exception_ptr &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+    return results;
+}
+
+} // namespace rsel

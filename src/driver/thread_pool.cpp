@@ -1,0 +1,76 @@
+#include "driver/thread_pool.hpp"
+
+#include "support/error.hpp"
+
+namespace rsel {
+
+ThreadPool::ThreadPool(std::size_t workers)
+{
+    RSEL_ASSERT(workers >= 1, "thread pool needs at least one worker");
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    workReady_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        RSEL_ASSERT(!stop_, "submit on a stopping thread pool");
+        queue_.push_back(std::move(task));
+    }
+    workReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock,
+               [this] { return queue_.empty() && running_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        workReady_.wait(
+            lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            // stop_ is set and no work is left; drain-and-join
+            // semantics: stop only takes effect on an empty queue.
+            return;
+        }
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        ++running_;
+        lock.unlock();
+        task();
+        lock.lock();
+        --running_;
+        if (queue_.empty() && running_ == 0)
+            idle_.notify_all();
+    }
+}
+
+std::size_t
+ThreadPool::hardwareWorkers()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+} // namespace rsel

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fixed-size thread pool for the sweep driver.
+ *
+ * A deliberately small pool: a fixed set of workers created up
+ * front, a FIFO task queue, and a wait() barrier. Simulation cells
+ * are coarse (milliseconds to seconds each), so queue contention is
+ * negligible and no work-stealing is needed. Tasks must not throw;
+ * the sweep runner wraps each cell so exceptions are captured and
+ * rethrown on the submitting thread after wait().
+ */
+
+#ifndef RSEL_DRIVER_THREAD_POOL_HPP
+#define RSEL_DRIVER_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rsel {
+
+/** Fixed set of worker threads draining a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn `workers` threads. @pre workers >= 1. A pool of one
+     * worker is legal but rarely useful: callers wanting serial
+     * execution should simply not use a pool.
+     */
+    explicit ThreadPool(std::size_t workers);
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue a task. Tasks must not throw — a throwing task
+     * terminates the process. May be called from worker threads.
+     */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every task submitted so far has finished (queue
+     * empty and no task running). Tasks submitted by other threads
+     * while waiting extend the wait.
+     */
+    void wait();
+
+    /** Number of worker threads. */
+    std::size_t workerCount() const { return threads_.size(); }
+
+    /**
+     * The default worker count: std::thread::hardware_concurrency,
+     * clamped to at least 1 (the standard allows it to report 0).
+     */
+    static std::size_t hardwareWorkers();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> threads_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    /** Signalled when a task is queued or the pool shuts down. */
+    std::condition_variable workReady_;
+    /** Signalled when the pool may have become idle. */
+    std::condition_variable idle_;
+    /** Tasks currently executing in a worker. */
+    std::size_t running_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace rsel
+
+#endif // RSEL_DRIVER_THREAD_POOL_HPP

@@ -217,10 +217,10 @@ algorithmName(Algorithm algo)
     return "unknown";
 }
 
-SimResult
-simulate(const Program &prog, Algorithm algo, const SimOptions &opts)
+void
+attachAlgorithm(DynOptSystem &system, Algorithm algo,
+                const SimOptions &opts)
 {
-    DynOptSystem system(prog, opts.cache, opts.icache);
     switch (algo) {
       case Algorithm::Net: {
         NetConfig cfg = opts.net;
@@ -261,6 +261,13 @@ simulate(const Program &prog, Algorithm algo, const SimOptions &opts)
         system.useWrs(opts.wrs);
         break;
     }
+}
+
+SimResult
+simulate(const Program &prog, Algorithm algo, const SimOptions &opts)
+{
+    DynOptSystem system(prog, opts.cache, opts.icache);
+    attachAlgorithm(system, algo, opts);
 
     Executor exec(prog, opts.seed);
     exec.run(opts.maxEvents, system);

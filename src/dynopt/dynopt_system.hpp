@@ -173,6 +173,15 @@ struct SimOptions
 };
 
 /**
+ * Attach `algo` to `system`, taking thresholds from `opts`. The
+ * combine flag of the respective config is set from `algo`; Mojo
+ * derives its exit threshold from the NET hot threshold when unset.
+ * Shared by simulate() and the trace-replay driver.
+ */
+void attachAlgorithm(DynOptSystem &system, Algorithm algo,
+                     const SimOptions &opts = {});
+
+/**
  * Run `prog` to completion (or maxEvents) under one algorithm and
  * return the metrics. The combine flag of the respective config is
  * set from `algo`.

@@ -6,6 +6,12 @@
  * plus region lifecycle events; finalize() folds in the static cache
  * contents and selector-side counters and runs the exit-domination
  * analysis (paper Section 4.1) over the dynamic edge profile.
+ *
+ * Threading: a collector belongs to exactly one DynOptSystem and is
+ * confined to the thread driving it — it holds no static or global
+ * state, so any number of collectors may run concurrently. Cross-run
+ * aggregation happens only on finished SimResults (see
+ * SimResult::mergeFrom), never on live collectors.
  */
 
 #ifndef RSEL_METRICS_METRICS_COLLECTOR_HPP

@@ -109,4 +109,73 @@ SimResult::coverSet(double fraction) const
     return count;
 }
 
+SimResult &
+SimResult::mergeFrom(const SimResult &other)
+{
+    auto label = [](std::string &mine, const std::string &theirs) {
+        if (mine != theirs)
+            mine = mine.empty() ? theirs
+                                : (theirs.empty() ? mine : "mixed");
+    };
+    label(selector, other.selector);
+    label(workload, other.workload);
+
+    events += other.events;
+    totalInsts += other.totalInsts;
+    cachedInsts += other.cachedInsts;
+    interpretedInsts += other.interpretedInsts;
+
+    regionCount += other.regionCount;
+    expansionInsts += other.expansionInsts;
+    expansionBytes += other.expansionBytes;
+    exitStubs += other.exitStubs;
+    estimatedCacheBytes += other.estimatedCacheBytes;
+
+    icacheAccesses += other.icacheAccesses;
+    icacheMisses += other.icacheMisses;
+
+    cacheCapacityBytes += other.cacheCapacityBytes;
+    cacheEvictions += other.cacheEvictions;
+    cacheFlushes += other.cacheFlushes;
+    cacheRegenerations += other.cacheRegenerations;
+    cacheLiveBytes += other.cacheLiveBytes;
+
+    regionTransitions += other.regionTransitions;
+    interRegionLinks += other.interRegionLinks;
+    regionExecutions += other.regionExecutions;
+    cycleTerminations += other.cycleTerminations;
+    spanningRegions += other.spanningRegions;
+
+    maxLiveCounters = std::max(maxLiveCounters, other.maxLiveCounters);
+    peakObservedTraceBytes =
+        std::max(peakObservedTraceBytes, other.peakObservedTraceBytes);
+    markSweepRegions += other.markSweepRegions;
+    markSweepMultiIterRegions += other.markSweepMultiIterRegions;
+
+    exitDominatedRegions += other.exitDominatedRegions;
+    exitDominatedDupInsts += other.exitDominatedDupInsts;
+    duplicatedInsts += other.duplicatedInsts;
+
+    regionsWithInternalCycle += other.regionsWithInternalCycle;
+    licmCapableRegions += other.licmCapableRegions;
+    dualSplitRegions += other.dualSplitRegions;
+    joinBlocksTotal += other.joinBlocksTotal;
+
+    // Per-cache structure does not compose across runs.
+    coverSet90 = 0;
+    coverSetSaturated = false;
+    regions.clear();
+    exitDominationPairs.clear();
+    return *this;
+}
+
+SimResult
+mergeResults(const std::vector<SimResult> &parts)
+{
+    SimResult merged;
+    for (const SimResult &part : parts)
+        merged.mergeFrom(part);
+    return merged;
+}
+
 } // namespace rsel

@@ -170,7 +170,30 @@ struct SimResult
      * total executed instructions; regionCount when saturated.
      */
     std::uint32_t coverSet(double fraction) const;
+
+    /**
+     * Fold another run's counters into this result, for suite-level
+     * aggregation of results produced independently (possibly on
+     * different threads — each run owns its collector, so merging
+     * finished SimResults is the only cross-thread aggregation the
+     * metric stack needs, and it is data-race free by construction).
+     *
+     * Additive counters (events, instructions, regions, expansion,
+     * transitions, cache traffic, ...) sum; high-water marks
+     * (maxLiveCounters, peakObservedTraceBytes) take the maximum of
+     * the two runs, modelling independent systems rather than one
+     * shared profiler. Derived ratios (hitRate() etc.) then read
+     * correctly from the merged counters. Per-region vectors,
+     * exit-domination pairs and cover-set fields are NOT merged —
+     * they are meaningless across distinct caches — and are cleared
+     * on the merged result. selector/workload keep their value when
+     * equal and become "mixed" otherwise.
+     */
+    SimResult &mergeFrom(const SimResult &other);
 };
+
+/** mergeFrom() folded over `parts`; default SimResult when empty. */
+SimResult mergeResults(const std::vector<SimResult> &parts);
 
 } // namespace rsel
 

@@ -38,6 +38,8 @@
 
 // Simulator and metrics.
 #include "dynopt/dynopt_system.hpp"
+#include "driver/sweep_runner.hpp"
+#include "driver/thread_pool.hpp"
 #include "metrics/metrics_collector.hpp"
 #include "metrics/region_quality.hpp"
 #include "metrics/sim_result.hpp"

@@ -71,6 +71,11 @@ void
 HistoryBuffer::clear()
 {
     count_ = 0;
+    // Without this the target→sequence map keeps every address ever
+    // hashed, growing without bound across clears; the stale entries
+    // are out-of-window (so find() was already correct) but the
+    // memory is pure leak.
+    hash_.clear();
 }
 
 } // namespace rsel

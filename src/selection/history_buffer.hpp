@@ -74,9 +74,14 @@ class HistoryBuffer
      */
     void truncateAfter(std::uint64_t seq);
 
-    /** Drop every entry (used when a formed cycle filled the whole
-     *  buffer and no anchor entry survives). */
+    /** Drop every entry and the target hash (used when a formed
+     *  cycle filled the whole buffer and no anchor entry survives).
+     *  Sequence numbers keep increasing across clears. */
     void clear();
+
+    /** Live target-hash entries (exposed so tests can assert clear()
+     *  actually releases the map instead of leaking it). */
+    std::size_t hashedTargets() const { return hash_.size(); }
 
     /** Number of live entries. */
     std::size_t size() const { return count_; }

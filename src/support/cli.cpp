@@ -1,11 +1,34 @@
 #include "support/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
 
 #include "support/error.hpp"
 
 namespace rsel {
+
+namespace {
+
+/**
+ * Reject values strtoll/strtoull/strtod would silently mis-parse:
+ * empty strings, trailing garbage ("12abc"), wholly non-numeric
+ * text ("abc" parses as 0), and out-of-range magnitudes. `end` is
+ * the end pointer the strto* call produced.
+ */
+void
+checkNumeric(const std::string &name, const std::string &value,
+             const char *end, const char *kind)
+{
+    if (value.empty() || end != value.c_str() + value.size())
+        fatal("option --" + name + " expects " + kind + " value, got '" +
+              value + "'");
+    if (errno == ERANGE)
+        fatal("option --" + name + " value '" + value +
+              "' is out of range");
+}
+
+} // namespace
 
 void
 CliOptions::define(const std::string &name, const std::string &defaultValue,
@@ -66,19 +89,39 @@ CliOptions::get(const std::string &name) const
 std::int64_t
 CliOptions::getInt(const std::string &name) const
 {
-    return std::strtoll(get(name).c_str(), nullptr, 0);
+    const std::string &v = get(name);
+    char *end = nullptr;
+    errno = 0;
+    const std::int64_t result = std::strtoll(v.c_str(), &end, 0);
+    checkNumeric(name, v, end, "an integer");
+    return result;
 }
 
 std::uint64_t
 CliOptions::getUint(const std::string &name) const
 {
-    return std::strtoull(get(name).c_str(), nullptr, 0);
+    const std::string &v = get(name);
+    // strtoull silently wraps negative input ("-5" becomes 2^64-5);
+    // reject the sign outright.
+    if (v.find('-') != std::string::npos)
+        fatal("option --" + name +
+              " expects a non-negative integer, got '" + v + "'");
+    char *end = nullptr;
+    errno = 0;
+    const std::uint64_t result = std::strtoull(v.c_str(), &end, 0);
+    checkNumeric(name, v, end, "a non-negative integer");
+    return result;
 }
 
 double
 CliOptions::getDouble(const std::string &name) const
 {
-    return std::strtod(get(name).c_str(), nullptr);
+    const std::string &v = get(name);
+    char *end = nullptr;
+    errno = 0;
+    const double result = std::strtod(v.c_str(), &end);
+    checkNumeric(name, v, end, "a number");
+    return result;
 }
 
 bool

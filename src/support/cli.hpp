@@ -38,13 +38,23 @@ class CliOptions
     /** String value of an option. @pre option was defined. */
     const std::string &get(const std::string &name) const;
 
-    /** Integer value of an option. */
+    /**
+     * Integer value of an option. @throws FatalError naming the
+     * option on non-numeric, trailing-garbage or out-of-range input.
+     */
     std::int64_t getInt(const std::string &name) const;
 
-    /** Unsigned 64-bit value of an option. */
+    /**
+     * Unsigned 64-bit value of an option. @throws FatalError naming
+     * the option on non-numeric, negative, trailing-garbage or
+     * out-of-range input.
+     */
     std::uint64_t getUint(const std::string &name) const;
 
-    /** Double value of an option. */
+    /**
+     * Double value of an option. @throws FatalError naming the
+     * option on non-numeric or out-of-range input.
+     */
     double getDouble(const std::string &name) const;
 
     /** Boolean value: "1", "true", "yes", "on" are true. */

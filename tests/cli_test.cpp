@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for CliOptions: argument forms, strict numeric
+ * parsing, and error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/cli.hpp"
+#include "support/error.hpp"
+
+namespace rsel {
+namespace {
+
+/** Parse a fixed argv through freshly defined numeric options. */
+CliOptions
+parseWith(std::initializer_list<const char *> args)
+{
+    CliOptions cli;
+    cli.define("events", "0", "event budget");
+    cli.define("seed", "7", "rng seed");
+    cli.define("alpha", "0.5", "a ratio");
+    cli.define("name", "x", "a string");
+    std::vector<const char *> argv{"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    cli.parse(static_cast<int>(argv.size()), argv.data());
+    return cli;
+}
+
+TEST(CliTest, EqualsAndSpaceFormsAreEquivalent)
+{
+    const CliOptions spaced = parseWith({"--events", "123"});
+    const CliOptions equals = parseWith({"--events=123"});
+    EXPECT_EQ(spaced.getUint("events"), 123u);
+    EXPECT_EQ(equals.getUint("events"), 123u);
+    EXPECT_EQ(spaced.get("events"), equals.get("events"));
+
+    EXPECT_EQ(parseWith({"--name", "abc"}).get("name"), "abc");
+    EXPECT_EQ(parseWith({"--name=abc"}).get("name"), "abc");
+    // An empty =value is preserved, not treated as a bare flag.
+    EXPECT_EQ(parseWith({"--name="}).get("name"), "");
+}
+
+TEST(CliTest, MalformedNumericValuesAreRejected)
+{
+    // Wholly non-numeric: strtoull would silently return 0.
+    EXPECT_THROW(parseWith({"--events", "abc"}).getUint("events"),
+                 FatalError);
+    // Trailing garbage: strtoull would silently return 12.
+    EXPECT_THROW(parseWith({"--events", "12abc"}).getUint("events"),
+                 FatalError);
+    EXPECT_THROW(parseWith({"--seed", "1.5"}).getInt("seed"),
+                 FatalError);
+    EXPECT_THROW(parseWith({"--alpha", "0.5x"}).getDouble("alpha"),
+                 FatalError);
+    // A bare `--events` parses as boolean "true"; reading it as a
+    // number must fail loudly rather than yield 0.
+    EXPECT_THROW(parseWith({"--events"}).getUint("events"),
+                 FatalError);
+    // Out of range for 64 bits.
+    EXPECT_THROW(
+        parseWith({"--events", "99999999999999999999999"})
+            .getUint("events"),
+        FatalError);
+    // Negative input to an unsigned getter would wrap via strtoull.
+    EXPECT_THROW(parseWith({"--events", "-5"}).getUint("events"),
+                 FatalError);
+}
+
+TEST(CliTest, ErrorsNameTheOffendingOption)
+{
+    try {
+        parseWith({"--events", "abc"}).getUint("events");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("--events"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("abc"),
+                  std::string::npos);
+    }
+}
+
+TEST(CliTest, WellFormedNumericValuesStillParse)
+{
+    EXPECT_EQ(parseWith({"--seed", "-9"}).getInt("seed"), -9);
+    EXPECT_EQ(parseWith({"--events", "0x10"}).getUint("events"), 16u);
+    EXPECT_DOUBLE_EQ(parseWith({"--alpha", "0.25"}).getDouble("alpha"),
+                     0.25);
+    // Defaults pass through the same strict path.
+    EXPECT_EQ(parseWith({}).getUint("events"), 0u);
+    EXPECT_DOUBLE_EQ(parseWith({}).getDouble("alpha"), 0.5);
+}
+
+TEST(CliTest, UnknownOptionsAreRejectedWithUsage)
+{
+    CliOptions cli;
+    cli.define("known", "1", "known option");
+    const char *argv[] = {"prog", "--unknown", "2"};
+    try {
+        cli.parse(3, argv);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("--unknown"), std::string::npos);
+        // The usage text listing valid options rides along.
+        EXPECT_NE(msg.find("--known"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace rsel

@@ -107,6 +107,38 @@ TEST(HistoryBufferTest, LastSeqTracksNewestEntry)
     EXPECT_EQ(buf.lastSeq(), s1);
 }
 
+TEST(HistoryBufferTest, ClearEmptiesBufferAndTargetHash)
+{
+    HistoryBuffer buf(4);
+    for (Addr a = 0; a < 8; ++a) {
+        const auto s = buf.insert(entry(0x10 + a, 0x100 + a));
+        buf.setHashLocation(0x100 + a, s);
+    }
+    EXPECT_EQ(buf.size(), 4u);
+    EXPECT_GT(buf.hashedTargets(), 0u);
+
+    buf.clear();
+    EXPECT_TRUE(buf.empty());
+    EXPECT_EQ(buf.size(), 0u);
+    // The regression: clear() used to leave the target hash fully
+    // populated, so it grew without bound across clears.
+    EXPECT_EQ(buf.hashedTargets(), 0u);
+    for (Addr a = 0; a < 8; ++a)
+        EXPECT_FALSE(buf.find(0x100 + a).has_value());
+
+    // The buffer is fully usable after a clear, and repeated
+    // clear cycles do not accumulate hash entries.
+    for (int round = 0; round < 3; ++round) {
+        const auto s = buf.insert(entry(0x20, 0x200));
+        buf.setHashLocation(0x200, s);
+        EXPECT_EQ(*buf.find(0x200), s);
+        EXPECT_EQ(buf.hashedTargets(), 1u);
+        buf.clear();
+        EXPECT_EQ(buf.hashedTargets(), 0u);
+        EXPECT_FALSE(buf.find(0x200).has_value());
+    }
+}
+
 TEST(HistoryBufferTest, GuardsAgainstMisuse)
 {
     HistoryBuffer buf(4);

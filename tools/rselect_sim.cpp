@@ -11,6 +11,11 @@
  *     rselect-sim --csv --algos all > results.csv
  *     rselect-sim --workload mcf --cache-kb 8 --cache-policy fifo
  *
+ * Sweeps run the (workload × algorithm) grid in parallel on a
+ * thread pool (--jobs N; default = hardware concurrency, 1 = the
+ * legacy serial path). Results are collected in grid order, so the
+ * output is byte-identical at any job count.
+ *
  * Trace-driven use (the Pin/DynamoRIO-style front door):
  *
  *     rselect-sim --workload gzip --save-program gzip.prog
@@ -118,6 +123,9 @@ main(int argc, char **argv)
     cli.define("cache-policy", "flush",
                "bounded-cache policy: flush | fifo");
     cli.define("csv", "false", "emit CSV instead of tables");
+    cli.define("jobs", "0",
+               "parallel sweep workers (0 = hardware concurrency, "
+               "1 = serial)");
     cli.define("save-program", "",
                "write the workload's program file and exit");
     cli.define("record-trace", "",
@@ -143,6 +151,24 @@ main(int argc, char **argv)
     try {
         const std::vector<Algorithm> algos =
             parseAlgorithms(cli.get("algos"));
+
+        SimOptions opts;
+        opts.seed = cli.getUint("seed");
+        opts.net.hotThreshold =
+            static_cast<std::uint32_t>(cli.getUint("net-threshold"));
+        opts.lei.hotThreshold =
+            static_cast<std::uint32_t>(cli.getUint("lei-threshold"));
+        opts.lei.bufferCapacity =
+            static_cast<std::size_t>(cli.getUint("buffer"));
+        opts.net.profWindow = opts.lei.profWindow =
+            static_cast<std::uint32_t>(cli.getUint("tprof"));
+        opts.net.minOccur = opts.lei.minOccur =
+            static_cast<std::uint32_t>(cli.getUint("tmin"));
+        opts.cache.capacityBytes = cli.getUint("cache-kb") * 1024;
+        opts.cache.policy = cli.get("cache-policy") == "fifo"
+                                ? CacheLimits::Policy::Fifo
+                                : CacheLimits::Policy::FullFlush;
+        opts.maxEvents = cli.getUint("events");
 
         // Trace-driven single-program modes.
         if (!cli.get("save-program").empty() ||
@@ -186,41 +212,23 @@ main(int argc, char **argv)
                 return 0;
             }
             if (!cli.get("trace").empty()) {
-                std::ifstream in(cli.get("trace"), std::ios::binary);
-                if (!in)
-                    fatal("cannot open " + cli.get("trace"));
-                TraceReplayer replayer(prog, in);
+                const std::uint64_t replayEvents =
+                    cli.getUint("events") != 0
+                        ? cli.getUint("events")
+                        : std::numeric_limits<std::uint64_t>::max();
                 for (Algorithm algo : algos) {
                     // Each algorithm needs its own pass, so the
-                    // stream is re-opened per run.
+                    // stream is opened once per run.
                     std::ifstream run(cli.get("trace"),
                                       std::ios::binary);
+                    if (!run)
+                        fatal("cannot open " + cli.get("trace"));
                     TraceReplayer rp(prog, run);
-                    DynOptSystem system(prog);
-                    switch (algo) {
-                      case Algorithm::Net: system.useNet(); break;
-                      case Algorithm::Lei: system.useLei(); break;
-                      case Algorithm::NetCombined: {
-                        NetConfig c;
-                        c.combine = true;
-                        system.useNet(c);
-                        break;
-                      }
-                      case Algorithm::LeiCombined: {
-                        LeiConfig c;
-                        c.combine = true;
-                        system.useLei(c);
-                        break;
-                      }
-                      case Algorithm::Mojo:
-                        system.useNet(NetConfig::mojo());
-                        break;
-                      case Algorithm::Boa: system.useBoa(); break;
-                      case Algorithm::Wrs: system.useWrs(); break;
-                    }
-                    const std::uint64_t n = rp.run(
-                        std::numeric_limits<std::uint64_t>::max(),
-                        system);
+                    DynOptSystem system(prog, opts.cache,
+                                        opts.icache);
+                    attachAlgorithm(system, algo, opts);
+                    const std::uint64_t n = rp.run(replayEvents,
+                                                   system);
                     SimResult r = system.finish();
                     std::cout << algorithmName(algo) << ": " << n
                               << " events, hit "
@@ -245,49 +253,37 @@ main(int argc, char **argv)
             workloads.push_back(w);
         }
 
-        SimOptions opts;
-        opts.seed = cli.getUint("seed");
-        opts.net.hotThreshold =
-            static_cast<std::uint32_t>(cli.getUint("net-threshold"));
-        opts.lei.hotThreshold =
-            static_cast<std::uint32_t>(cli.getUint("lei-threshold"));
-        opts.lei.bufferCapacity =
-            static_cast<std::size_t>(cli.getUint("buffer"));
-        opts.net.profWindow = opts.lei.profWindow =
-            static_cast<std::uint32_t>(cli.getUint("tprof"));
-        opts.net.minOccur = opts.lei.minOccur =
-            static_cast<std::uint32_t>(cli.getUint("tmin"));
-        opts.cache.capacityBytes = cli.getUint("cache-kb") * 1024;
-        opts.cache.policy = cli.get("cache-policy") == "fifo"
-                                ? CacheLimits::Policy::Fifo
-                                : CacheLimits::Policy::FullFlush;
-
         const bool csv = cli.getBool("csv");
         if (csv)
             printCsvHeader();
 
-        for (const WorkloadInfo *w : workloads) {
-            Program prog = w->build(cli.getUint("build-seed"));
-            opts.maxEvents = cli.getUint("events") != 0
-                                 ? cli.getUint("events")
-                                 : w->defaultEvents;
+        // Fan the (workload × algorithm) grid out over the pool;
+        // results come back in grid order, so printing below is
+        // identical to the old serial per-workload loop.
+        const SweepRunner runner(
+            static_cast<std::size_t>(cli.getUint("jobs")));
+        const std::vector<SweepCell> grid = SweepRunner::makeGrid(
+            workloads, algos, opts, cli.getUint("build-seed"));
+        const std::vector<SimResult> all = runner.run(grid);
 
-            std::vector<SimResult> results;
-            for (Algorithm algo : algos) {
-                SimResult r = simulate(prog, algo, opts);
-                r.workload = w->name;
-                if (csv)
+        for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+            const WorkloadInfo *w = workloads[wi];
+            const auto *first = all.data() + wi * algos.size();
+            const std::vector<SimResult> results(
+                first, first + algos.size());
+            if (csv) {
+                for (const SimResult &r : results)
                     printCsvRow(r);
-                results.push_back(std::move(r));
-            }
-            if (csv)
                 continue;
+            }
 
             std::vector<std::string> headers{"metric"};
             for (const SimResult &r : results)
                 headers.push_back(r.selector);
             Table t("rselect-sim: " + w->name + " (" +
-                        std::to_string(opts.maxEvents) + " events)",
+                        std::to_string(grid[wi * algos.size()]
+                                           .opts.maxEvents) +
+                        " events)",
                     headers);
             auto row = [&](const std::string &name, auto getter,
                            int decimals) {
