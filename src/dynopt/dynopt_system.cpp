@@ -85,6 +85,10 @@ DynOptSystem::enterRegion(const Region &region, const BasicBlock &block)
     curRegion_ = region.id();
     regionPos_ = 0;
     pendingCacheExit_ = false;
+    lastStep_.where = StepTrace::Where::Cached;
+    lastStep_.region = curRegion_;
+    lastStep_.pos = 0;
+    lastStep_.enteredRegion = true;
     metrics_.onRegionEntered(curRegion_);
     metrics_.onCachedBlock(block, curRegion_);
     fetchCached(curRegion_, 0);
@@ -101,17 +105,25 @@ DynOptSystem::onEvent(const ExecEvent &ev)
     if (from != nullptr)
         metrics_.onEdge(from->id(), ev.block->id());
     prevBlock_ = ev.block;
+    lastStep_ = StepTrace{};
 
     if (inRegion_) {
         const Region &r = cache_.region(curRegion_);
         switch (r.step(regionPos_, *ev.block, ev.takenBranch)) {
           case RegionStep::Internal:
+            lastStep_.where = StepTrace::Where::Cached;
+            lastStep_.region = curRegion_;
+            lastStep_.pos = regionPos_;
             metrics_.onCachedBlock(*ev.block, curRegion_);
             fetchCached(curRegion_, regionPos_);
             return true;
           case RegionStep::CycleRestart:
             // One region execution ended by a branch to the top;
             // the next begins immediately at the same region.
+            lastStep_.where = StepTrace::Where::Cached;
+            lastStep_.region = curRegion_;
+            lastStep_.pos = regionPos_;
+            lastStep_.enteredRegion = true;
             metrics_.onRegionExecutionEnd(curRegion_, true);
             metrics_.onRegionEntered(curRegion_);
             metrics_.onCachedBlock(*ev.block, curRegion_);
@@ -166,6 +178,7 @@ DynOptSystem::onEvent(const ExecEvent &ev)
         sev.viaTaken = true;
         sev.branchAddr = from->lastInstAddr();
     }
+    const bool wasCacheExit = pendingCacheExit_;
     pendingCacheExit_ = false;
 
     std::optional<RegionSpec> spec = selector_->onInterpreted(sev);
@@ -181,8 +194,10 @@ DynOptSystem::onEvent(const ExecEvent &ev)
             jumped = true;
         }
     }
-    if (!jumped)
+    if (!jumped) {
+        lastStep_.cacheExit = wasCacheExit;
         metrics_.onInterpretedBlock(*ev.block);
+    }
     return true;
 }
 

@@ -36,6 +36,28 @@
 
 namespace rsel {
 
+/**
+ * How the system disposed of the last consumed event. The probe the
+ * testing layer (InvariantSink) uses to assert transparency: the
+ * block stream executed through the code cache must equal the
+ * architectural stream block-for-block.
+ */
+struct StepTrace
+{
+    enum class Where : std::uint8_t { Interpreted, Cached };
+
+    /** Whether the block ran in the interpreter or the cache. */
+    Where where = Where::Interpreted;
+    /** Region the block ran from; valid iff where == Cached. */
+    RegionId region = invalidRegion;
+    /** Index into the region's blocks(); valid iff where == Cached. */
+    std::size_t pos = 0;
+    /** True if this event began a region execution (entry/restart). */
+    bool enteredRegion = false;
+    /** True if this event landed in the interpreter off a cache exit. */
+    bool cacheExit = false;
+};
+
 /** The Section 2.1 simulator, driven as an ExecutionSink. */
 class DynOptSystem : public ExecutionSink
 {
@@ -93,6 +115,9 @@ class DynOptSystem : public ExecutionSink
     /** The active selector. @pre a use*() call happened. */
     const RegionSelector &selector() const { return *selector_; }
 
+    /** Disposition of the most recent onEvent() (testing probe). */
+    const StepTrace &lastStep() const { return lastStep_; }
+
   private:
     /** Code-cache placement of one region's blocks. */
     struct RegionLayout
@@ -127,6 +152,7 @@ class DynOptSystem : public ExecutionSink
     bool pendingCacheExit_ = false;
     const BasicBlock *prevBlock_ = nullptr;
     bool finished_ = false;
+    StepTrace lastStep_;
 };
 
 /**

@@ -109,6 +109,78 @@ SimResult::coverSet(double fraction) const
     return count;
 }
 
+std::string
+SimResult::conservationError() const
+{
+    auto err = [](const std::string &what, std::uint64_t lhs,
+                  std::uint64_t rhs) {
+        return what + " (" + std::to_string(lhs) + " vs " +
+               std::to_string(rhs) + ")";
+    };
+
+    if (cachedInsts + interpretedInsts != totalInsts)
+        return err("cached + interpreted != total instructions",
+                   cachedInsts + interpretedInsts, totalInsts);
+    if (totalInsts < events)
+        return err("fewer instructions than events (blocks are "
+                   "non-empty)",
+                   totalInsts, events);
+    if (regionCount != regions.size())
+        return err("regionCount != per-region stats size", regionCount,
+                   regions.size());
+    if (cachedInsts > 0 && regionCount == 0)
+        return err("cached instructions without any region",
+                   cachedInsts, regionCount);
+    if (cycleTerminations > regionExecutions)
+        return err("more cycle terminations than region executions",
+                   cycleTerminations, regionExecutions);
+    if (!coverSetSaturated && coverSet90 > regionCount)
+        return err("cover set larger than region count", coverSet90,
+                   regionCount);
+
+    std::uint64_t sumExecuted = 0, sumEntries = 0, sumCycleEnds = 0;
+    std::uint64_t sumInsts = 0, sumBytes = 0, sumStubs = 0;
+    std::uint64_t sumSpanning = 0;
+    for (const RegionStats &r : regions) {
+        sumExecuted += r.executedInsts;
+        sumEntries += r.executions;
+        sumCycleEnds += r.cycleEnds;
+        sumInsts += r.instCount;
+        sumBytes += r.byteSize;
+        sumStubs += r.exitStubs;
+        sumSpanning += r.spansCycle ? 1 : 0;
+        if (r.cycleEnds > r.executions)
+            return err("region " + std::to_string(r.id) +
+                           ": more cycle ends than executions",
+                       r.cycleEnds, r.executions);
+    }
+    if (sumExecuted != cachedInsts)
+        return err("per-region executed instructions != cachedInsts",
+                   sumExecuted, cachedInsts);
+    if (sumEntries != regionExecutions)
+        return err("per-region executions != regionExecutions",
+                   sumEntries, regionExecutions);
+    if (sumCycleEnds != cycleTerminations)
+        return err("per-region cycle ends != cycleTerminations",
+                   sumCycleEnds, cycleTerminations);
+    if (sumInsts != expansionInsts)
+        return err("per-region instructions != expansionInsts",
+                   sumInsts, expansionInsts);
+    if (sumBytes != expansionBytes)
+        return err("per-region bytes != expansionBytes", sumBytes,
+                   expansionBytes);
+    if (sumStubs != exitStubs)
+        return err("per-region exit stubs != exitStubs", sumStubs,
+                   exitStubs);
+    if (sumSpanning != spanningRegions)
+        return err("per-region spanning flags != spanningRegions",
+                   sumSpanning, spanningRegions);
+    if (icacheMisses > icacheAccesses)
+        return err("more I-cache misses than accesses", icacheMisses,
+                   icacheAccesses);
+    return "";
+}
+
 SimResult &
 SimResult::mergeFrom(const SimResult &other)
 {

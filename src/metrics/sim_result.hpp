@@ -172,6 +172,18 @@ struct SimResult
     std::uint32_t coverSet(double fraction) const;
 
     /**
+     * Internal-accounting closure check, the testing subsystem's
+     * conservation oracle: instruction counts must split exactly
+     * between interpreter and cache, per-region statistics must sum
+     * to the run totals, and derived counters must stay within their
+     * bounds. @return an empty string when every identity holds, or
+     * a description of the first violated identity. Only meaningful
+     * on a directly finished run (merged results clear the
+     * per-region vectors this cross-checks).
+     */
+    std::string conservationError() const;
+
+    /**
      * Fold another run's counters into this result, for suite-level
      * aggregation of results produced independently (possibly on
      * different threads — each run owns its collector, so merging

@@ -49,28 +49,6 @@ writeLeb128(std::ostream &os, std::uint64_t value)
     } while (value != 0);
 }
 
-/** @return false on clean end-of-stream. */
-bool
-readLeb128(std::istream &is, std::uint64_t &value)
-{
-    value = 0;
-    unsigned shift = 0;
-    for (;;) {
-        const int c = is.get();
-        if (c == std::istream::traits_type::eof()) {
-            if (shift != 0)
-                fatal("truncated LEB128 value in trace file");
-            return false;
-        }
-        value |= static_cast<std::uint64_t>(c & 0x7f) << shift;
-        if ((c & 0x80) == 0)
-            return true;
-        shift += 7;
-        if (shift >= 64)
-            fatal("oversized LEB128 value in trace file");
-    }
-}
-
 } // namespace
 
 void
@@ -344,17 +322,32 @@ loadProgram(std::istream &is)
 }
 
 TraceWriter::TraceWriter(std::ostream &os, const Program &prog)
-    : os_(os)
+    : os_(os), markerValue_(prog.blocks().size())
 {
     os_ << traceMagic << ' ' << prog.blocks().size() << '\n';
+}
+
+TraceWriter::~TraceWriter()
+{
+    finish();
 }
 
 bool
 TraceWriter::onEvent(const ExecEvent &ev)
 {
+    RSEL_ASSERT(!finished_, "trace writer already finished");
     writeLeb128(os_, ev.block->id());
     ++events_;
     return true;
+}
+
+void
+TraceWriter::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    writeLeb128(os_, markerValue_);
 }
 
 TraceReplayer::TraceReplayer(const Program &prog, std::istream &is)
@@ -374,17 +367,55 @@ TraceReplayer::TraceReplayer(const Program &prog, std::istream &is)
               std::to_string(blockCount) + " blocks vs " +
               std::to_string(prog_.blocks().size()) + ")");
     }
+    byteOffset_ = header.size() + 1; // header line plus its newline
+}
+
+bool
+TraceReplayer::readValue(std::uint64_t &value)
+{
+    value = 0;
+    unsigned shift = 0;
+    for (;;) {
+        const int c = is_.get();
+        if (c == std::istream::traits_type::eof()) {
+            if (shift != 0) {
+                fatal("trace file cut mid-LEB128 at byte offset " +
+                      std::to_string(byteOffset_) + " (after " +
+                      std::to_string(eventsRead_) +
+                      " complete events)");
+            }
+            return false;
+        }
+        ++byteOffset_;
+        value |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+        if ((c & 0x80) == 0)
+            return true;
+        shift += 7;
+        if (shift >= 64) {
+            fatal("oversized LEB128 value in trace file at byte "
+                  "offset " +
+                  std::to_string(byteOffset_));
+        }
+    }
 }
 
 std::uint64_t
 TraceReplayer::run(std::uint64_t maxEvents, ExecutionSink &sink)
 {
     std::uint64_t delivered = 0;
-    while (delivered < maxEvents) {
+    while (!done_ && delivered < maxEvents) {
         std::uint64_t id = 0;
-        if (!readLeb128(is_, id))
+        if (!readValue(id)) {
+            fatal("trace file truncated (no end-of-trace marker) at "
+                  "byte offset " +
+                  std::to_string(byteOffset_) + " (after " +
+                  std::to_string(eventsRead_) + " events)");
+        }
+        if (id == prog_.blocks().size()) {
+            done_ = true; // end-of-trace marker
             break;
-        if (id >= prog_.blocks().size())
+        }
+        if (id > prog_.blocks().size())
             fatal("trace references unknown block id " +
                   std::to_string(id));
         const BasicBlock &block =
@@ -405,6 +436,7 @@ TraceReplayer::run(std::uint64_t maxEvents, ExecutionSink &sink)
         }
         prev_ = &block;
         ++delivered;
+        ++eventsRead_;
         if (!sink.onEvent(ev))
             break;
     }

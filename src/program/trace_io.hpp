@@ -28,7 +28,12 @@
  * Trace format (binary): the header line "RSTR1 <blockCount>\n"
  * (the block count fingerprints the program the trace was recorded
  * against) followed by one LEB128-encoded block id per executed
- * block, in order.
+ * block, in order, terminated by one LEB128 end-of-trace marker
+ * whose value is exactly `blockCount` (one past the largest valid
+ * id). The marker lets the replayer distinguish a complete trace
+ * from one cut short: a stream that ends without it — whether cut
+ * between events or mid-LEB128 — raises a FatalError naming the
+ * byte offset of the cut.
  */
 
 #ifndef RSEL_PROGRAM_TRACE_IO_HPP
@@ -66,14 +71,26 @@ class TraceWriter : public ExecutionSink
      */
     TraceWriter(std::ostream &os, const Program &prog);
 
+    /** Writes the end-of-trace marker unless finish() already did. */
+    ~TraceWriter() override;
+
     bool onEvent(const ExecEvent &event) override;
 
-    /** Events written so far. */
+    /**
+     * Write the end-of-trace marker, sealing the trace. Idempotent;
+     * called by the destructor when not invoked explicitly. No
+     * events may be written afterwards.
+     */
+    void finish();
+
+    /** Events written so far (the marker is not an event). */
     std::uint64_t eventCount() const { return events_; }
 
   private:
     std::ostream &os_;
     std::uint64_t events_ = 0;
+    std::uint64_t markerValue_;
+    bool finished_ = false;
 };
 
 /**
@@ -94,15 +111,32 @@ class TraceReplayer
 
     /**
      * Deliver up to `maxEvents` further events.
-     * @return events delivered; fewer means end of trace or the
-     *         sink stopped. @throws FatalError on a corrupt stream.
+     * @return events delivered; fewer means the end-of-trace marker
+     *         was reached or the sink stopped.
+     * @throws FatalError on a corrupt stream — including a stream
+     *         that ends without the end-of-trace marker (truncated
+     *         between events or mid-LEB128); the error names the
+     *         byte offset of the cut.
      */
     std::uint64_t run(std::uint64_t maxEvents, ExecutionSink &sink);
 
+    /** True once the end-of-trace marker has been consumed. */
+    bool atEnd() const { return done_; }
+
   private:
+    /**
+     * Read one LEB128 value, tracking byteOffset_.
+     * @return false only on EOF at a value boundary (reported by the
+     *         caller as truncation, with the offset).
+     */
+    bool readValue(std::uint64_t &value);
+
     const Program &prog_;
     std::istream &is_;
     const BasicBlock *prev_ = nullptr;
+    std::uint64_t byteOffset_ = 0;
+    std::uint64_t eventsRead_ = 0;
+    bool done_ = false;
 };
 
 } // namespace rsel

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Independent CFG legality oracle for dynamic block streams.
+ *
+ * Recomputes, from the static Program alone, which block-to-block
+ * transfers are architecturally possible. The InvariantSink uses it
+ * to validate both the raw executor stream and the block paths of
+ * every region a selector emits — independently of the Executor's
+ * and Region's own logic, so a bug in either is caught rather than
+ * mirrored.
+ */
+
+#ifndef RSEL_TESTING_CFG_ORACLE_HPP
+#define RSEL_TESTING_CFG_ORACLE_HPP
+
+#include <unordered_set>
+
+#include "program/program.hpp"
+
+namespace rsel {
+namespace testing {
+
+/** Answers "can control transfer from block A to block B?". */
+class CfgOracle
+{
+  public:
+    explicit CfgOracle(const Program &prog);
+
+    /**
+     * True if the guest can legally transfer from `from` to `to`:
+     * fall-through adjacency, a static branch target, a declared
+     * indirect target, or a return to any call site's fall-through.
+     */
+    bool legalEdge(const BasicBlock &from, const BasicBlock &to) const;
+
+    /** True if `addr` is the fall-through of some call block. */
+    bool isReturnTarget(Addr addr) const
+    {
+        return returnTargets_.count(addr) != 0;
+    }
+
+  private:
+    const Program &prog_;
+    /** Fall-through addresses of every Call / IndirectCall block. */
+    std::unordered_set<Addr> returnTargets_;
+};
+
+} // namespace testing
+} // namespace rsel
+
+#endif // RSEL_TESTING_CFG_ORACLE_HPP

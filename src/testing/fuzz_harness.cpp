@@ -1,0 +1,98 @@
+#include "testing/fuzz_harness.hpp"
+
+#include <sstream>
+
+#include "driver/thread_pool.hpp"
+#include "program/trace_io.hpp"
+#include "testing/random_program.hpp"
+#include "testing/shrinker.hpp"
+
+namespace rsel {
+namespace testing {
+
+std::string
+fuzzCliLine(const GenSpec &spec, BrokenMode mode)
+{
+    std::string line = "rselect-fuzz --spec '" + spec.toString() + "'";
+    if (mode != BrokenMode::None)
+        line += std::string(" --break-selector ") +
+                brokenModeName(mode);
+    return line;
+}
+
+FuzzSummary
+runFuzz(const FuzzOptions &opts)
+{
+    // Specs derive serially from the seeds so the corpus is fixed
+    // before any parallelism starts.
+    std::vector<GenSpec> specs;
+    specs.reserve(opts.seeds);
+    for (std::uint64_t i = 0; i < opts.seeds; ++i) {
+        GenSpec spec = GenSpec::fromSeed(opts.startSeed + i);
+        if (opts.events != 0)
+            spec.events = opts.events;
+        spec.clamp();
+        specs.push_back(spec);
+    }
+
+    // Fan the checks out; results land in per-seed slots, so the
+    // collected outcome is independent of scheduling and job count.
+    std::vector<DiffReport> reports(specs.size());
+    if (opts.jobs == 1 || specs.size() <= 1) {
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            reports[i] = runDifferential(specs[i], opts.broken);
+    } else {
+        ThreadPool pool(opts.jobs == 0 ? ThreadPool::hardwareWorkers()
+                                       : opts.jobs);
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            pool.submit([&specs, &reports, &opts, i] {
+                // runDifferential never throws (pool contract).
+                reports[i] = runDifferential(specs[i], opts.broken);
+            });
+        }
+        pool.wait();
+    }
+
+    FuzzSummary summary;
+    summary.seedsRun = specs.size();
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (reports[i].error.empty())
+            continue;
+        ++summary.failures;
+
+        FuzzFailure failure;
+        failure.seed = opts.startSeed + i;
+        failure.spec = specs[i];
+        failure.error = reports[i].error;
+        failure.shrunkSpec = specs[i];
+        failure.shrunkError = reports[i].error;
+        failure.shrunkBlocks = reports[i].programBlocks;
+
+        if (opts.shrink &&
+            static_cast<std::uint32_t>(summary.detail.size()) <
+                opts.maxShrinks) {
+            const ShrinkOutcome shrunk = shrinkSpec(
+                specs[i], opts.broken, reports[i].error);
+            failure.shrunk = true;
+            failure.shrunkSpec = shrunk.spec;
+            failure.shrunkError = shrunk.error;
+            failure.shrunkBlocks = shrunk.programBlocks;
+        }
+
+        try {
+            std::ostringstream os;
+            saveProgram(generateProgram(failure.shrunkSpec), os);
+            failure.reproProgram = os.str();
+        } catch (const std::exception &e) {
+            failure.reproProgram =
+                std::string("<program generation failed: ") +
+                e.what() + ">";
+        }
+        failure.cliLine = fuzzCliLine(failure.shrunkSpec, opts.broken);
+        summary.detail.push_back(std::move(failure));
+    }
+    return summary;
+}
+
+} // namespace testing
+} // namespace rsel

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The deterministic fuzzing harness.
+ *
+ * Drives the differential oracle over a corpus of seeds: each seed
+ * maps to a GenSpec (GenSpec::fromSeed), each spec to a generated
+ * program and a full cross-selector differential check. Checks run
+ * in parallel on a thread pool, but results are reported in seed
+ * order and shrinking is serial, so the summary is identical for
+ * any job count — determinism is part of the contract.
+ *
+ * On failure the harness greedily shrinks the spec and emits a
+ * complete reproducer: the minimal spec string, the failure, the
+ * generated program text, and the rselect-fuzz command line that
+ * replays it.
+ */
+
+#ifndef RSEL_TESTING_FUZZ_HARNESS_HPP
+#define RSEL_TESTING_FUZZ_HARNESS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testing/differential.hpp"
+#include "testing/gen_spec.hpp"
+
+namespace rsel {
+namespace testing {
+
+/** Configuration of one fuzz run. */
+struct FuzzOptions
+{
+    /** Number of consecutive seeds to fuzz. */
+    std::uint64_t seeds = 25;
+    /** First seed. */
+    std::uint64_t startSeed = 1;
+    /** Worker threads; 0 = hardware concurrency, 1 = serial. */
+    std::size_t jobs = 0;
+    /** Override events per run (0 = keep each spec's own). */
+    std::uint64_t events = 0;
+    /** Optional selector sabotage (oracle self-test). */
+    BrokenMode broken = BrokenMode::None;
+    /** Shrink failing specs and build reproducers. */
+    bool shrink = true;
+    /** Shrink at most this many failures (the rest report as-is). */
+    std::uint32_t maxShrinks = 3;
+};
+
+/** One failing seed, with its reproducer. */
+struct FuzzFailure
+{
+    std::uint64_t seed = 0;
+    /** The spec derived from the seed. */
+    GenSpec spec;
+    /** Failure at the original spec. */
+    std::string error;
+    /** True if the shrinker ran for this failure. */
+    bool shrunk = false;
+    /** Minimal still-failing spec. */
+    GenSpec shrunkSpec;
+    /** Failure at the minimal spec. */
+    std::string shrunkError;
+    /** Static block count of the minimal spec's program. */
+    std::uint32_t shrunkBlocks = 0;
+    /** saveProgram text of the minimal program. */
+    std::string reproProgram;
+    /** Command line that replays the minimal failure. */
+    std::string cliLine;
+};
+
+/** Outcome of a fuzz run; identical for any job count. */
+struct FuzzSummary
+{
+    std::uint64_t seedsRun = 0;
+    std::uint64_t failures = 0;
+    std::vector<FuzzFailure> detail;
+};
+
+/** The rselect-fuzz command line replaying `spec` under `mode`. */
+std::string fuzzCliLine(const GenSpec &spec, BrokenMode mode);
+
+/** Run the corpus described by `opts`. */
+FuzzSummary runFuzz(const FuzzOptions &opts);
+
+} // namespace testing
+} // namespace rsel
+
+#endif // RSEL_TESTING_FUZZ_HARNESS_HPP

@@ -1,0 +1,175 @@
+#include "testing/gen_spec.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/random.hpp"
+
+namespace rsel {
+namespace testing {
+
+namespace {
+
+/** Field table: one row per knob, so toString/parse/== cannot drift. */
+struct FieldDef
+{
+    const char *key;
+    std::uint64_t GenSpec::*wide;
+    std::uint32_t GenSpec::*narrow;
+};
+
+const FieldDef fieldTable[] = {
+    {"funcs", nullptr, &GenSpec::funcs},
+    {"blocks", nullptr, &GenSpec::blocks},
+    {"loop", nullptr, &GenSpec::pLoop},
+    {"cond", nullptr, &GenSpec::pCond},
+    {"unbiased", nullptr, &GenSpec::pUnbiased},
+    {"phased", nullptr, &GenSpec::pPhased},
+    {"phases", nullptr, &GenSpec::phases},
+    {"indirect", nullptr, &GenSpec::pIndirect},
+    {"itargets", nullptr, &GenSpec::indirectTargets},
+    {"call", nullptr, &GenSpec::pCall},
+    {"jump", nullptr, &GenSpec::pJump},
+    {"trips", nullptr, &GenSpec::tripMax},
+    {"events", &GenSpec::events, nullptr},
+    {"cachekb", &GenSpec::cacheKb, nullptr},
+    {"bseed", &GenSpec::buildSeed, nullptr},
+    {"xseed", &GenSpec::execSeed, nullptr},
+};
+
+std::uint64_t
+getField(const GenSpec &s, const FieldDef &f)
+{
+    return f.wide ? s.*(f.wide) : s.*(f.narrow);
+}
+
+void
+setField(GenSpec &s, const FieldDef &f, std::uint64_t v)
+{
+    if (f.wide)
+        s.*(f.wide) = v;
+    else
+        s.*(f.narrow) = static_cast<std::uint32_t>(v);
+}
+
+void
+clampPct(std::uint32_t &v)
+{
+    v = std::min<std::uint32_t>(v, 100);
+}
+
+} // namespace
+
+void
+GenSpec::clamp()
+{
+    funcs = std::max<std::uint32_t>(1, std::min<std::uint32_t>(funcs, 16));
+    blocks = std::max<std::uint32_t>(2, std::min<std::uint32_t>(blocks, 32));
+    clampPct(pLoop);
+    clampPct(pCond);
+    clampPct(pUnbiased);
+    clampPct(pPhased);
+    clampPct(pIndirect);
+    clampPct(pCall);
+    clampPct(pJump);
+    phases = std::max<std::uint32_t>(1, std::min<std::uint32_t>(phases, 8));
+    indirectTargets = std::max<std::uint32_t>(
+        2, std::min<std::uint32_t>(indirectTargets, 8));
+    tripMax = std::max<std::uint32_t>(1, std::min<std::uint32_t>(tripMax, 64));
+    events = std::max<std::uint64_t>(100, std::min<std::uint64_t>(
+                                              events, 5'000'000));
+}
+
+std::string
+GenSpec::toString() const
+{
+    std::ostringstream os;
+    os << "v1";
+    for (const FieldDef &f : fieldTable)
+        os << "," << f.key << "=" << getField(*this, f);
+    return os.str();
+}
+
+GenSpec
+GenSpec::parse(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string part;
+    if (!std::getline(is, part, ',') || part != "v1")
+        fatal("bad spec string: expected leading \"v1\", got \"" + text +
+              "\"");
+
+    GenSpec spec;
+    while (std::getline(is, part, ',')) {
+        const std::size_t eq = part.find('=');
+        if (eq == std::string::npos)
+            fatal("bad spec field \"" + part + "\" (expected key=value)");
+        const std::string key = part.substr(0, eq);
+        const std::string val = part.substr(eq + 1);
+        const FieldDef *def = nullptr;
+        for (const FieldDef &f : fieldTable)
+            if (key == f.key)
+                def = &f;
+        if (!def)
+            fatal("unknown spec field \"" + key + "\"");
+        std::uint64_t v = 0;
+        try {
+            std::size_t used = 0;
+            v = std::stoull(val, &used);
+            if (used != val.size())
+                throw std::invalid_argument(val);
+        } catch (const std::exception &) {
+            fatal("bad value \"" + val + "\" for spec field \"" + key +
+                  "\"");
+        }
+        setField(spec, *def, v);
+    }
+    spec.clamp();
+    return spec;
+}
+
+GenSpec
+GenSpec::fromSeed(std::uint64_t seed)
+{
+    Rng rng(seed ^ 0xf5a7c15e9e3779b9ull);
+    GenSpec s;
+    s.funcs = static_cast<std::uint32_t>(rng.nextRange(1, 5));
+    s.blocks = static_cast<std::uint32_t>(rng.nextRange(2, 9));
+    s.pLoop = static_cast<std::uint32_t>(rng.nextRange(20, 70));
+    s.pCond = static_cast<std::uint32_t>(rng.nextRange(20, 60));
+    s.pUnbiased = static_cast<std::uint32_t>(rng.nextRange(0, 60));
+    s.pPhased = static_cast<std::uint32_t>(rng.nextRange(0, 50));
+    s.phases = static_cast<std::uint32_t>(rng.nextRange(1, 4));
+    s.pIndirect = static_cast<std::uint32_t>(rng.nextRange(0, 40));
+    s.indirectTargets = static_cast<std::uint32_t>(rng.nextRange(2, 4));
+    s.pCall = static_cast<std::uint32_t>(rng.nextRange(0, 50));
+    s.pJump = static_cast<std::uint32_t>(rng.nextRange(0, 25));
+    s.tripMax = static_cast<std::uint32_t>(rng.nextRange(2, 24));
+    s.events = rng.nextRange(10'000, 40'000);
+    // Mostly unbounded (the paper's methodology); occasionally a
+    // small bounded cache to exercise eviction and regeneration.
+    if (rng.nextBool(0.25)) {
+        static const std::uint64_t sizesKb[] = {4, 16, 64};
+        s.cacheKb = sizesKb[rng.nextBelow(3)];
+    } else {
+        s.cacheKb = 0;
+    }
+    s.buildSeed = seed;
+    s.execSeed = seed * 0x9e3779b97f4a7c15ull + 1;
+    s.clamp();
+    return s;
+}
+
+bool
+GenSpec::operator==(const GenSpec &other) const
+{
+    for (const FieldDef &f : fieldTable)
+        if (getField(*this, f) != getField(other, f))
+            return false;
+    return true;
+}
+
+} // namespace testing
+} // namespace rsel

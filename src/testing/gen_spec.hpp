@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The generator specification for random guest programs.
+ *
+ * A GenSpec is the entire input of the deterministic fuzzer: a small
+ * vector of integer knobs plus two seeds. Program generation is a
+ * pure function of the spec, so a spec string is a complete, portable
+ * reproducer — the shrinker minimizes specs, and the rselect-fuzz
+ * driver accepts them back via --spec.
+ */
+
+#ifndef RSEL_TESTING_GEN_SPEC_HPP
+#define RSEL_TESTING_GEN_SPEC_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace rsel {
+namespace testing {
+
+/**
+ * Knobs of the random program generator. All probabilities are in
+ * percent so specs round-trip exactly through their text form.
+ */
+struct GenSpec
+{
+    /** Number of functions (>= 1); the last one is the entry. */
+    std::uint32_t funcs = 2;
+    /** Maximum blocks per function (>= 2; actual count is random). */
+    std::uint32_t blocks = 6;
+    /** % chance an eligible block becomes a loop latch. */
+    std::uint32_t pLoop = 40;
+    /** % chance of a Bernoulli conditional branch. */
+    std::uint32_t pCond = 30;
+    /** Of those, % that are unbiased (taken prob near 0.5). */
+    std::uint32_t pUnbiased = 30;
+    /** % of cond/indirect behaviours that vary across phases. */
+    std::uint32_t pPhased = 25;
+    /** Phase count (1 = unphased). */
+    std::uint32_t phases = 1;
+    /** % chance of an indirect jump/call. */
+    std::uint32_t pIndirect = 15;
+    /** Targets per indirect branch (>= 2). */
+    std::uint32_t indirectTargets = 3;
+    /** % chance of a direct call to an earlier (lower) function. */
+    std::uint32_t pCall = 30;
+    /** % chance of a direct forward jump. */
+    std::uint32_t pJump = 10;
+    /** Loop trip counts drawn from [1, tripMax]. */
+    std::uint32_t tripMax = 12;
+    /** Dynamic block events per simulated run. */
+    std::uint64_t events = 30000;
+    /** Code-cache capacity in KiB (0 = unbounded). */
+    std::uint64_t cacheKb = 0;
+    /** Program-synthesis seed. */
+    std::uint64_t buildSeed = 1;
+    /** Executor (branch-resolution) seed. */
+    std::uint64_t execSeed = 1;
+
+    /** Clamp every knob into its legal range. */
+    void clamp();
+
+    /** Compact one-line text form ("v1,funcs=2,blocks=6,..."). */
+    std::string toString() const;
+
+    /**
+     * Parse the text form produced by toString().
+     * @throws FatalError on malformed input.
+     */
+    static GenSpec parse(const std::string &text);
+
+    /**
+     * Derive a randomized spec from a fuzz seed. This is the
+     * seed-to-program-space mapping: function counts, loop nests,
+     * unbiased and phased branches, indirect targets and
+     * interprocedural call structure all vary with the seed.
+     */
+    static GenSpec fromSeed(std::uint64_t seed);
+
+    bool operator==(const GenSpec &other) const;
+    bool operator!=(const GenSpec &other) const
+    {
+        return !(*this == other);
+    }
+};
+
+} // namespace testing
+} // namespace rsel
+
+#endif // RSEL_TESTING_GEN_SPEC_HPP

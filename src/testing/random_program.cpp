@@ -1,0 +1,226 @@
+#include "testing/random_program.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "program/program_builder.hpp"
+#include "support/random.hpp"
+
+namespace rsel {
+namespace testing {
+
+namespace {
+
+/** A taken probability near 0.5 (unbiased) or near 0/1 (biased). */
+double
+drawTakenProb(Rng &rng, bool unbiased)
+{
+    if (unbiased)
+        return 0.35 + 0.3 * rng.nextDouble();
+    if (rng.nextBool(0.5))
+        return 0.85 + 0.13 * rng.nextDouble();
+    return 0.02 + 0.13 * rng.nextDouble();
+}
+
+CondBehavior
+drawCondBehavior(Rng &rng, const GenSpec &spec)
+{
+    const bool unbiased = rng.nextBool(spec.pUnbiased / 100.0);
+    const bool phased =
+        spec.phases > 1 && rng.nextBool(spec.pPhased / 100.0);
+    if (!phased)
+        return CondBehavior::bernoulli(drawTakenProb(rng, unbiased));
+    std::vector<double> probs;
+    probs.reserve(spec.phases);
+    for (std::uint32_t p = 0; p < spec.phases; ++p)
+        probs.push_back(drawTakenProb(rng, unbiased));
+    return CondBehavior::phased(std::move(probs));
+}
+
+/** Sample up to `want` distinct entries from `pool` (consumed). */
+std::vector<BlockId>
+sampleDistinct(Rng &rng, std::vector<BlockId> pool, std::size_t want)
+{
+    std::vector<BlockId> out;
+    while (out.size() < want && !pool.empty()) {
+        const std::size_t i = rng.nextBelow(pool.size());
+        out.push_back(pool[i]);
+        pool.erase(pool.begin() +
+                   static_cast<std::ptrdiff_t>(i));
+    }
+    return out;
+}
+
+IndirectBehavior
+drawIndirectBehavior(Rng &rng, const GenSpec &spec,
+                     std::vector<BlockId> pool)
+{
+    std::vector<BlockId> targets = sampleDistinct(
+        rng, std::move(pool),
+        std::max<std::size_t>(1, spec.indirectTargets));
+    const bool phased =
+        spec.phases > 1 && rng.nextBool(spec.pPhased / 100.0);
+    const std::uint32_t nphases = phased ? spec.phases : 1;
+    IndirectBehavior b;
+    b.targets = std::move(targets);
+    for (std::uint32_t p = 0; p < nphases; ++p) {
+        std::vector<double> w;
+        w.reserve(b.targets.size());
+        for (std::size_t t = 0; t < b.targets.size(); ++t)
+            w.push_back(0.05 + rng.nextDouble());
+        b.weightsByPhase.push_back(std::move(w));
+    }
+    return b;
+}
+
+} // namespace
+
+Program
+generateProgram(const GenSpec &rawSpec)
+{
+    GenSpec spec = rawSpec;
+    spec.clamp();
+
+    Rng rng(spec.buildSeed ^ 0xc0ffee1234567890ull);
+    ProgramBuilder b(spec.buildSeed);
+
+    // Pass 1: create every function and block up front so indirect
+    // branches can target any block program-wide. The entry function
+    // is created LAST: callees then sit at lower addresses and every
+    // call is a backward transfer, giving the interprocedural-cycle
+    // shape (paper Figure 2) that distinguishes NET from LEI.
+    std::vector<std::vector<BlockId>> funcBlocks(spec.funcs);
+    std::vector<BlockId> allBlocks;
+    for (std::uint32_t f = 0; f < spec.funcs; ++f) {
+        const bool isEntry = f + 1 == spec.funcs;
+        b.beginFunction(isEntry ? "main" : "f" + std::to_string(f));
+        const std::uint32_t nb = static_cast<std::uint32_t>(
+            rng.nextRange(2, spec.blocks));
+        for (std::uint32_t k = 0; k < nb; ++k) {
+            const BlockId id = b.block(
+                static_cast<unsigned>(rng.nextRange(1, 8)));
+            funcBlocks[f].push_back(id);
+            allBlocks.push_back(id);
+        }
+    }
+
+    // Pass 2: terminators and behaviours. Blocks 0..nb-2 of each
+    // function get random terminators (their fall-through successor
+    // always exists); the last block returns — or halts in the entry
+    // function.
+    for (std::uint32_t f = 0; f < spec.funcs; ++f) {
+        const bool isEntry = f + 1 == spec.funcs;
+        const std::vector<BlockId> &bl = funcBlocks[f];
+        const std::uint32_t nb = static_cast<std::uint32_t>(bl.size());
+        bool hasBackEdge = false;
+        for (std::uint32_t k = 0; k + 1 < nb; ++k) {
+            const BlockId src = bl[k];
+
+            // The entry function's last assignable block is always a
+            // driver latch back to its top: usually with a huge trip
+            // count, so the program re-executes its structure until
+            // the event budget instead of halting after one pass
+            // (hot-threshold selectors need repetition). A minority
+            // of seeds keep a short trip count so early program halt
+            // stays covered too.
+            if (isEntry && k + 2 == nb) {
+                const std::uint32_t trips =
+                    rng.nextBool(0.9)
+                        ? 1'000'000'000
+                        : static_cast<std::uint32_t>(
+                              rng.nextRange(1, spec.tripMax));
+                b.loopTo(src, bl[0], trips, trips);
+                continue;
+            }
+
+            // Give every function of 3+ blocks at least one loop so
+            // selectors have hot cycles to find: if we reach the last
+            // assignable block without a back edge, force a latch.
+            if (k + 2 == nb && nb >= 3 && !hasBackEdge) {
+                const std::uint32_t tmin = static_cast<std::uint32_t>(
+                    rng.nextRange(1, spec.tripMax));
+                const std::uint32_t tmax = static_cast<std::uint32_t>(
+                    rng.nextRange(tmin, spec.tripMax));
+                b.loopTo(src, bl[0], tmin, tmax);
+                hasBackEdge = true;
+                continue;
+            }
+
+            const std::uint64_t roll = rng.nextBelow(100);
+            std::uint64_t acc = spec.pLoop;
+            if (roll < acc && k >= 1) {
+                const BlockId head =
+                    bl[rng.nextBelow(k)]; // strictly earlier block
+                const std::uint32_t tmin = static_cast<std::uint32_t>(
+                    rng.nextRange(1, spec.tripMax));
+                const std::uint32_t tmax = static_cast<std::uint32_t>(
+                    rng.nextRange(tmin, spec.tripMax));
+                b.loopTo(src, head, tmin, tmax);
+                hasBackEdge = true;
+                continue;
+            }
+            acc += spec.pCond;
+            if (roll < acc) {
+                // Any block except the fall-through successor: a
+                // taken target equal to the fall-through would make
+                // recorded streams ambiguous under replay.
+                std::uint32_t t = static_cast<std::uint32_t>(
+                    rng.nextBelow(nb - 1));
+                if (t >= k + 1)
+                    ++t;
+                b.condTo(src, bl[t], drawCondBehavior(rng, spec));
+                hasBackEdge = hasBackEdge || t <= k;
+                continue;
+            }
+            acc += spec.pIndirect;
+            if (roll < acc) {
+                const bool canCall = f > 0;
+                if (canCall && rng.nextBool(0.5)) {
+                    // Indirect call to earlier function entries.
+                    std::vector<BlockId> entries;
+                    for (std::uint32_t g = 0; g < f; ++g)
+                        entries.push_back(funcBlocks[g][0]);
+                    b.indirectCall(src, drawIndirectBehavior(
+                                            rng, spec,
+                                            std::move(entries)));
+                } else {
+                    b.indirectJump(src, drawIndirectBehavior(
+                                            rng, spec, allBlocks));
+                }
+                continue;
+            }
+            acc += spec.pCall;
+            if (roll < acc && f > 0) {
+                // Direct call, always to an earlier (lower-address)
+                // function: the call graph is a DAG, so recursion
+                // can never overflow the simulated call stack.
+                b.callTo(src, static_cast<FuncId>(rng.nextBelow(f)));
+                continue;
+            }
+            acc += spec.pJump;
+            if (roll < acc && k + 2 < nb) {
+                const std::uint32_t t = static_cast<std::uint32_t>(
+                    rng.nextRange(k + 2, nb - 1));
+                b.jumpTo(src, bl[t]);
+                continue;
+            }
+            // Fall through (BranchKind::None): nothing to set.
+        }
+        if (f + 1 == spec.funcs)
+            b.halt(bl[nb - 1]);
+        else
+            b.ret(bl[nb - 1]);
+    }
+
+    b.setEntry(b.functionEntry(spec.funcs - 1));
+    if (spec.phases > 1) {
+        std::vector<std::uint64_t> lengths;
+        for (std::uint32_t p = 0; p < spec.phases; ++p)
+            lengths.push_back(rng.nextRange(400, 2500));
+        b.setPhaseLengths(std::move(lengths));
+    }
+    return b.build();
+}
+
+} // namespace testing
+} // namespace rsel

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Seeded random guest-program generator.
+ *
+ * Maps a GenSpec deterministically onto a Program via the regular
+ * ProgramBuilder, sweeping the structural space region selection
+ * cares about: function counts, loop nests, biased / unbiased /
+ * phased conditional branches, indirect jumps and calls with
+ * weighted target sets, and interprocedural cycles (callees placed
+ * at lower addresses, so calls are backward transfers — the
+ * paper's Figure 2 shape that separates NET from LEI).
+ *
+ * Two invariants matter for the differential oracle:
+ *
+ *  - Generation is a pure function of the spec: the same GenSpec
+ *    always yields a byte-identical program (saveProgram text).
+ *  - No conditional branch targets its own fall-through block, so a
+ *    recorded block stream has exactly one legal annotation and
+ *    record→replay reproduces the live stream bit-for-bit.
+ */
+
+#ifndef RSEL_TESTING_RANDOM_PROGRAM_HPP
+#define RSEL_TESTING_RANDOM_PROGRAM_HPP
+
+#include "program/program.hpp"
+#include "testing/gen_spec.hpp"
+
+namespace rsel {
+namespace testing {
+
+/**
+ * Generate the program described by `spec` (clamped first).
+ * Deterministic in the spec. @throws FatalError only on builder
+ * inconsistencies, which would be generator bugs.
+ */
+Program generateProgram(const GenSpec &spec);
+
+} // namespace testing
+} // namespace rsel
+
+#endif // RSEL_TESTING_RANDOM_PROGRAM_HPP

@@ -1,0 +1,122 @@
+#include "testing/shrinker.hpp"
+
+#include <vector>
+
+#include "testing/random_program.hpp"
+
+namespace rsel {
+namespace testing {
+
+namespace {
+
+/**
+ * Candidate edits, most aggressive first so the common case (the
+ * bug does not need the feature) collapses in one step.
+ */
+std::vector<GenSpec>
+candidates(const GenSpec &cur)
+{
+    std::vector<GenSpec> out;
+    auto push = [&](GenSpec c) {
+        c.clamp();
+        if (c != cur)
+            out.push_back(c);
+    };
+
+    GenSpec c = cur;
+    c.funcs = 1;
+    push(c);
+    c = cur;
+    c.funcs = cur.funcs / 2;
+    push(c);
+    c = cur;
+    c.blocks = 2;
+    push(c);
+    c = cur;
+    c.blocks = cur.blocks / 2;
+    push(c);
+    c = cur;
+    c.blocks = cur.blocks - 1;
+    push(c);
+    c = cur;
+    c.events = 2000;
+    push(c);
+    c = cur;
+    c.events = cur.events / 2;
+    push(c);
+    c = cur;
+    c.pIndirect = 0;
+    push(c);
+    c = cur;
+    c.pCall = 0;
+    push(c);
+    c = cur;
+    c.phases = 1;
+    c.pPhased = 0;
+    push(c);
+    c = cur;
+    c.pUnbiased = 0;
+    push(c);
+    c = cur;
+    c.pJump = 0;
+    push(c);
+    c = cur;
+    c.pCond = 0;
+    push(c);
+    c = cur;
+    c.cacheKb = 0;
+    push(c);
+    c = cur;
+    c.tripMax = 2;
+    push(c);
+    c = cur;
+    c.indirectTargets = 2;
+    push(c);
+    return out;
+}
+
+std::uint32_t
+blockCountOf(const GenSpec &spec)
+{
+    try {
+        return static_cast<std::uint32_t>(
+            generateProgram(spec).blocks().size());
+    } catch (const std::exception &) {
+        return 0;
+    }
+}
+
+} // namespace
+
+ShrinkOutcome
+shrinkSpec(const GenSpec &failing, BrokenMode broken,
+           const std::string &origError, std::uint32_t maxAttempts)
+{
+    ShrinkOutcome out;
+    out.spec = failing;
+    out.spec.clamp();
+    out.error = origError;
+    out.programBlocks = blockCountOf(out.spec);
+
+    bool improved = true;
+    while (improved && out.attempts < maxAttempts) {
+        improved = false;
+        for (const GenSpec &cand : candidates(out.spec)) {
+            if (out.attempts >= maxAttempts)
+                break;
+            ++out.attempts;
+            const DiffReport rep = runDifferential(cand, broken);
+            if (rep.error.empty())
+                continue;
+            out.spec = cand;
+            out.error = rep.error;
+            out.programBlocks = rep.programBlocks;
+            improved = true;
+            break; // restart from the shrunk spec
+        }
+    }
+    return out;
+}
+
+} // namespace testing
+} // namespace rsel

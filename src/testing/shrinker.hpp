@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Greedy spec shrinker for failing differential checks.
+ *
+ * Because program generation is a pure function of the GenSpec,
+ * minimizing the *spec* minimizes the reproducer: the shrinker
+ * repeatedly tries structure-reducing spec edits (fewer functions,
+ * fewer blocks, fewer events, features switched off), keeps any
+ * edit under which the differential check still fails, and stops at
+ * a fixpoint. The result is a small failing spec whose program —
+ * typically a handful of blocks — ships as the reproducer.
+ */
+
+#ifndef RSEL_TESTING_SHRINKER_HPP
+#define RSEL_TESTING_SHRINKER_HPP
+
+#include "testing/differential.hpp"
+#include "testing/gen_spec.hpp"
+
+namespace rsel {
+namespace testing {
+
+/** Result of shrinking one failing spec. */
+struct ShrinkOutcome
+{
+    /** The minimal still-failing spec found. */
+    GenSpec spec;
+    /** Failure message at that spec. */
+    std::string error;
+    /** Static block count of the minimal spec's program. */
+    std::uint32_t programBlocks = 0;
+    /** Differential checks evaluated while shrinking. */
+    std::uint32_t attempts = 0;
+};
+
+/**
+ * Greedily minimize `failing` (a spec for which runDifferential
+ * reports a failure under `broken`). `origError` is that failure,
+ * kept if no candidate shrinks. Deterministic; bounded by
+ * `maxAttempts` differential evaluations.
+ */
+ShrinkOutcome shrinkSpec(const GenSpec &failing, BrokenMode broken,
+                         const std::string &origError,
+                         std::uint32_t maxAttempts = 300);
+
+} // namespace testing
+} // namespace rsel
+
+#endif // RSEL_TESTING_SHRINKER_HPP

@@ -148,5 +148,29 @@ TEST(ExitDominationTest, MultiplePredecessorsBlockDomination)
     EXPECT_LE(comb.exitDominatedRegions, comb.regionCount);
 }
 
+TEST(SimResultTest, ConservationClosesOnRealRunsAndFlagsTampering)
+{
+    Program p = buildNestedLoops();
+    SimOptions opts;
+    opts.maxEvents = 50'000;
+    for (Algorithm algo : allSelectors) {
+        SimResult r = simulate(p, algo, opts);
+        EXPECT_EQ(r.conservationError(), "") << algorithmName(algo);
+
+        // Each broken identity must be named, not silently passed.
+        SimResult bad = r;
+        bad.cachedInsts += 1;
+        EXPECT_NE(bad.conservationError(), "");
+        bad = r;
+        bad.regionCount += 1;
+        EXPECT_NE(bad.conservationError(), "");
+        if (!r.regions.empty()) {
+            bad = r;
+            bad.regions[0].executedInsts += 1;
+            EXPECT_NE(bad.conservationError(), "");
+        }
+    }
+}
+
 } // namespace
 } // namespace rsel

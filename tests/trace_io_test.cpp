@@ -12,6 +12,7 @@
 #include "dynopt/dynopt_system.hpp"
 #include "program/trace_io.hpp"
 #include "support/error.hpp"
+#include "testing/differential.hpp"
 #include "workloads/scenarios.hpp"
 #include "workloads/workloads.hpp"
 
@@ -114,6 +115,7 @@ TEST(TraceIoTest, RecordedTraceReplaysIdentically)
     Executor exec(p, 7);
     exec.run(200'000, tee);
     SimResult liveResult = live.finish();
+    writer.finish(); // seal the trace before replaying it
     EXPECT_EQ(writer.eventCount(), 200'000u);
 
     // Replay the trace into a fresh system: identical metrics.
@@ -140,6 +142,7 @@ TEST(TraceIoTest, ReplayerCanPause)
     TraceWriter writer(traceFile, p);
     Executor exec(p, 7);
     exec.run(1'000, writer);
+    writer.finish();
 
     class Count : public ExecutionSink
     {
@@ -158,6 +161,75 @@ TEST(TraceIoTest, ReplayerCanPause)
     EXPECT_EQ(replayer.run(10'000, sink), 700u);
     EXPECT_EQ(replayer.run(10, sink), 0u); // exhausted
     EXPECT_EQ(sink.n, 1'000u);
+    EXPECT_TRUE(replayer.atEnd());
+}
+
+namespace {
+
+class NullSink : public ExecutionSink
+{
+  public:
+    bool
+    onEvent(const ExecEvent &) override
+    {
+        return true;
+    }
+};
+
+/** Record `events` raw executor events of `p`, sealed. */
+std::string
+recordTrace(const Program &p, std::uint64_t seed, std::uint64_t events)
+{
+    std::ostringstream os;
+    TraceWriter writer(os, p);
+    Executor exec(p, seed);
+    exec.run(events, writer);
+    writer.finish();
+    return os.str();
+}
+
+} // namespace
+
+TEST(TraceIoTest, TruncatedTraceIsFatalNamingByteOffset)
+{
+    Program p = buildNestedLoops();
+    const std::string full = recordTrace(p, 7, 1'000);
+
+    // Chop the one-byte end-of-trace marker: the stream now ends at
+    // an event boundary but without the marker.
+    {
+        std::istringstream is(full.substr(0, full.size() - 1));
+        TraceReplayer replayer(p, is);
+        NullSink sink;
+        try {
+            replayer.run(10'000, sink);
+            FAIL() << "truncated trace replayed without error";
+        } catch (const FatalError &e) {
+            EXPECT_NE(std::string(e.what()).find("byte offset"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+
+    // Cut mid-event: drop the marker AND leave a dangling
+    // continuation byte (high bit set), i.e. a cut mid-LEB128.
+    {
+        std::string cut = full.substr(0, full.size() - 1);
+        cut += static_cast<char>(0x80);
+        std::istringstream is(cut);
+        TraceReplayer replayer(p, is);
+        NullSink sink;
+        try {
+            replayer.run(10'000, sink);
+            FAIL() << "mid-LEB128 cut replayed without error";
+        } catch (const FatalError &e) {
+            const std::string what = e.what();
+            EXPECT_NE(what.find("mid-LEB128"), std::string::npos)
+                << what;
+            EXPECT_NE(what.find("byte offset"), std::string::npos)
+                << what;
+        }
+    }
 }
 
 TEST(TraceIoTest, MalformedInputsAreFatal)
@@ -212,6 +284,40 @@ TEST(TraceIoTest, MalformedInputsAreFatal)
             << "block 1 4 cond 0\n"
             << "block 1 4 halt\n";
         EXPECT_THROW(loadProgram(bad), FatalError);
+    }
+}
+
+// Property: for EVERY shipped selector — not just NET — replaying a
+// recorded trace yields a SimResult identical field-for-field to the
+// live run that produced the stream.
+TEST(TraceIoTest, ReplayMatchesLiveUnderEverySelector)
+{
+    Program p = buildGzip(42);
+    const std::uint64_t seed = 7, events = 60'000;
+    const std::string trace = recordTrace(p, seed, events);
+
+    for (const Algorithm algo : allSelectors) {
+        SimOptions opts;
+        opts.maxEvents = events;
+        opts.seed = seed;
+
+        DynOptSystem live(p);
+        attachAlgorithm(live, algo, opts);
+        Executor exec(p, seed);
+        exec.run(events, live);
+        const SimResult liveResult = live.finish();
+
+        DynOptSystem replayed(p);
+        attachAlgorithm(replayed, algo, opts);
+        std::istringstream is(trace);
+        TraceReplayer replayer(p, is);
+        EXPECT_EQ(replayer.run(events, replayed), events)
+            << algorithmName(algo);
+        const SimResult replayResult = replayed.finish();
+
+        EXPECT_EQ(testing::resultFingerprint(replayResult),
+                  testing::resultFingerprint(liveResult))
+            << algorithmName(algo);
     }
 }
 

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * rselect-fuzz: deterministic fuzzing and differential-oracle driver.
+ *
+ * Two modes:
+ *
+ *  - Corpus mode (default): fuzz a consecutive range of seeds. Each
+ *    seed maps to a random-program spec; each spec runs the full
+ *    cross-selector differential check (transparency, conservation,
+ *    region legality, record→replay round trip). Failures are
+ *    shrunk and printed with a complete reproducer.
+ *  - Spec mode (--spec): run one differential check for an explicit
+ *    spec string, e.g. a reproducer printed by a previous run.
+ *
+ * --break-selector plants a deliberate selector bug (oracle
+ * self-test); such runs are EXPECTED to report failures, and the
+ * exit code still signals whether failures were found (0 = none,
+ * 1 = found), so the caller asserts the direction it expects.
+ */
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "program/trace_io.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "testing/fuzz_harness.hpp"
+#include "testing/random_program.hpp"
+#include "testing/shrinker.hpp"
+
+using namespace rsel;
+using namespace rsel::testing;
+
+namespace {
+
+void
+printFailure(const FuzzFailure &f)
+{
+    std::printf("FAILURE seed=%llu\n",
+                static_cast<unsigned long long>(f.seed));
+    std::printf("  spec:  %s\n", f.spec.toString().c_str());
+    std::printf("  error: %s\n", f.error.c_str());
+    if (f.shrunk) {
+        std::printf("  shrunk spec:  %s\n",
+                    f.shrunkSpec.toString().c_str());
+        std::printf("  shrunk error: %s\n", f.shrunkError.c_str());
+        std::printf("  shrunk program: %u blocks\n", f.shrunkBlocks);
+    }
+    std::printf("  repro: %s\n", f.cliLine.c_str());
+    std::printf("  program:\n");
+    // Indent the saveProgram text so reproducers stand out in logs.
+    std::string line;
+    for (const char c : f.reproProgram) {
+        if (c == '\n') {
+            std::printf("    %s\n", line.c_str());
+            line.clear();
+        } else {
+            line += c;
+        }
+    }
+    if (!line.empty())
+        std::printf("    %s\n", line.c_str());
+}
+
+int
+runSpecMode(const std::string &specText, BrokenMode broken,
+            bool shrink)
+{
+    const GenSpec spec = GenSpec::parse(specText);
+    const DiffReport report = runDifferential(spec, broken);
+    if (report.error.empty()) {
+        std::printf("spec OK (%u blocks): %s\n", report.programBlocks,
+                    spec.toString().c_str());
+        return 0;
+    }
+    FuzzFailure failure;
+    failure.spec = spec;
+    failure.error = report.error;
+    failure.shrunkSpec = spec;
+    failure.shrunkError = report.error;
+    failure.shrunkBlocks = report.programBlocks;
+    if (shrink) {
+        const ShrinkOutcome shrunk =
+            shrinkSpec(spec, broken, report.error);
+        failure.shrunk = true;
+        failure.shrunkSpec = shrunk.spec;
+        failure.shrunkError = shrunk.error;
+        failure.shrunkBlocks = shrunk.programBlocks;
+    }
+    std::ostringstream os;
+    try {
+        saveProgram(generateProgram(failure.shrunkSpec), os);
+    } catch (const std::exception &e) {
+        os << "<program generation failed: " << e.what() << ">";
+    }
+    failure.reproProgram = os.str();
+    failure.cliLine = fuzzCliLine(failure.shrunkSpec, broken);
+    printFailure(failure);
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions cli;
+    cli.define("seeds", "25", "number of consecutive seeds to fuzz");
+    cli.define("start-seed", "1", "first seed of the corpus");
+    cli.define("jobs", "0",
+               "worker threads (0 = hardware, 1 = serial)");
+    cli.define("events", "0",
+               "override events per run (0 = per-spec default)");
+    cli.define("break-selector", "none",
+               "plant a selector bug: none, disconnect, resubmit");
+    cli.define("spec", "",
+               "run one explicit spec instead of a seed corpus");
+    cli.define("no-shrink", "false", "skip shrinking failing specs");
+
+    try {
+        cli.parse(argc, argv);
+        if (cli.helpRequested()) {
+            std::fputs(cli.usage(argv[0]).c_str(), stdout);
+            return 0;
+        }
+
+        const BrokenMode broken =
+            parseBrokenMode(cli.get("break-selector"));
+        const bool shrink = !cli.getBool("no-shrink");
+
+        if (!cli.get("spec").empty())
+            return runSpecMode(cli.get("spec"), broken, shrink);
+
+        FuzzOptions opts;
+        opts.seeds = cli.getUint("seeds");
+        opts.startSeed = cli.getUint("start-seed");
+        opts.jobs = static_cast<std::size_t>(cli.getUint("jobs"));
+        opts.events = cli.getUint("events");
+        opts.broken = broken;
+        opts.shrink = shrink;
+
+        const FuzzSummary summary = runFuzz(opts);
+        std::printf("fuzz: %llu seeds (start %llu), %llu failure%s\n",
+                    static_cast<unsigned long long>(summary.seedsRun),
+                    static_cast<unsigned long long>(opts.startSeed),
+                    static_cast<unsigned long long>(summary.failures),
+                    summary.failures == 1 ? "" : "s");
+        for (const FuzzFailure &f : summary.detail)
+            printFailure(f);
+        if (summary.failures >
+            static_cast<std::uint64_t>(summary.detail.size()))
+            std::printf("(%llu further failing seeds not detailed)\n",
+                        static_cast<unsigned long long>(
+                            summary.failures - summary.detail.size()));
+        return summary.failures == 0 ? 0 : 1;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "internal error: %s\n", e.what());
+        return 2;
+    }
+}

@@ -206,6 +206,7 @@ main(int argc, char **argv)
                     cli.getUint("events") != 0 ? cli.getUint("events")
                                                : 1'000'000;
                 exec.run(events, writer);
+                writer.finish();
                 std::cout << "wrote " << writer.eventCount()
                           << " events to "
                           << cli.get("record-trace") << '\n';
