@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Cost of verify-on-submit: wall-clock overhead of running the
+ * static RegionVerifier on every emitted region (plus the final
+ * duplication accountant) relative to an unverified simulation.
+ *
+ * Verification work scales with regions *selected*, not events
+ * *executed*, so on realistic workloads — thousands of events per
+ * selected region — the overhead target is well under 10%. One row
+ * per workload: events/second plain, events/second verified, the
+ * overhead percentage, and the regions and warnings the verifier
+ * saw.
+ */
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace rsel::bench {
+namespace {
+
+double
+eventsPerSecond(const Program &prog, const SimOptions &opts,
+                std::uint64_t events)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point start = Clock::now();
+    const SimResult r = simulate(prog, Algorithm::Lei, opts);
+    const std::chrono::duration<double> dt = Clock::now() - start;
+    (void)r;
+    return static_cast<double>(events) / dt.count();
+}
+
+int
+run(const BenchOptions &opts)
+{
+    Table table(
+        "Verify-on-submit overhead (LEI, events/second)",
+        {"benchmark", "plain ev/s", "verified ev/s", "overhead",
+         "regions", "warnings"});
+
+    SuiteRunner suite(opts); // reuses the common workload filtering
+    std::vector<double> overheads;
+    for (const WorkloadInfo *w : suite.workloads()) {
+        const Program prog = w->build(opts.buildSeed);
+        const std::uint64_t events =
+            opts.events != 0 ? opts.events : w->defaultEvents;
+
+        SimOptions sim = opts.simOptions();
+        sim.maxEvents = events;
+        // Warm-up run keeps one-time costs (page faults, allocator
+        // growth) out of both measurements.
+        (void)simulate(prog, Algorithm::Lei, sim);
+        const double plain = eventsPerSecond(prog, sim, events);
+        sim.verifyRegions = true;
+        const double verified = eventsPerSecond(prog, sim, events);
+
+        // Region/warning counts come from a direct system so the
+        // verifier diagnostics are observable.
+        DynOptSystem sys(prog);
+        attachAlgorithm(sys, Algorithm::Lei, sim);
+        sys.enableVerifyOnSubmit();
+        Executor exec(prog, sim.seed);
+        exec.run(events, sys);
+        const SimResult res = sys.finish();
+
+        const double overhead = plain / verified - 1.0;
+        overheads.push_back(overhead);
+        table.addRow({w->name, formatDouble(plain / 1e6, 2) + "M",
+                      formatDouble(verified / 1e6, 2) + "M",
+                      formatPercent(overhead),
+                      std::to_string(res.regionCount),
+                      std::to_string(
+                          sys.verifyDiagnostics().warningCount())});
+    }
+
+    double sum = 0.0;
+    for (const double o : overheads)
+        sum += o;
+    table.addSummaryRow(
+        {"average", "", "",
+         formatPercent(sum / static_cast<double>(overheads.size())),
+         "", ""});
+    table.print(std::cout);
+    return 0;
+}
+
+} // namespace
+} // namespace rsel::bench
+
+int
+main(int argc, char **argv)
+{
+    const rsel::bench::BenchOptions opts = rsel::bench::parseArgs(
+        argc, argv,
+        "Wall-clock overhead of static region verification "
+        "(verify-on-submit) relative to an unverified run.");
+    return rsel::bench::run(opts);
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The AnalysisManager: cached static facts per guest Program and per
+ * cached Region.
+ *
+ * `ProgramFacts` adapts a `Program` onto the node-index `DiGraph`:
+ * one node per basic block, one edge per *possible* dynamic control
+ * transfer — fall-through adjacency, static taken targets, declared
+ * indirect targets, and the conservative return edge to every call
+ * fall-through (the same edge relation as the testing layer's
+ * independent `CfgOracle`, recomputed here from first principles so
+ * the analysis layer does not depend on the testing layer). On top
+ * of the graph sit the shared dataflow facts (`CfgFacts`): dominator
+ * tree, reachability, RPO, SCCs, natural loops, predecessor lists.
+ *
+ * `MemberFacts` is the induced possible-edge subgraph over a region
+ * member list — what the region passes run on.
+ *
+ * Facts are computed once per Program (keyed by object identity) and
+ * once per cached Region, then reused by every verifier pass.
+ */
+
+#ifndef RSEL_ANALYSIS_ANALYSIS_MANAGER_HPP
+#define RSEL_ANALYSIS_ANALYSIS_MANAGER_HPP
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/cfg_facts.hpp"
+#include "program/program.hpp"
+#include "runtime/region.hpp"
+
+namespace rsel {
+namespace analysis {
+
+/** Static facts about one Program, computed once. */
+struct ProgramFacts
+{
+    const Program *prog = nullptr;
+    /** Possible-dynamic-CFG: node i == BlockId i. */
+    DiGraph graph{0};
+    /** Dataflow facts rooted at the program entry. */
+    CfgFacts cfg;
+    /** Fall-through addresses of call blocks (return landing pads). */
+    std::unordered_set<Addr> returnTargets;
+
+    /** True if control can transfer from `from` to `to` dynamically. */
+    bool possibleEdge(const BasicBlock &from, const BasicBlock &to) const
+    {
+        return graph.hasEdge(from.id(), to.id());
+    }
+};
+
+/** Build the facts for one program (uncached form). */
+ProgramFacts buildProgramFacts(const Program &prog);
+
+/**
+ * Induced possible-edge subgraph over a region member list. Node i
+ * is members[i]; the entry is node 0.
+ */
+struct MemberFacts
+{
+    std::vector<const BasicBlock *> members;
+    DiGraph graph{0};
+    /** Dataflow facts rooted at the region entry (node 0). */
+    CfgFacts cfg;
+    /** True if the induced subgraph contains any cycle. */
+    bool hasCycle = false;
+
+    /** Local node index of a member block id; invalidNode if absent. */
+    std::uint32_t localIndex(BlockId id) const;
+
+  private:
+    friend MemberFacts buildMemberFacts(
+        const ProgramFacts &pf,
+        const std::vector<const BasicBlock *> &members);
+    std::unordered_map<BlockId, std::uint32_t> index_;
+};
+
+/** Build the induced-subgraph facts for one member list. */
+MemberFacts buildMemberFacts(
+    const ProgramFacts &pf,
+    const std::vector<const BasicBlock *> &members);
+
+/**
+ * Owns and caches facts. Programs are keyed by object identity (the
+ * caller guarantees the Program outlives the manager or calls
+ * invalidate()); cached Regions likewise.
+ */
+class AnalysisManager
+{
+  public:
+    /** Facts for `prog`, computed on first use. */
+    const ProgramFacts &facts(const Program &prog);
+
+    /** Induced facts for a cached region, computed on first use. */
+    const MemberFacts &regionFacts(const Program &prog,
+                                   const Region &region);
+
+    /** Drop cached facts for `prog` (and its regions). */
+    void invalidate(const Program &prog);
+
+  private:
+    std::unordered_map<const Program *, std::unique_ptr<ProgramFacts>>
+        programs_;
+    std::unordered_map<const Region *, std::unique_ptr<MemberFacts>>
+        regions_;
+};
+
+} // namespace analysis
+} // namespace rsel
+
+#endif // RSEL_ANALYSIS_ANALYSIS_MANAGER_HPP

@@ -1,0 +1,264 @@
+#include "analysis/cfg_facts.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rsel {
+namespace analysis {
+
+void
+DiGraph::addEdge(std::uint32_t from, std::uint32_t to)
+{
+    std::vector<std::uint32_t> &out = succs_[from];
+    if (std::find(out.begin(), out.end(), to) != out.end())
+        return;
+    out.push_back(to);
+    ++edges_;
+}
+
+bool
+DiGraph::hasEdge(std::uint32_t from, std::uint32_t to) const
+{
+    const std::vector<std::uint32_t> &out = succs_[from];
+    return std::find(out.begin(), out.end(), to) != out.end();
+}
+
+namespace {
+
+/** Post order of the nodes reachable from `entry` (iterative DFS). */
+std::vector<std::uint32_t>
+postOrder(const DiGraph &g, std::uint32_t entry,
+          std::vector<std::uint8_t> &reachable)
+{
+    std::vector<std::uint32_t> post;
+    if (g.size() == 0 || entry >= g.size())
+        return post;
+    std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+    reachable[entry] = 1;
+    stack.emplace_back(entry, 0);
+    while (!stack.empty()) {
+        auto &[node, child] = stack.back();
+        if (child < g.succs(node).size()) {
+            const std::uint32_t succ = g.succs(node)[child++];
+            if (!reachable[succ]) {
+                reachable[succ] = 1;
+                stack.emplace_back(succ, 0);
+            }
+        } else {
+            post.push_back(node);
+            stack.pop_back();
+        }
+    }
+    return post;
+}
+
+/**
+ * Cooper–Harvey–Kennedy: iterate "idom[n] = intersect of processed
+ * preds" over reverse post order to a fixpoint.
+ */
+void
+computeDominators(const CfgFacts &f, std::vector<std::uint32_t> &idom)
+{
+    if (f.rpo.empty())
+        return;
+    std::vector<std::uint32_t> order(idom.size(), invalidNode);
+    for (std::uint32_t i = 0; i < f.rpo.size(); ++i)
+        order[f.rpo[i]] = i;
+
+    const auto intersect = [&](std::uint32_t a, std::uint32_t b) {
+        while (a != b) {
+            while (order[a] > order[b])
+                a = idom[a];
+            while (order[b] > order[a])
+                b = idom[b];
+        }
+        return a;
+    };
+
+    idom[f.entry] = f.entry;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const std::uint32_t node : f.rpo) {
+            if (node == f.entry)
+                continue;
+            std::uint32_t best = invalidNode;
+            for (const std::uint32_t pred : f.preds[node]) {
+                if (idom[pred] == invalidNode)
+                    continue; // unreachable or not yet processed
+                best = best == invalidNode ? pred
+                                           : intersect(pred, best);
+            }
+            if (best != invalidNode && idom[node] != best) {
+                idom[node] = best;
+                changed = true;
+            }
+        }
+    }
+}
+
+/** Iterative Tarjan SCC over every node (reachable or not). */
+void
+computeSccs(const DiGraph &g, CfgFacts &f)
+{
+    const std::uint32_t n = g.size();
+    f.sccId.assign(n, invalidNode);
+    std::vector<std::uint32_t> num(n, invalidNode), low(n, 0);
+    std::vector<std::uint32_t> sccStack;
+    std::vector<std::uint8_t> onStack(n, 0);
+    std::uint32_t counter = 0;
+
+    struct Frame
+    {
+        std::uint32_t node;
+        std::size_t child;
+    };
+    std::vector<Frame> stack;
+
+    for (std::uint32_t root = 0; root < n; ++root) {
+        if (num[root] != invalidNode)
+            continue;
+        num[root] = low[root] = counter++;
+        sccStack.push_back(root);
+        onStack[root] = 1;
+        stack.push_back({root, 0});
+        while (!stack.empty()) {
+            Frame &fr = stack.back();
+            if (fr.child < g.succs(fr.node).size()) {
+                const std::uint32_t succ = g.succs(fr.node)[fr.child++];
+                if (num[succ] == invalidNode) {
+                    num[succ] = low[succ] = counter++;
+                    sccStack.push_back(succ);
+                    onStack[succ] = 1;
+                    stack.push_back({succ, 0});
+                } else if (onStack[succ]) {
+                    low[fr.node] = std::min(low[fr.node], num[succ]);
+                }
+            } else {
+                if (low[fr.node] == num[fr.node]) {
+                    const std::uint32_t id = f.sccCount++;
+                    while (true) {
+                        const std::uint32_t v = sccStack.back();
+                        sccStack.pop_back();
+                        onStack[v] = 0;
+                        f.sccId[v] = id;
+                        if (v == fr.node)
+                            break;
+                    }
+                }
+                const std::uint32_t done = fr.node;
+                stack.pop_back();
+                if (!stack.empty()) {
+                    Frame &parent = stack.back();
+                    low[parent.node] =
+                        std::min(low[parent.node], low[done]);
+                }
+            }
+        }
+    }
+
+    std::vector<std::uint32_t> sizes(f.sccCount, 0);
+    for (std::uint32_t v = 0; v < n; ++v)
+        ++sizes[f.sccId[v]];
+    f.sccIsCycle.assign(f.sccCount, 0);
+    f.sccHasExit.assign(f.sccCount, 0);
+    for (std::uint32_t id = 0; id < f.sccCount; ++id)
+        if (sizes[id] > 1)
+            f.sccIsCycle[id] = 1;
+    for (std::uint32_t from = 0; from < n; ++from) {
+        for (const std::uint32_t to : g.succs(from)) {
+            if (f.sccId[from] == f.sccId[to]) {
+                if (from == to)
+                    f.sccIsCycle[f.sccId[from]] = 1;
+            } else {
+                f.sccHasExit[f.sccId[from]] = 1;
+            }
+        }
+    }
+}
+
+/** Natural loops from reachable back edges a -> header. */
+void
+computeLoops(const DiGraph &g, CfgFacts &f)
+{
+    // header -> body (accumulated across all back edges to it).
+    std::vector<std::vector<std::uint32_t>> bodies(g.size());
+    std::vector<std::uint8_t> isHeader(g.size(), 0);
+    for (std::uint32_t a = 0; a < g.size(); ++a) {
+        if (!f.reachable[a])
+            continue;
+        for (const std::uint32_t header : g.succs(a)) {
+            if (!f.reachable[header] || !f.dominates(header, a))
+                continue;
+            isHeader[header] = 1;
+            // Classic backward walk from the latch to the header.
+            std::vector<std::uint8_t> inBody(g.size(), 0);
+            for (const std::uint32_t known : bodies[header])
+                inBody[known] = 1;
+            inBody[header] = 1;
+            std::vector<std::uint32_t> work{a};
+            while (!work.empty()) {
+                const std::uint32_t v = work.back();
+                work.pop_back();
+                if (inBody[v])
+                    continue;
+                inBody[v] = 1;
+                bodies[header].push_back(v);
+                for (const std::uint32_t p : f.preds[v])
+                    if (f.reachable[p])
+                        work.push_back(p);
+            }
+        }
+    }
+    for (std::uint32_t header = 0; header < g.size(); ++header) {
+        if (!isHeader[header])
+            continue;
+        NaturalLoop loop;
+        loop.header = header;
+        loop.body = std::move(bodies[header]);
+        std::sort(loop.body.begin(), loop.body.end());
+        loop.body.insert(loop.body.begin(), header);
+        f.loops.push_back(std::move(loop));
+    }
+}
+
+} // namespace
+
+CfgFacts
+CfgFacts::compute(const DiGraph &graph, std::uint32_t entry)
+{
+    const std::uint32_t n = graph.size();
+    CfgFacts f;
+    f.entry = entry;
+    f.preds.assign(n, {});
+    for (std::uint32_t from = 0; from < n; ++from)
+        for (const std::uint32_t to : graph.succs(from))
+            f.preds[to].push_back(from);
+
+    f.reachable.assign(n, 0);
+    const std::vector<std::uint32_t> post =
+        postOrder(graph, entry, f.reachable);
+    f.rpo.assign(post.rbegin(), post.rend());
+    f.reachableCount = static_cast<std::uint32_t>(f.rpo.size());
+
+    f.idom.assign(n, invalidNode);
+    computeDominators(f, f.idom);
+    computeSccs(graph, f);
+    computeLoops(graph, f);
+    return f;
+}
+
+bool
+CfgFacts::dominates(std::uint32_t a, std::uint32_t b) const
+{
+    while (true) {
+        if (b == a)
+            return true;
+        if (b >= idom.size() || b == entry || idom[b] == invalidNode)
+            return false;
+        b = idom[b];
+    }
+}
+
+} // namespace analysis
+} // namespace rsel

@@ -1,0 +1,234 @@
+#include "analysis/program_verifier.hpp"
+
+namespace rsel {
+namespace analysis {
+
+namespace {
+
+std::string
+blockObject(const BasicBlock &b)
+{
+    return "block " + std::to_string(b.id());
+}
+
+void
+checkBranchTargets(const ProgramFacts &pf, DiagnosticEngine &diag)
+{
+    const Program &prog = *pf.prog;
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(prog.blocks().size());
+    for (const BasicBlock &b : prog.blocks()) {
+        switch (b.terminator()) {
+        case BranchKind::CondDirect:
+        case BranchKind::Jump:
+        case BranchKind::Call:
+            if (prog.blockAtAddr(b.takenTarget()) == nullptr)
+                diag.error("branch-targets", blockObject(b),
+                           "taken target " +
+                               std::to_string(b.takenTarget()) +
+                               " is not a block start");
+            break;
+        case BranchKind::IndirectJump:
+        case BranchKind::IndirectCall:
+            if (!prog.hasIndirectBehavior(b.id()))
+                break; // reported by the behaviors pass
+            for (const BlockId t :
+                 prog.indirectBehavior(b.id()).targets)
+                if (t >= n)
+                    diag.error("branch-targets", blockObject(b),
+                               "indirect target id " +
+                                   std::to_string(t) +
+                                   " is out of range");
+            break;
+        default:
+            break;
+        }
+    }
+}
+
+void
+checkFallthrough(const ProgramFacts &pf, DiagnosticEngine &diag)
+{
+    const Program &prog = *pf.prog;
+    for (const BasicBlock &b : prog.blocks()) {
+        if (!canFallThrough(b.terminator()))
+            continue;
+        if (prog.fallThroughOf(b) == nullptr)
+            diag.error("fallthrough", blockObject(b),
+                       "fall-through address " +
+                           std::to_string(b.fallThroughAddr()) +
+                           " is not a block start");
+    }
+}
+
+void
+checkBehaviors(const ProgramFacts &pf, DiagnosticEngine &diag)
+{
+    const Program &prog = *pf.prog;
+    for (const BasicBlock &b : prog.blocks()) {
+        if (b.terminator() == BranchKind::CondDirect) {
+            if (!prog.hasCondBehavior(b.id())) {
+                diag.error("behaviors", blockObject(b),
+                           "conditional block has no behaviour "
+                           "annotation");
+                continue;
+            }
+            const CondBehavior &cb = prog.condBehavior(b.id());
+            if (cb.kind == CondBehavior::Kind::Bernoulli &&
+                cb.takenProbByPhase.empty())
+                diag.error("behaviors", blockObject(b),
+                           "Bernoulli branch has no per-phase "
+                           "probabilities");
+            if (cb.kind == CondBehavior::Kind::Loop &&
+                (cb.tripMin < 1 || cb.tripMax < cb.tripMin))
+                diag.error("behaviors", blockObject(b),
+                           "loop latch has an empty trip range");
+        } else if (b.terminator() == BranchKind::IndirectJump ||
+                   b.terminator() == BranchKind::IndirectCall) {
+            // Not isIndirect(): that also covers Return, which is
+            // resolved through the call stack and has no annotation.
+            if (!prog.hasIndirectBehavior(b.id())) {
+                diag.error("behaviors", blockObject(b),
+                           "indirect block has no behaviour "
+                           "annotation");
+                continue;
+            }
+            const IndirectBehavior &ib =
+                prog.indirectBehavior(b.id());
+            if (ib.targets.empty()) {
+                diag.error("behaviors", blockObject(b),
+                           "indirect block declares no targets");
+                continue;
+            }
+            if (ib.weightsByPhase.empty())
+                diag.error("behaviors", blockObject(b),
+                           "indirect block has no per-phase weights");
+            for (const std::vector<double> &w : ib.weightsByPhase)
+                if (w.size() != ib.targets.size())
+                    diag.error("behaviors", blockObject(b),
+                               "weight vector size does not match "
+                               "the target count");
+        }
+    }
+}
+
+void
+checkEntry(const ProgramFacts &pf, DiagnosticEngine &diag)
+{
+    const Program &prog = *pf.prog;
+    if (prog.blocks().empty()) {
+        diag.error("entry", "program", "program has no blocks");
+        return;
+    }
+    if (prog.entry() >= prog.blocks().size()) {
+        diag.error("entry", "program",
+                   "entry block id " + std::to_string(prog.entry()) +
+                       " is out of range");
+        return;
+    }
+    for (const Function &f : pf.prog->functions())
+        if (f.entry == prog.entry())
+            return;
+    diag.warning("entry", "program",
+                 "entry block does not start any function");
+}
+
+void
+lintUnreachable(const ProgramFacts &pf, DiagnosticEngine &diag)
+{
+    constexpr std::size_t maxListed = 10;
+    std::size_t unreachable = 0;
+    for (const BasicBlock &b : pf.prog->blocks()) {
+        if (pf.cfg.reachable[b.id()])
+            continue;
+        ++unreachable;
+        if (unreachable <= maxListed)
+            diag.warning("unreachable-code", blockObject(b),
+                         "no possible path from the program entry "
+                         "reaches this block");
+    }
+    if (unreachable > maxListed)
+        diag.warning("unreachable-code", "program",
+                     std::to_string(unreachable - maxListed) +
+                         " further unreachable blocks not listed");
+}
+
+void
+lintDeadFunctions(const ProgramFacts &pf, DiagnosticEngine &diag)
+{
+    for (const Function &f : pf.prog->functions()) {
+        bool live = false;
+        for (BlockId id = f.firstBlock; id < f.lastBlock; ++id)
+            if (id < pf.cfg.reachable.size() &&
+                pf.cfg.reachable[id]) {
+                live = true;
+                break;
+            }
+        if (!live)
+            diag.warning("dead-function", "function " + f.name,
+                         "no block of this function is reachable");
+    }
+}
+
+void
+lintNoExitSccs(const ProgramFacts &pf, DiagnosticEngine &diag)
+{
+    const Program &prog = *pf.prog;
+    // A reachable, cyclic component with no leaving edge and no Halt
+    // terminator can never hand control back: a static livelock.
+    std::vector<std::uint8_t> bad(pf.cfg.sccCount, 0);
+    std::vector<std::uint32_t> witness(pf.cfg.sccCount, invalidNode);
+    for (std::uint32_t id = 0; id < pf.cfg.sccCount; ++id)
+        bad[id] = pf.cfg.sccIsCycle[id] && !pf.cfg.sccHasExit[id];
+    for (const BasicBlock &b : prog.blocks()) {
+        const std::uint32_t id = pf.cfg.sccId[b.id()];
+        if (!bad[id])
+            continue;
+        if (!pf.cfg.reachable[b.id()] ||
+            b.terminator() == BranchKind::Halt)
+            bad[id] = 0;
+        else if (witness[id] == invalidNode)
+            witness[id] = b.id();
+    }
+    for (std::uint32_t id = 0; id < pf.cfg.sccCount; ++id)
+        if (bad[id] && witness[id] != invalidNode)
+            diag.warning("no-exit-scc",
+                         "scc containing block " +
+                             std::to_string(witness[id]),
+                         "reachable cycle with no exit edge and no "
+                         "halt: the program cannot terminate");
+}
+
+} // namespace
+
+void
+ProgramVerifier::run(const Program &prog, DiagnosticEngine &diag,
+                     const ProgramVerifyOptions &opts) const
+{
+    const ProgramFacts &pf = manager_.facts(prog);
+    checkEntry(pf, diag);
+    if (prog.blocks().empty() ||
+        prog.entry() >= prog.blocks().size())
+        return; // the remaining passes assume a rooted CFG
+    checkBranchTargets(pf, diag);
+    checkFallthrough(pf, diag);
+    checkBehaviors(pf, diag);
+    if (!opts.lints)
+        return;
+    lintUnreachable(pf, diag);
+    lintDeadFunctions(pf, diag);
+    lintNoExitSccs(pf, diag);
+}
+
+const std::vector<std::string> &
+ProgramVerifier::passNames()
+{
+    static const std::vector<std::string> names = {
+        "entry",          "branch-targets", "fallthrough",
+        "behaviors",      "unreachable-code", "dead-function",
+        "no-exit-scc"};
+    return names;
+}
+
+} // namespace analysis
+} // namespace rsel

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Static verifier passes over a guest Program.
+ *
+ * Error-severity passes (a violation means the program is malformed
+ * and the simulator's behaviour on it is undefined):
+ *
+ *  - `branch-targets`     static taken targets of direct branches
+ *                         resolve to block starts; declared indirect
+ *                         targets are in range.
+ *  - `fallthrough`        every fall-through-capable terminator has
+ *                         a block at its fall-through address.
+ *  - `behaviors`          conditional blocks carry a conditional
+ *                         behaviour (with at least one phase
+ *                         probability), indirect blocks carry a
+ *                         non-empty target set with matching weight
+ *                         vectors.
+ *  - `entry`              the program entry exists and starts a
+ *                         function.
+ *
+ * Warning-severity lints (legal but suspicious; reported, never
+ * fatal):
+ *
+ *  - `unreachable-code`   blocks no possible edge path reaches from
+ *                         the entry.
+ *  - `dead-function`      functions none of whose blocks are
+ *                         reachable.
+ *  - `no-exit-scc`        a reachable strongly connected component
+ *                         with no leaving edge and no Halt — the
+ *                         program can statically never terminate.
+ */
+
+#ifndef RSEL_ANALYSIS_PROGRAM_VERIFIER_HPP
+#define RSEL_ANALYSIS_PROGRAM_VERIFIER_HPP
+
+#include <string>
+#include <vector>
+
+#include "analysis/analysis_manager.hpp"
+#include "analysis/diagnostics.hpp"
+
+namespace rsel {
+namespace analysis {
+
+/** Which program passes to run. */
+struct ProgramVerifyOptions
+{
+    /** Run the warning-severity lint passes too. */
+    bool lints = true;
+};
+
+/** Runs the Program pass set; facts come from the manager's cache. */
+class ProgramVerifier
+{
+  public:
+    explicit ProgramVerifier(AnalysisManager &manager)
+        : manager_(manager)
+    {
+    }
+
+    /** Run all (enabled) passes on `prog`, reporting into `diag`. */
+    void run(const Program &prog, DiagnosticEngine &diag,
+             const ProgramVerifyOptions &opts = {}) const;
+
+    /** Names of every pass, error passes first. */
+    static const std::vector<std::string> &passNames();
+
+  private:
+    AnalysisManager &manager_;
+};
+
+} // namespace analysis
+} // namespace rsel
+
+#endif // RSEL_ANALYSIS_PROGRAM_VERIFIER_HPP

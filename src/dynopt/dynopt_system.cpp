@@ -1,5 +1,6 @@
 #include "dynopt/dynopt_system.hpp"
 
+#include "analysis/region_verifier.hpp"
 #include "support/error.hpp"
 
 namespace rsel {
@@ -29,7 +30,56 @@ DynOptSystem &
 DynOptSystem::useLei(LeiConfig cfg)
 {
     selector_ = std::make_unique<LeiSelector>(prog_, cache_, cfg);
+    leiMaxTraceInsts_ = cfg.maxTraceInsts;
     return *this;
+}
+
+DynOptSystem &
+DynOptSystem::enableVerifyOnSubmit()
+{
+    verify_ = true;
+    return *this;
+}
+
+void
+DynOptSystem::throwOnNewErrors(std::size_t before, RegionId id)
+{
+    const std::string first = verifyDiag_.firstErrorAfter(before);
+    if (first.empty())
+        return;
+    throw analysis::VerifyError(
+        "static verifier rejected region " + std::to_string(id) +
+        " from selector " + selector_->name() + ": " + first);
+}
+
+void
+DynOptSystem::verifySpec(const RegionSpec &spec)
+{
+    analysis::RegionVerifyContext ctx;
+    ctx.prog = &prog_;
+    ctx.cache = &cache_;
+    ctx.selector = selector_->name();
+    ctx.maxTraceInsts = leiMaxTraceInsts_;
+    ctx.id = cache_.nextRegionId();
+    const std::size_t before = verifyDiag_.diagnostics().size();
+    analysis::RegionVerifier(analysisMgr_)
+        .runOnSpec(spec, ctx, verifyDiag_);
+    throwOnNewErrors(before, ctx.id);
+}
+
+void
+DynOptSystem::verifyInstalled(const Region &region)
+{
+    analysis::RegionVerifyContext ctx;
+    ctx.prog = &prog_;
+    ctx.cache = &cache_;
+    ctx.selector = selector_->name();
+    ctx.maxTraceInsts = leiMaxTraceInsts_;
+    ctx.id = region.id();
+    const std::size_t before = verifyDiag_.diagnostics().size();
+    analysis::RegionVerifier(analysisMgr_)
+        .runOnRegion(region, ctx, verifyDiag_);
+    throwOnNewErrors(before, ctx.id);
 }
 
 DynOptSystem &
@@ -49,6 +99,10 @@ DynOptSystem::useWrs(WrsConfig cfg)
 void
 DynOptSystem::installRegion(RegionSpec spec)
 {
+    // Verify first so a malformed spec surfaces as a named pass
+    // diagnostic instead of tripping the runtime assertions below.
+    if (verify_)
+        verifySpec(spec);
     RSEL_ASSERT(!spec.blocks.empty(), "selector emitted an empty region");
     RSEL_ASSERT(cache_.lookup(spec.blocks.front()->startAddr()) == nullptr,
                 "selector emitted a region at an already-cached entry");
@@ -75,7 +129,9 @@ DynOptSystem::installRegion(RegionSpec spec)
                                     cache_.limits().stubBytes;
     layouts_.push_back(std::move(layout));
 
-    cache_.insert(std::move(region));
+    const RegionId id = cache_.insert(std::move(region));
+    if (verify_)
+        verifyInstalled(cache_.region(id));
 }
 
 void
@@ -214,6 +270,20 @@ DynOptSystem::finish()
     SimResult result = metrics_.finalize(prog_, cache_, *selector_);
     result.icacheAccesses = icache_.accesses();
     result.icacheMisses = icache_.misses();
+    if (verify_) {
+        // Static duplication accountant: the SimResult's expansion
+        // and duplication totals must be re-derivable from the
+        // cache contents alone.
+        const std::size_t before = verifyDiag_.diagnostics().size();
+        analysis::checkDuplicationAccounting(prog_, cache_, result,
+                                             verifyDiag_);
+        const std::string first =
+            verifyDiag_.firstErrorAfter(before);
+        if (!first.empty())
+            throw analysis::VerifyError(
+                "static verifier rejected the final cache state of "
+                "selector " + selector_->name() + ": " + first);
+    }
     return result;
 }
 
@@ -283,6 +353,8 @@ simulate(const Program &prog, Algorithm algo, const SimOptions &opts)
 {
     DynOptSystem system(prog, opts.cache, opts.icache);
     attachAlgorithm(system, algo, opts);
+    if (opts.verifyRegions)
+        system.enableVerifyOnSubmit();
 
     Executor exec(prog, opts.seed);
     exec.run(opts.maxEvents, system);

@@ -25,6 +25,8 @@
 
 #include <memory>
 
+#include "analysis/analysis_manager.hpp"
+#include "analysis/diagnostics.hpp"
 #include "metrics/metrics_collector.hpp"
 #include "program/executor.hpp"
 #include "runtime/code_cache.hpp"
@@ -100,6 +102,37 @@ class DynOptSystem : public ExecutionSink
         return *this;
     }
 
+    /**
+     * Statically verify every region a selector emits before it is
+     * cached (the analysis layer's RegionVerifier), and cross-check
+     * the duplication accounting at finish(). Error diagnostics
+     * throw analysis::VerifyError naming the selector, the region
+     * id and the failing pass; warnings accumulate in
+     * verifyDiagnostics(). @return this.
+     */
+    DynOptSystem &enableVerifyOnSubmit();
+
+    /** True if verify-on-submit is active. */
+    bool verifyOnSubmit() const { return verify_; }
+
+    /** Diagnostics accumulated by verify-on-submit. */
+    const analysis::DiagnosticEngine &verifyDiagnostics() const
+    {
+        return verifyDiag_;
+    }
+
+    /**
+     * Tell the verifier the active selector's maximum trace size
+     * (the lei-cyclicity size-limit exculpation). useLei() records
+     * it automatically; useCustom() callers wrapping LEI set it by
+     * hand. @return this.
+     */
+    DynOptSystem &setLeiTraceLimitHint(std::uint32_t maxTraceInsts)
+    {
+        leiMaxTraceInsts_ = maxTraceInsts;
+        return *this;
+    }
+
     /** ExecutionSink: consume one dynamic block event. */
     bool onEvent(const ExecEvent &event) override;
 
@@ -131,6 +164,15 @@ class DynOptSystem : public ExecutionSink
     /** Insert a selector-completed region into the cache. */
     void installRegion(RegionSpec spec);
 
+    /** Verify-on-submit: check a spec, throw on error diagnostics. */
+    void verifySpec(const RegionSpec &spec);
+
+    /** Verify-on-submit: check the constructed, cached region. */
+    void verifyInstalled(const Region &region);
+
+    /** Throw VerifyError if diagnostics past `before` hold errors. */
+    void throwOnNewErrors(std::size_t before, RegionId id);
+
     /** Enter a region: bookkeeping common to all entry paths. */
     void enterRegion(const Region &region, const BasicBlock &block);
 
@@ -144,6 +186,11 @@ class DynOptSystem : public ExecutionSink
     std::vector<RegionLayout> layouts_;
     std::uint64_t nextLayoutAddr_ = 0;
     std::unique_ptr<RegionSelector> selector_;
+
+    bool verify_ = false;
+    std::uint32_t leiMaxTraceInsts_ = 0;
+    analysis::AnalysisManager analysisMgr_;
+    analysis::DiagnosticEngine verifyDiag_;
 
     bool inRegion_ = false;
     RegionId curRegion_ = invalidRegion;
@@ -196,6 +243,8 @@ struct SimOptions
     CacheLimits cache;
     /** Modelled instruction-cache geometry. */
     ICacheConfig icache;
+    /** Statically verify every emitted region (verify-on-submit). */
+    bool verifyRegions = false;
 };
 
 /**

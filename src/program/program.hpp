@@ -72,6 +72,18 @@ class Program
     /** Behaviour of an indirect block. @pre the block has one. */
     const IndirectBehavior &indirectBehavior(BlockId id) const;
 
+    /** True if the block has a conditional-behaviour annotation. */
+    bool hasCondBehavior(BlockId id) const
+    {
+        return condBehaviors_.count(id) != 0;
+    }
+
+    /** True if the block has an indirect-behaviour annotation. */
+    bool hasIndirectBehavior(BlockId id) const
+    {
+        return indirectBehaviors_.count(id) != 0;
+    }
+
     /**
      * Phase lengths in executed-block counts; the Executor cycles
      * through them. Empty means a single unbounded phase.

@@ -21,6 +21,8 @@ bool
 ObservedTraceStore::store(Addr entry,
                           const std::vector<const BasicBlock *> &path)
 {
+    RSEL_ASSERT(!path.empty() && path.front()->startAddr() == entry,
+                "observed trace must start at its entrance address");
     Observation &obs = observations_[entry];
     RSEL_ASSERT(obs.traces.size() < profWindow_,
                 "entrance already has a full profiling window");

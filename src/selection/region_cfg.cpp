@@ -17,8 +17,17 @@ std::size_t
 RegionCfg::nodeFor(const BasicBlock *b)
 {
     auto it = index_.find(b->id());
-    if (it != index_.end())
+    if (it != index_.end()) {
+        // The index is keyed by block id; two *distinct* block
+        // objects sharing an id (blocks of different Program copies,
+        // or a future per-function id scheme) would silently alias
+        // into one node and corrupt the combined region. Insist on
+        // object identity.
+        RSEL_ASSERT(nodes_[it->second].block == b,
+                    "block-id aliasing: two distinct blocks share an "
+                    "id in one region CFG");
         return it->second;
+    }
     const std::size_t idx = nodes_.size();
     Node node;
     node.block = b;
@@ -31,7 +40,9 @@ void
 RegionCfg::addTrace(const std::vector<const BasicBlock *> &trace)
 {
     RSEL_ASSERT(!trace.empty(), "cannot add an empty trace");
-    RSEL_ASSERT(trace.front()->id() == entry_->id(),
+    // Pointer identity, not id equality: an equal id on a different
+    // block object would be exactly the aliasing nodeFor() rejects.
+    RSEL_ASSERT(trace.front() == entry_,
                 "observed traces must share the region entrance");
 
     ++traces_;

@@ -3,8 +3,11 @@
 #include <memory>
 #include <sstream>
 
+#include "analysis/program_verifier.hpp"
+#include "analysis/region_verifier.hpp"
 #include "dynopt/dynopt_system.hpp"
 #include "program/trace_io.hpp"
+#include "selection/lei_selector.hpp"
 #include "selection/net_selector.hpp"
 #include "support/error.hpp"
 #include "testing/cfg_oracle.hpp"
@@ -24,6 +27,10 @@ brokenModeName(BrokenMode mode)
         return "disconnect";
     case BrokenMode::Resubmit:
         return "resubmit";
+    case BrokenMode::Alias:
+        return "alias";
+    case BrokenMode::Noncyclic:
+        return "noncyclic";
     }
     return "none";
 }
@@ -37,8 +44,13 @@ parseBrokenMode(const std::string &text)
         return BrokenMode::Disconnect;
     if (text == "resubmit")
         return BrokenMode::Resubmit;
+    if (text == "alias")
+        return BrokenMode::Alias;
+    if (text == "noncyclic")
+        return BrokenMode::Noncyclic;
     fatal("unknown --break-selector mode \"" + text +
-          "\" (expected none, disconnect or resubmit)");
+          "\" (expected none, disconnect, resubmit, alias or "
+          "noncyclic)");
 }
 
 namespace {
@@ -53,9 +65,18 @@ class BrokenSelector : public RegionSelector
   public:
     BrokenSelector(const Program &prog, const CodeCache &cache,
                    BrokenMode mode)
-        : inner_(prog, cache, NetConfig{}), oracle_(prog),
-          prog_(prog), mode_(mode)
+        : oracle_(prog), prog_(prog), cache_(cache), mode_(mode)
     {
+        if (mode_ == BrokenMode::Noncyclic)
+            // The point of this mode is a bad LEI trace, so the
+            // sabotaged inner selector must be LEI itself.
+            inner_ = std::make_unique<LeiSelector>(prog, cache,
+                                                   leiCfg_);
+        else
+            inner_ = std::make_unique<NetSelector>(prog, cache,
+                                                   NetConfig{});
+        if (mode_ == BrokenMode::Alias)
+            clone_ = prog;
     }
 
     std::optional<RegionSpec>
@@ -65,7 +86,7 @@ class BrokenSelector : public RegionSelector
             pendingResubmit_ = false;
             return lastSpec_;
         }
-        std::optional<RegionSpec> spec = inner_.onInterpreted(event);
+        std::optional<RegionSpec> spec = inner_->onInterpreted(event);
         if (spec)
             sabotage(*spec);
         return spec;
@@ -74,7 +95,7 @@ class BrokenSelector : public RegionSelector
     std::optional<RegionSpec>
     onCacheEnter(const BasicBlock &entry) override
     {
-        std::optional<RegionSpec> spec = inner_.onCacheEnter(entry);
+        std::optional<RegionSpec> spec = inner_->onCacheEnter(entry);
         if (spec)
             sabotage(*spec);
         return spec;
@@ -83,28 +104,59 @@ class BrokenSelector : public RegionSelector
     std::size_t
     maxLiveCounters() const override
     {
-        return inner_.maxLiveCounters();
+        return inner_->maxLiveCounters();
     }
 
     std::string
     name() const override
     {
+        // Noncyclic masquerades as a buggy LEI: the lei-cyclicity
+        // pass only applies to traces claiming to come from LEI.
+        if (mode_ == BrokenMode::Noncyclic)
+            return "LEI";
         return std::string("BROKEN-") + brokenModeName(mode_);
     }
+
+    /** Trace-size limit of the sabotaged LEI (Noncyclic mode). */
+    std::uint32_t maxTraceInsts() const { return leiCfg_.maxTraceInsts; }
 
   private:
     void
     sabotage(RegionSpec &spec)
     {
-        if (mode_ == BrokenMode::Resubmit) {
+        switch (mode_) {
+        case BrokenMode::None:
+            break;
+        case BrokenMode::Resubmit:
             lastSpec_ = spec;
             pendingResubmit_ = true;
-            return;
+            break;
+        case BrokenMode::Disconnect:
+            sabotageDisconnect(spec);
+            break;
+        case BrokenMode::Alias:
+            // Swap every member for the same-id block of a private
+            // program copy. Ids, addresses and sizes all match, so
+            // the simulated execution is bit-identical and the
+            // dynamic oracle sees nothing; only the static
+            // region-members pass (object identity against the real
+            // program) rejects it.
+            for (const BasicBlock *&b : spec.blocks)
+                b = &clone_.block(b->id());
+            break;
+        case BrokenMode::Noncyclic:
+            sabotageNoncyclic(spec);
+            break;
         }
-        // Disconnect: append a block that is neither a member nor a
-        // legal CFG successor of the trace tail. Region construction
-        // does not validate connectivity, so only the testing
-        // oracle's region-legality invariant can catch this.
+    }
+
+    void
+    sabotageDisconnect(RegionSpec &spec)
+    {
+        // Append a block that is neither a member nor a legal CFG
+        // successor of the trace tail. Region construction does not
+        // validate connectivity, so only the testing oracle's
+        // region-legality invariant can catch this.
         if (spec.kind != Region::Kind::Trace || spec.blocks.empty())
             return;
         const BasicBlock &tail = *spec.blocks.back();
@@ -120,9 +172,52 @@ class BrokenSelector : public RegionSelector
         }
     }
 
-    NetSelector inner_;
+    void
+    sabotageNoncyclic(RegionSpec &spec)
+    {
+        // Truncate the LEI trace to a proper prefix that the
+        // lei-cyclicity pass cannot excuse: acyclic, tail can fall
+        // through, no cached successor, under the size limit. Such a
+        // prefix is still a connected, single-entrance, perfectly
+        // executable trace — the dynamic oracle accepts it — but it
+        // violates LEI's cyclicity guarantee (paper Figures 5/6).
+        // The static pass itself is the cheapest way to find one.
+        if (spec.kind != Region::Kind::Trace || spec.blocks.size() < 2)
+            return;
+        analysis::RegionVerifier verifier(mgr_);
+        for (std::size_t len = spec.blocks.size() - 1; len >= 1;
+             --len) {
+            RegionSpec cand;
+            cand.kind = Region::Kind::Trace;
+            cand.blocks.assign(spec.blocks.begin(),
+                               spec.blocks.begin() + len);
+            analysis::RegionVerifyContext ctx;
+            ctx.prog = &prog_;
+            ctx.cache = &cache_;
+            ctx.selector = "LEI";
+            ctx.maxTraceInsts = leiCfg_.maxTraceInsts;
+            ctx.id = cache_.nextRegionId();
+            analysis::DiagnosticEngine diag;
+            verifier.runOnSpec(cand, ctx, diag);
+            for (const analysis::Diagnostic &d : diag.diagnostics()) {
+                if (d.pass == "lei-cyclicity" &&
+                    d.severity == analysis::Severity::Error) {
+                    spec = std::move(cand);
+                    return;
+                }
+            }
+        }
+        // Every prefix is excused (e.g. a two-block trace stopped by
+        // history gaps); emit the honest trace this time.
+    }
+
+    std::unique_ptr<RegionSelector> inner_;
     CfgOracle oracle_;
     const Program &prog_;
+    const CodeCache &cache_;
+    Program clone_;
+    analysis::AnalysisManager mgr_;
+    LeiConfig leiCfg_;
     BrokenMode mode_;
     RegionSpec lastSpec_;
     bool pendingResubmit_ = false;
@@ -236,16 +331,35 @@ resultFingerprint(const SimResult &r)
 }
 
 DiffReport
-runDifferential(const GenSpec &rawSpec, BrokenMode broken)
+runDifferential(const GenSpec &rawSpec, BrokenMode broken, bool verify)
 {
     GenSpec spec = rawSpec;
     spec.clamp();
+    // Alias and Noncyclic are invisible to the dynamic oracle by
+    // construction; they only make sense with the static verifier on.
+    const bool staticOnlyBug = broken == BrokenMode::Alias ||
+                               broken == BrokenMode::Noncyclic;
     DiffReport report;
     try {
         // 1. Generator determinism and save/load round trip.
         const Program prog = generateProgram(spec);
         report.programBlocks =
             static_cast<std::uint32_t>(prog.blocks().size());
+
+        // Every generated program must satisfy the static program
+        // verifier. Lint warnings (unreachable blocks, dead
+        // functions) are legitimate in random programs and pass;
+        // an error diagnostic invalidates the whole matrix.
+        {
+            analysis::AnalysisManager mgr;
+            analysis::DiagnosticEngine diag;
+            analysis::ProgramVerifier(mgr).run(prog, diag);
+            if (diag.hasErrors()) {
+                report.error = "program verifier: " +
+                               diag.firstError();
+                return report;
+            }
+        }
         std::ostringstream text1, text2;
         saveProgram(prog, text1);
         {
@@ -288,6 +402,12 @@ runDifferential(const GenSpec &rawSpec, BrokenMode broken)
                                    const CodeCache &c) {
                 return std::make_unique<BrokenSelector>(p, c, broken);
             });
+            if (verify || staticOnlyBug)
+                sys.enableVerifyOnSubmit();
+            if (broken == BrokenMode::Noncyclic)
+                sys.setLeiTraceLimitHint(
+                    static_cast<const BrokenSelector &>(
+                        sys.selector()).maxTraceInsts());
             InvariantSink inv(prog, sys);
             try {
                 Executor exec(prog, spec.execSeed);
@@ -311,6 +431,8 @@ runDifferential(const GenSpec &rawSpec, BrokenMode broken)
                 Executor exec(prog, spec.execSeed);
                 DynOptSystem sys(prog, opts.cache, opts.icache);
                 attachAlgorithm(sys, algo, opts);
+                if (verify)
+                    sys.enableVerifyOnSubmit();
                 InvariantSink inv(prog, sys);
                 exec.run(spec.events, inv);
                 live = inv.finish();
@@ -332,6 +454,8 @@ runDifferential(const GenSpec &rawSpec, BrokenMode broken)
                 TraceReplayer replayer(prog, is);
                 DynOptSystem sys(prog, opts.cache, opts.icache);
                 attachAlgorithm(sys, algo, opts);
+                if (verify)
+                    sys.enableVerifyOnSubmit();
                 InvariantSink inv(prog, sys);
                 replayer.run(spec.events, inv);
                 replayed = inv.finish();

@@ -33,11 +33,21 @@
 namespace rsel {
 namespace testing {
 
-/** Test-only selector sabotage, for validating the oracle itself. */
+/**
+ * Test-only selector sabotage, for validating the oracle itself.
+ *
+ * Disconnect and Resubmit are caught by the dynamic invariant
+ * oracle. Alias and Noncyclic are *dynamically invisible* — the
+ * simulated execution is bit-identical — and only the static
+ * verifier (analysis::RegionVerifier) rejects them, so those two
+ * modes always run with verify-on-submit enabled.
+ */
 enum class BrokenMode : std::uint8_t {
     None,       ///< No sabotage.
     Disconnect, ///< Append a CFG-disconnected block to each trace.
     Resubmit,   ///< Re-emit an already-installed region spec.
+    Alias,      ///< Swap members for same-id blocks of a program copy.
+    Noncyclic,  ///< Truncate LEI traces to an inexcusably acyclic prefix.
 };
 
 /** Mode name as accepted by --break-selector. */
@@ -66,9 +76,16 @@ struct DiffReport
  * Run the full differential matrix for `spec`. Never throws: all
  * failures (including FatalError / PanicError / InvariantViolation
  * from any layer) are captured in the report.
+ *
+ * The generated program is always linted by the static
+ * ProgramVerifier first; an error diagnostic fails the check. With
+ * `verify` set, every live and replay system additionally runs with
+ * verify-on-submit, so each emitted region passes the static
+ * RegionVerifier before it is cached.
  */
 DiffReport runDifferential(const GenSpec &spec,
-                           BrokenMode broken = BrokenMode::None);
+                           BrokenMode broken = BrokenMode::None,
+                           bool verify = false);
 
 } // namespace testing
 } // namespace rsel

@@ -11,12 +11,14 @@ namespace rsel {
 namespace testing {
 
 std::string
-fuzzCliLine(const GenSpec &spec, BrokenMode mode)
+fuzzCliLine(const GenSpec &spec, BrokenMode mode, bool verify)
 {
     std::string line = "rselect-fuzz --spec '" + spec.toString() + "'";
     if (mode != BrokenMode::None)
         line += std::string(" --break-selector ") +
                 brokenModeName(mode);
+    if (verify)
+        line += " --verify";
     return line;
 }
 
@@ -40,14 +42,16 @@ runFuzz(const FuzzOptions &opts)
     std::vector<DiffReport> reports(specs.size());
     if (opts.jobs == 1 || specs.size() <= 1) {
         for (std::size_t i = 0; i < specs.size(); ++i)
-            reports[i] = runDifferential(specs[i], opts.broken);
+            reports[i] = runDifferential(specs[i], opts.broken,
+                                         opts.verify);
     } else {
         ThreadPool pool(opts.jobs == 0 ? ThreadPool::hardwareWorkers()
                                        : opts.jobs);
         for (std::size_t i = 0; i < specs.size(); ++i) {
             pool.submit([&specs, &reports, &opts, i] {
                 // runDifferential never throws (pool contract).
-                reports[i] = runDifferential(specs[i], opts.broken);
+                reports[i] = runDifferential(specs[i], opts.broken,
+                                             opts.verify);
             });
         }
         pool.wait();
@@ -72,7 +76,7 @@ runFuzz(const FuzzOptions &opts)
             static_cast<std::uint32_t>(summary.detail.size()) <
                 opts.maxShrinks) {
             const ShrinkOutcome shrunk = shrinkSpec(
-                specs[i], opts.broken, reports[i].error);
+                specs[i], opts.broken, reports[i].error, opts.verify);
             failure.shrunk = true;
             failure.shrunkSpec = shrunk.spec;
             failure.shrunkError = shrunk.error;
@@ -88,7 +92,8 @@ runFuzz(const FuzzOptions &opts)
                 std::string("<program generation failed: ") +
                 e.what() + ">";
         }
-        failure.cliLine = fuzzCliLine(failure.shrunkSpec, opts.broken);
+        failure.cliLine = fuzzCliLine(failure.shrunkSpec, opts.broken,
+                                      opts.verify);
         summary.detail.push_back(std::move(failure));
     }
     return summary;

@@ -41,6 +41,8 @@ struct FuzzOptions
     std::uint64_t events = 0;
     /** Optional selector sabotage (oracle self-test). */
     BrokenMode broken = BrokenMode::None;
+    /** Run the static verifier on every emitted region (--verify). */
+    bool verify = false;
     /** Shrink failing specs and build reproducers. */
     bool shrink = true;
     /** Shrink at most this many failures (the rest report as-is). */
@@ -78,7 +80,8 @@ struct FuzzSummary
 };
 
 /** The rselect-fuzz command line replaying `spec` under `mode`. */
-std::string fuzzCliLine(const GenSpec &spec, BrokenMode mode);
+std::string fuzzCliLine(const GenSpec &spec, BrokenMode mode,
+                        bool verify = false);
 
 /** Run the corpus described by `opts`. */
 FuzzSummary runFuzz(const FuzzOptions &opts);

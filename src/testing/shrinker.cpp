@@ -90,7 +90,8 @@ blockCountOf(const GenSpec &spec)
 
 ShrinkOutcome
 shrinkSpec(const GenSpec &failing, BrokenMode broken,
-           const std::string &origError, std::uint32_t maxAttempts)
+           const std::string &origError, bool verify,
+           std::uint32_t maxAttempts)
 {
     ShrinkOutcome out;
     out.spec = failing;
@@ -105,7 +106,8 @@ shrinkSpec(const GenSpec &failing, BrokenMode broken,
             if (out.attempts >= maxAttempts)
                 break;
             ++out.attempts;
-            const DiffReport rep = runDifferential(cand, broken);
+            const DiffReport rep = runDifferential(cand, broken,
+                                                   verify);
             if (rep.error.empty())
                 continue;
             out.spec = cand;

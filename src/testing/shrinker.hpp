@@ -35,12 +35,14 @@ struct ShrinkOutcome
 
 /**
  * Greedily minimize `failing` (a spec for which runDifferential
- * reports a failure under `broken`). `origError` is that failure,
- * kept if no candidate shrinks. Deterministic; bounded by
- * `maxAttempts` differential evaluations.
+ * reports a failure under `broken`, with the static verifier on when
+ * `verify` is set). `origError` is that failure, kept if no
+ * candidate shrinks. Deterministic; bounded by `maxAttempts`
+ * differential evaluations.
  */
 ShrinkOutcome shrinkSpec(const GenSpec &failing, BrokenMode broken,
                          const std::string &origError,
+                         bool verify = false,
                          std::uint32_t maxAttempts = 300);
 
 } // namespace testing

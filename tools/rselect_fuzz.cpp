@@ -65,10 +65,10 @@ printFailure(const FuzzFailure &f)
 
 int
 runSpecMode(const std::string &specText, BrokenMode broken,
-            bool shrink)
+            bool verify, bool shrink)
 {
     const GenSpec spec = GenSpec::parse(specText);
-    const DiffReport report = runDifferential(spec, broken);
+    const DiffReport report = runDifferential(spec, broken, verify);
     if (report.error.empty()) {
         std::printf("spec OK (%u blocks): %s\n", report.programBlocks,
                     spec.toString().c_str());
@@ -82,7 +82,7 @@ runSpecMode(const std::string &specText, BrokenMode broken,
     failure.shrunkBlocks = report.programBlocks;
     if (shrink) {
         const ShrinkOutcome shrunk =
-            shrinkSpec(spec, broken, report.error);
+            shrinkSpec(spec, broken, report.error, verify);
         failure.shrunk = true;
         failure.shrunkSpec = shrunk.spec;
         failure.shrunkError = shrunk.error;
@@ -95,7 +95,7 @@ runSpecMode(const std::string &specText, BrokenMode broken,
         os << "<program generation failed: " << e.what() << ">";
     }
     failure.reproProgram = os.str();
-    failure.cliLine = fuzzCliLine(failure.shrunkSpec, broken);
+    failure.cliLine = fuzzCliLine(failure.shrunkSpec, broken, verify);
     printFailure(failure);
     return 1;
 }
@@ -113,9 +113,13 @@ main(int argc, char **argv)
     cli.define("events", "0",
                "override events per run (0 = per-spec default)");
     cli.define("break-selector", "none",
-               "plant a selector bug: none, disconnect, resubmit");
+               "plant a selector bug: none, disconnect, resubmit, "
+               "alias, noncyclic");
     cli.define("spec", "",
                "run one explicit spec instead of a seed corpus");
+    cli.define("verify", "false",
+               "statically verify every emitted region "
+               "(verify-on-submit)");
     cli.define("no-shrink", "false", "skip shrinking failing specs");
 
     try {
@@ -127,10 +131,12 @@ main(int argc, char **argv)
 
         const BrokenMode broken =
             parseBrokenMode(cli.get("break-selector"));
+        const bool verify = cli.getBool("verify");
         const bool shrink = !cli.getBool("no-shrink");
 
         if (!cli.get("spec").empty())
-            return runSpecMode(cli.get("spec"), broken, shrink);
+            return runSpecMode(cli.get("spec"), broken, verify,
+                               shrink);
 
         FuzzOptions opts;
         opts.seeds = cli.getUint("seeds");
@@ -138,6 +144,7 @@ main(int argc, char **argv)
         opts.jobs = static_cast<std::size_t>(cli.getUint("jobs"));
         opts.events = cli.getUint("events");
         opts.broken = broken;
+        opts.verify = verify;
         opts.shrink = shrink;
 
         const FuzzSummary summary = runFuzz(opts);

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * rselect-verify: static region/program verifier front end.
+ *
+ * Modes (first match wins):
+ *
+ *  - --self-test MODE  plant a known region bug (aliasing,
+ *    disconnected, noncyclic, or all) on a hand-built program and
+ *    demand the verifier reject it by the expected named pass. Exit
+ *    0 iff every planted bug was caught.
+ *  - --program FILE    lint a saved program (trace_io text format).
+ *  - --spec 'SPEC'     generate the fuzz spec's program and lint it.
+ *  - --workload NAME   lint one synthetic workload, or all of them
+ *    with NAME = all.
+ *  - --corpus N        run the fuzz corpus programs of N consecutive
+ *    seeds under every shipped selector with verify-on-submit: every
+ *    emitted region passes the static RegionVerifier and the final
+ *    cache passes the duplication accountant.
+ *
+ * Diagnostics print as a support/table grid. Exit codes: 0 = clean
+ * (or self-test caught), 1 = error diagnostics (or self-test
+ * missed), 2 = usage / internal error.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/program_verifier.hpp"
+#include "analysis/region_verifier.hpp"
+#include "dynopt/dynopt_system.hpp"
+#include "program/program_builder.hpp"
+#include "program/trace_io.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "testing/gen_spec.hpp"
+#include "testing/random_program.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace rsel;
+
+namespace {
+
+/** Print the diagnostics table and return 0 (clean) or 1 (errors). */
+int
+report(const analysis::DiagnosticEngine &diag, const std::string &what)
+{
+    if (diag.empty()) {
+        std::printf("%s: clean (no diagnostics)\n", what.c_str());
+        return 0;
+    }
+    diag.toTable("Verifier diagnostics: " + what).print(std::cout);
+    std::printf("%s: %s\n", what.c_str(), diag.summary().c_str());
+    return diag.hasErrors() ? 1 : 0;
+}
+
+int
+lintProgram(const Program &prog, const std::string &what)
+{
+    analysis::AnalysisManager mgr;
+    analysis::DiagnosticEngine diag;
+    analysis::ProgramVerifier(mgr).run(prog, diag);
+    return report(diag, what);
+}
+
+int
+runProgramFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open program file " + path);
+    const Program prog = loadProgram(in);
+    return lintProgram(prog, path);
+}
+
+int
+runSpec(const std::string &specText)
+{
+    testing::GenSpec spec = testing::GenSpec::parse(specText);
+    spec.clamp();
+    return lintProgram(testing::generateProgram(spec),
+                       "spec " + spec.toString());
+}
+
+int
+runWorkloads(const std::string &name)
+{
+    std::vector<const WorkloadInfo *> todo;
+    if (name == "all") {
+        for (const WorkloadInfo &w : workloadSuite())
+            todo.push_back(&w);
+    } else {
+        const WorkloadInfo *w = findWorkload(name);
+        if (w == nullptr)
+            fatal("unknown workload " + name);
+        todo.push_back(w);
+    }
+    int rc = 0;
+    for (const WorkloadInfo *w : todo)
+        rc |= lintProgram(w->build(1), "workload " + w->name);
+    return rc;
+}
+
+/**
+ * Corpus mode: every region each selector emits over the fuzz
+ * programs must pass the static verifier, and every finished cache
+ * the duplication accountant. A VerifyError is a red result.
+ */
+int
+runCorpus(std::uint64_t seeds, std::uint64_t startSeed,
+          std::uint64_t events)
+{
+    Table table("Static verification over the fuzz corpus",
+                {"selector", "seeds", "regions", "warnings",
+                 "failures"});
+    bool anyFailure = false;
+    for (const Algorithm algo : allSelectors) {
+        std::uint64_t regions = 0, warnings = 0, failures = 0;
+        for (std::uint64_t i = 0; i < seeds; ++i) {
+            testing::GenSpec spec =
+                testing::GenSpec::fromSeed(startSeed + i);
+            if (events != 0)
+                spec.events = events;
+            spec.clamp();
+            const Program prog = testing::generateProgram(spec);
+            SimOptions opts;
+            opts.maxEvents = spec.events;
+            opts.seed = spec.execSeed;
+            opts.cache.capacityBytes = spec.cacheKb * 1024;
+            opts.verifyRegions = true;
+            try {
+                DynOptSystem sys(prog, opts.cache, opts.icache);
+                attachAlgorithm(sys, algo, opts);
+                sys.enableVerifyOnSubmit();
+                Executor exec(prog, opts.seed);
+                exec.run(opts.maxEvents, sys);
+                const SimResult res = sys.finish();
+                regions += res.regionCount;
+                warnings += sys.verifyDiagnostics().warningCount();
+            } catch (const analysis::VerifyError &e) {
+                ++failures;
+                std::printf("seed %llu, %s: %s\n",
+                            static_cast<unsigned long long>(startSeed +
+                                                            i),
+                            algorithmName(algo).c_str(), e.what());
+            }
+        }
+        anyFailure = anyFailure || failures != 0;
+        table.addRow({algorithmName(algo), std::to_string(seeds),
+                      std::to_string(regions),
+                      std::to_string(warnings),
+                      std::to_string(failures)});
+    }
+    table.print(std::cout);
+    std::printf("corpus: %s\n",
+                anyFailure ? "FAILED (verifier rejected regions)"
+                           : "all regions verified");
+    return anyFailure ? 1 : 0;
+}
+
+/**
+ * A four-block loop function: a (cond to c) -> b -> c (latch back
+ * to a) -> d (halt). Every self-test plants its bug on a region of
+ * this program.
+ */
+struct SelfTestRig
+{
+    Program prog;
+    BlockId a = 0, b = 0, c = 0, d = 0;
+
+    SelfTestRig()
+    {
+        ProgramBuilder pb;
+        pb.beginFunction("main");
+        a = pb.block(4);
+        b = pb.block(3);
+        c = pb.block(2);
+        d = pb.block(1);
+        CondBehavior skip;
+        skip.kind = CondBehavior::Kind::Bernoulli;
+        skip.takenProbByPhase = {0.5};
+        pb.condTo(a, c, skip);
+        pb.loopTo(c, a, 10, 10);
+        pb.halt(d);
+        pb.setEntry(a);
+        prog = pb.build();
+    }
+
+    const BasicBlock *block(BlockId id) const
+    {
+        return &prog.block(id);
+    }
+};
+
+/** One planted bug: the sabotaged spec and the pass that must fire. */
+struct PlantedBug
+{
+    std::string name;
+    std::string expectedPass;
+    RegionSpec spec;
+    std::string selector = "NET";
+};
+
+int
+runSelfTest(const std::string &which)
+{
+    SelfTestRig rig;
+    // A second program object with identical content: the source of
+    // aliased block pointers (same ids, different objects) — the bug
+    // --break-selector alias plants in the live system.
+    const Program clone = rig.prog;
+
+    std::vector<PlantedBug> bugs;
+    {
+        PlantedBug bug;
+        bug.name = "aliasing";
+        bug.expectedPass = "region-members";
+        bug.spec.kind = Region::Kind::Trace;
+        bug.spec.blocks = {rig.block(rig.a), &clone.block(rig.b),
+                           rig.block(rig.c)};
+        bugs.push_back(std::move(bug));
+    }
+    {
+        PlantedBug bug;
+        bug.name = "disconnected";
+        bug.expectedPass = "region-connectivity";
+        bug.spec.kind = Region::Kind::Trace;
+        // a's only possible successors are b (fall-through) and c
+        // (taken); a -> d is not a CFG edge.
+        bug.spec.blocks = {rig.block(rig.a), rig.block(rig.d)};
+        bugs.push_back(std::move(bug));
+    }
+    {
+        PlantedBug bug;
+        bug.name = "noncyclic";
+        bug.expectedPass = "lei-cyclicity";
+        bug.spec.kind = Region::Kind::Trace;
+        // An acyclic LEI trace whose tail (b) falls through to c:
+        // no formation stop rule can excuse the truncation.
+        bug.spec.blocks = {rig.block(rig.a), rig.block(rig.b)};
+        bug.selector = "LEI";
+        bugs.push_back(std::move(bug));
+    }
+
+    analysis::AnalysisManager mgr;
+    analysis::RegionVerifier verifier(mgr);
+    int rc = 0;
+    bool ranAny = false;
+    for (const PlantedBug &bug : bugs) {
+        if (which != "all" && which != bug.name)
+            continue;
+        ranAny = true;
+        analysis::RegionVerifyContext ctx;
+        ctx.prog = &rig.prog;
+        ctx.selector = bug.selector;
+        ctx.maxTraceInsts = 1024;
+        ctx.id = 0;
+        analysis::DiagnosticEngine diag;
+        verifier.runOnSpec(bug.spec, ctx, diag);
+        bool caught = false;
+        for (const analysis::Diagnostic &d : diag.diagnostics())
+            if (d.severity == analysis::Severity::Error &&
+                d.pass == bug.expectedPass)
+                caught = true;
+        if (caught) {
+            std::printf("self-test %s: caught by pass %s\n",
+                        bug.name.c_str(), bug.expectedPass.c_str());
+        } else {
+            std::printf("self-test %s: NOT caught (expected pass "
+                        "%s); diagnostics were:\n",
+                        bug.name.c_str(), bug.expectedPass.c_str());
+            diag.toTable("self-test " + bug.name).print(std::cout);
+            rc = 1;
+        }
+    }
+    if (!ranAny)
+        fatal("unknown self-test " + which +
+              " (expected aliasing, disconnected, noncyclic or all)");
+    return rc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions cli;
+    cli.define("self-test", "",
+               "plant a region bug and demand the verifier catch "
+               "it: aliasing, disconnected, noncyclic, all");
+    cli.define("program", "", "lint a saved program file");
+    cli.define("spec", "", "lint the program of one fuzz spec");
+    cli.define("workload", "",
+               "lint a synthetic workload by name, or all");
+    cli.define("corpus", "0",
+               "verify every region of N fuzz-corpus seeds under "
+               "every selector");
+    cli.define("start-seed", "1", "first corpus seed");
+    cli.define("events", "6000",
+               "events per corpus run (0 = per-spec default)");
+
+    try {
+        cli.parse(argc, argv);
+        if (cli.helpRequested()) {
+            std::fputs(cli.usage(argv[0]).c_str(), stdout);
+            return 0;
+        }
+        if (!cli.get("self-test").empty()) {
+            // A bare --self-test (the CLI stores "true") runs all.
+            const std::string which = cli.get("self-test");
+            return runSelfTest(which == "true" ? "all" : which);
+        }
+        if (!cli.get("program").empty())
+            return runProgramFile(cli.get("program"));
+        if (!cli.get("spec").empty())
+            return runSpec(cli.get("spec"));
+        if (!cli.get("workload").empty())
+            return runWorkloads(cli.get("workload"));
+        if (cli.getUint("corpus") != 0)
+            return runCorpus(cli.getUint("corpus"),
+                             cli.getUint("start-seed"),
+                             cli.getUint("events"));
+        std::fputs(cli.usage(argv[0]).c_str(), stdout);
+        return 2;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "internal error: %s\n", e.what());
+        return 2;
+    }
+}
