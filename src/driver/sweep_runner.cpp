@@ -1,6 +1,6 @@
 #include "driver/sweep_runner.hpp"
 
-#include <exception>
+#include <algorithm>
 
 #include "driver/thread_pool.hpp"
 #include "support/error.hpp"
@@ -76,24 +76,16 @@ SweepRunner::run(const std::vector<SweepCell> &cells) const
         return results;
     }
 
-    std::vector<std::exception_ptr> errors(cells.size());
-    {
-        ThreadPool pool(std::min(jobs_, cells.size()));
-        for (std::size_t i = 0; i < cells.size(); ++i) {
-            pool.submit([&cells, &results, &errors, i] {
-                try {
-                    results[i] = SweepRunner::runCell(cells[i]);
-                } catch (...) {
-                    errors[i] = std::current_exception();
-                }
-            });
-        }
-        pool.wait();
+    // Fail fast on a broken cell: the pool captures the first
+    // exception, cancels every cell still queued, and wait()
+    // rethrows it here on the submitting thread.
+    ThreadPool pool(std::min(jobs_, cells.size()));
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        pool.submit([&cells, &results, i] {
+            results[i] = SweepRunner::runCell(cells[i]);
+        });
     }
-    for (const std::exception_ptr &e : errors) {
-        if (e)
-            std::rethrow_exception(e);
-    }
+    pool.wait();
     return results;
 }
 

@@ -40,6 +40,13 @@ ThreadPool::wait()
     std::unique_lock<std::mutex> lock(mutex_);
     idle_.wait(lock,
                [this] { return queue_.empty() && running_ == 0; });
+    if (firstError_) {
+        // Hand the captured failure to the submitting thread and
+        // reset, so the pool can be reused for another batch.
+        std::exception_ptr err = std::move(firstError_);
+        firstError_ = nullptr;
+        std::rethrow_exception(err);
+    }
 }
 
 void
@@ -58,8 +65,21 @@ ThreadPool::workerLoop()
         queue_.pop_front();
         ++running_;
         lock.unlock();
-        task();
+        std::exception_ptr error;
+        try {
+            task();
+        } catch (...) {
+            error = std::current_exception();
+        }
         lock.lock();
+        if (error) {
+            // Keep only the first failure and cancel everything
+            // still pending — later tasks of the batch likely
+            // depend on state the failed one did not produce.
+            if (!firstError_)
+                firstError_ = std::move(error);
+            queue_.clear();
+        }
         --running_;
         if (queue_.empty() && running_ == 0)
             idle_.notify_all();

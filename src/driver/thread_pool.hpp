@@ -5,9 +5,10 @@
  * A deliberately small pool: a fixed set of workers created up
  * front, a FIFO task queue, and a wait() barrier. Simulation cells
  * are coarse (milliseconds to seconds each), so queue contention is
- * negligible and no work-stealing is needed. Tasks must not throw;
- * the sweep runner wraps each cell so exceptions are captured and
- * rethrown on the submitting thread after wait().
+ * negligible and no work-stealing is needed. A throwing task does
+ * not take the process down: the first exception is captured, the
+ * pending queue is cancelled, and wait() rethrows it on the
+ * submitting thread.
  */
 
 #ifndef RSEL_DRIVER_THREAD_POOL_HPP
@@ -16,6 +17,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -34,22 +36,31 @@ class ThreadPool
      */
     explicit ThreadPool(std::size_t workers);
 
-    /** Drains the queue, then joins all workers. */
+    /**
+     * Drains the queue, then joins all workers. An exception
+     * captured but never collected by wait() is discarded —
+     * destructors must not throw.
+     */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     /**
-     * Enqueue a task. Tasks must not throw — a throwing task
-     * terminates the process. May be called from worker threads.
+     * Enqueue a task. May be called from worker threads. If a task
+     * throws, the first exception is captured, every task still
+     * queued is cancelled (dropped unexecuted), and the exception is
+     * rethrown from the next wait(). Tasks already running on other
+     * workers complete normally.
      */
     void submit(std::function<void()> task);
 
     /**
-     * Block until every task submitted so far has finished (queue
-     * empty and no task running). Tasks submitted by other threads
-     * while waiting extend the wait.
+     * Block until every task submitted so far has finished or been
+     * cancelled (queue empty and no task running). Tasks submitted
+     * by other threads while waiting extend the wait. If any task
+     * threw since the last wait(), rethrows the first captured
+     * exception (and clears it, so the pool is reusable).
      */
     void wait();
 
@@ -74,6 +85,8 @@ class ThreadPool
     std::condition_variable idle_;
     /** Tasks currently executing in a worker. */
     std::size_t running_ = 0;
+    /** First exception thrown by a task since the last wait(). */
+    std::exception_ptr firstError_;
     bool stop_ = false;
 };
 

@@ -1,5 +1,7 @@
 #include "dynopt/dynopt_system.hpp"
 
+#include <algorithm>
+
 #include "analysis/region_verifier.hpp"
 #include "support/error.hpp"
 
@@ -38,6 +40,18 @@ DynOptSystem &
 DynOptSystem::enableVerifyOnSubmit()
 {
     verify_ = true;
+    return *this;
+}
+
+DynOptSystem &
+DynOptSystem::armFaults(const resilience::FaultPlan &plan,
+                        std::uint64_t seedOverride)
+{
+    RSEL_ASSERT(prevBlock_ == nullptr && !finished_,
+                "faults must be armed before the first event");
+    if (plan.armed())
+        injector_ = std::make_unique<resilience::FaultInjector>(
+            plan, seedOverride);
     return *this;
 }
 
@@ -135,6 +149,91 @@ DynOptSystem::installRegion(RegionSpec spec)
 }
 
 void
+DynOptSystem::injectEventFaults()
+{
+    const resilience::FaultInjector::Tick tick = injector_->onEvent();
+    if (tick.invalidate) {
+        // Self-modifying code: a store hits one block; every cached
+        // region that copied its bytes is stale. The victim block is
+        // drawn from the event stream, so it is identical across
+        // selectors at the same event index. A region currently in
+        // flight keeps executing — its object stays alive, exactly
+        // like an evicted region — and only future lookups miss.
+        const BlockId victim = static_cast<BlockId>(
+            injector_->pickVictim(prog_.blocks().size()));
+        const std::size_t dropped = cache_.invalidateBlock(victim);
+        ++recovery_.faultsInjected;
+        ++recovery_.blockInvalidations;
+        recovery_.regionsInvalidated += dropped;
+        if (dropped != 0)
+            selector_->onCacheDisruption(CacheDisruption::Invalidation);
+    }
+    if (tick.flush) {
+        ++recovery_.faultsInjected;
+        ++recovery_.flushStorms;
+        if (cache_.liveRegionCount() != 0) {
+            cache_.flushAll();
+            selector_->onCacheDisruption(CacheDisruption::Flush);
+        }
+    }
+    if (tick.reset) {
+        ++recovery_.faultsInjected;
+        ++recovery_.selectorResets;
+        selector_->onCacheDisruption(CacheDisruption::Reset);
+    }
+}
+
+bool
+DynOptSystem::submitRegion(RegionSpec spec)
+{
+    if (!injector_) {
+        installRegion(std::move(spec));
+        return true;
+    }
+    RSEL_ASSERT(!spec.blocks.empty(),
+                "selector emitted an empty region");
+    const Addr entry = spec.blocks.front()->startAddr();
+    EntranceState &state = entrances_[entry];
+    if (state.blacklisted) {
+        // Degraded to pure interpretation: the spec is dropped and
+        // the entrance never re-enters the translation pipeline.
+        ++recovery_.blacklistSuppressed;
+        return false;
+    }
+    if (state.failures != 0 && interpEvents_ < state.backoffUntil) {
+        ++recovery_.backoffSuppressed;
+        return false;
+    }
+    if (injector_->translationFails()) {
+        ++recovery_.faultsInjected;
+        ++recovery_.translationFailures;
+        ++state.failures;
+        if (state.failures > injector_->plan().retryBudget) {
+            state.blacklisted = true;
+            ++recovery_.blacklistedEntrances;
+        } else {
+            // Exponential backoff on the interpreted-event clock:
+            // base << (failures - 1), capped so the shift stays
+            // defined for generous retry budgets.
+            const std::uint32_t shift =
+                std::min<std::uint32_t>(state.failures - 1, 32);
+            state.backoffUntil =
+                interpEvents_ +
+                (injector_->plan().backoffEvents << shift);
+        }
+        return false;
+    }
+    installRegion(std::move(spec));
+    if (state.failures != 0) {
+        // Recovered: the retry after earlier failures succeeded.
+        ++recovery_.retries;
+        state.failures = 0;
+        state.backoffUntil = 0;
+    }
+    return true;
+}
+
+void
 DynOptSystem::enterRegion(const Region &region, const BasicBlock &block)
 {
     inRegion_ = true;
@@ -162,6 +261,13 @@ DynOptSystem::onEvent(const ExecEvent &ev)
         metrics_.onEdge(from->id(), ev.block->id());
     prevBlock_ = ev.block;
     lastStep_ = StepTrace{};
+
+    // Deterministic fault injection: one branch per event when
+    // disarmed. Faults fire on the event clock, before the event is
+    // dispatched, so every selector sees the same cache disruptions
+    // at the same event indices.
+    if (injector_)
+        injectEventFaults();
 
     if (inRegion_) {
         const Region &r = cache_.region(curRegion_);
@@ -207,7 +313,7 @@ DynOptSystem::onEvent(const ExecEvent &ev)
         // a trace that reached the start of another trace.
         if (const Region *r = cache_.lookup(ev.block->startAddr())) {
             if (auto spec = selector_->onCacheEnter(r->entryBlock())) {
-                installRegion(std::move(*spec));
+                submitRegion(std::move(*spec));
                 // Re-resolve: in a bounded cache the insert may
                 // have evicted (or flushed) the region we were
                 // about to enter.
@@ -241,8 +347,8 @@ DynOptSystem::onEvent(const ExecEvent &ev)
     bool jumped = false;
     if (spec) {
         const Addr entry = spec->blocks.front()->startAddr();
-        installRegion(std::move(*spec));
-        if (entry == ev.block->startAddr()) {
+        const bool cached = submitRegion(std::move(*spec));
+        if (cached && entry == ev.block->startAddr()) {
             // "jump newT": the triggering execution continues
             // natively inside the new region.
             const Region *r = cache_.lookup(entry);
@@ -251,6 +357,7 @@ DynOptSystem::onEvent(const ExecEvent &ev)
         }
     }
     if (!jumped) {
+        ++interpEvents_;
         lastStep_.cacheExit = wasCacheExit;
         metrics_.onInterpretedBlock(*ev.block);
     }
@@ -270,6 +377,8 @@ DynOptSystem::finish()
     SimResult result = metrics_.finalize(prog_, cache_, *selector_);
     result.icacheAccesses = icache_.accesses();
     result.icacheMisses = icache_.misses();
+    recovery_.retranslations = cache_.retranslations();
+    result.recovery = recovery_;
     if (verify_) {
         // Static duplication accountant: the SimResult's expansion
         // and duplication totals must be re-derivable from the
@@ -355,6 +464,7 @@ simulate(const Program &prog, Algorithm algo, const SimOptions &opts)
     attachAlgorithm(system, algo, opts);
     if (opts.verifyRegions)
         system.enableVerifyOnSubmit();
+    system.armFaults(opts.faults, opts.faultSeed);
 
     Executor exec(prog, opts.seed);
     exec.run(opts.maxEvents, system);

@@ -24,11 +24,14 @@
 #define RSEL_DYNOPT_DYNOPT_SYSTEM_HPP
 
 #include <memory>
+#include <unordered_map>
 
 #include "analysis/analysis_manager.hpp"
 #include "analysis/diagnostics.hpp"
 #include "metrics/metrics_collector.hpp"
 #include "program/executor.hpp"
+#include "resilience/fault_injector.hpp"
+#include "resilience/recovery_stats.hpp"
 #include "runtime/code_cache.hpp"
 #include "runtime/icache.hpp"
 #include "selection/boa_selector.hpp"
@@ -115,6 +118,34 @@ class DynOptSystem : public ExecutionSink
     /** True if verify-on-submit is active. */
     bool verifyOnSubmit() const { return verify_; }
 
+    /**
+     * Arm deterministic fault injection for this run. A disarmed
+     * plan (nothing can fire) is a no-op, and with no plan armed
+     * every resilience hook reduces to one branch per event —
+     * zero-cost by design. Must be called before the first event.
+     *
+     * While armed, the system degrades gracefully instead of
+     * crashing: failed submits are retried with per-entrance
+     * exponential backoff (measured in interpreted events) up to the
+     * plan's retry budget, after which the entrance is blacklisted
+     * and runs interpreted forever. Execution is never wrong, only
+     * slower — the transparency oracle holds under every plan.
+     *
+     * @param seedOverride non-zero replaces the plan's own seed.
+     * @return this.
+     */
+    DynOptSystem &armFaults(const resilience::FaultPlan &plan,
+                            std::uint64_t seedOverride = 0);
+
+    /** True if fault injection is armed. */
+    bool faultsArmed() const { return injector_ != nullptr; }
+
+    /** Fault/recovery counters so far (all zero when disarmed). */
+    const resilience::RecoveryStats &recoveryStats() const
+    {
+        return recovery_;
+    }
+
     /** Diagnostics accumulated by verify-on-submit. */
     const analysis::DiagnosticEngine &verifyDiagnostics() const
     {
@@ -164,6 +195,18 @@ class DynOptSystem : public ExecutionSink
     /** Insert a selector-completed region into the cache. */
     void installRegion(RegionSpec spec);
 
+    /**
+     * Submit a selector-completed region through the resilience
+     * layer: blacklist and backoff gates first, then the injected
+     * translation-failure roll, then the real install. With no
+     * injector armed this is installRegion() plus one branch.
+     * @return true if the region was actually cached.
+     */
+    bool submitRegion(RegionSpec spec);
+
+    /** Fire the event-driven faults due at this event, if any. */
+    void injectEventFaults();
+
     /** Verify-on-submit: check a spec, throw on error diagnostics. */
     void verifySpec(const RegionSpec &spec);
 
@@ -186,6 +229,23 @@ class DynOptSystem : public ExecutionSink
     std::vector<RegionLayout> layouts_;
     std::uint64_t nextLayoutAddr_ = 0;
     std::unique_ptr<RegionSelector> selector_;
+
+    /** Per-entrance translation-failure recovery state. */
+    struct EntranceState
+    {
+        /** Consecutive failed submits at this entrance. */
+        std::uint32_t failures = 0;
+        /** Degraded to pure interpretation (budget exhausted). */
+        bool blacklisted = false;
+        /** Interpreted-event clock value the backoff window ends at. */
+        std::uint64_t backoffUntil = 0;
+    };
+
+    std::unique_ptr<resilience::FaultInjector> injector_;
+    resilience::RecoveryStats recovery_;
+    std::unordered_map<Addr, EntranceState> entrances_;
+    /** Interpreted-event clock driving the backoff windows. */
+    std::uint64_t interpEvents_ = 0;
 
     bool verify_ = false;
     std::uint32_t leiMaxTraceInsts_ = 0;
@@ -245,6 +305,10 @@ struct SimOptions
     ICacheConfig icache;
     /** Statically verify every emitted region (verify-on-submit). */
     bool verifyRegions = false;
+    /** Fault-injection plan; disarmed (all-zero rates) by default. */
+    resilience::FaultPlan faults;
+    /** Non-zero overrides the plan's own injection seed. */
+    std::uint64_t faultSeed = 0;
 };
 
 /**

@@ -178,6 +178,24 @@ SimResult::conservationError() const
     if (icacheMisses > icacheAccesses)
         return err("more I-cache misses than accesses", icacheMisses,
                    icacheAccesses);
+
+    // Fault-injection closure: every injected fault is exactly one
+    // of the four kinds, and recovery bookkeeping stays within the
+    // fault counts that can cause it.
+    const std::uint64_t faultKinds = recovery.translationFailures +
+                                     recovery.blockInvalidations +
+                                     recovery.flushStorms +
+                                     recovery.selectorResets;
+    if (recovery.faultsInjected != faultKinds)
+        return err("injected faults != sum of fault kinds",
+                   recovery.faultsInjected, faultKinds);
+    if (recovery.retries > recovery.translationFailures)
+        return err("more recoveries than translation failures",
+                   recovery.retries, recovery.translationFailures);
+    if (recovery.retranslations > recovery.regionsInvalidated)
+        return err("more retranslations than invalidated regions",
+                   recovery.retranslations,
+                   recovery.regionsInvalidated);
     return "";
 }
 
@@ -232,6 +250,8 @@ SimResult::mergeFrom(const SimResult &other)
     licmCapableRegions += other.licmCapableRegions;
     dualSplitRegions += other.dualSplitRegions;
     joinBlocksTotal += other.joinBlocksTotal;
+
+    recovery.mergeFrom(other.recovery);
 
     // Per-cache structure does not compose across runs.
     coverSet90 = 0;

@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "resilience/recovery_stats.hpp"
 #include "runtime/region.hpp"
 
 namespace rsel {
@@ -137,6 +138,12 @@ struct SimResult
     std::uint64_t dualSplitRegions = 0;
     /** Internal join blocks across all regions. */
     std::uint64_t joinBlocksTotal = 0;
+
+    /**
+     * Fault-injection and graceful-degradation counters (all zero
+     * when no fault plan was armed).
+     */
+    resilience::RecoveryStats recovery;
 
     /** Per-region statistics, indexed by RegionId. */
     std::vector<RegionStats> regions;

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The deterministic fault injector.
+ *
+ * Two independent xoshiro streams keep injection reproducible at
+ * every pipeline point:
+ *
+ *  - The *event* stream is consumed once per dynamic block event
+ *    (onEvent), so invalidations, flush storms and selector resets
+ *    fire at identical event indices for every selector running the
+ *    same program — the cross-selector differential oracle depends
+ *    on this alignment.
+ *  - The *submit* stream is consumed once per region submit
+ *    (translationFails), which interleaves with the per-selector
+ *    submit sequence; each selector's run is individually
+ *    deterministic, and record→replay sees the same sequence.
+ *
+ * The injector decides *that* and *where* a fault fires; the
+ * DynOptSystem owns the recovery policy (retry, backoff, blacklist).
+ */
+
+#ifndef RSEL_RESILIENCE_FAULT_INJECTOR_HPP
+#define RSEL_RESILIENCE_FAULT_INJECTOR_HPP
+
+#include <cstdint>
+
+#include "resilience/fault_plan.hpp"
+#include "support/random.hpp"
+
+namespace rsel {
+namespace resilience {
+
+/** Seeded injector executing one FaultPlan. */
+class FaultInjector
+{
+  public:
+    /**
+     * @param plan the armed plan to execute (copied).
+     * @param seedOverride non-zero replaces the plan's seed, so one
+     *        plan can be replayed under many injection seeds.
+     */
+    explicit FaultInjector(const FaultPlan &plan,
+                           std::uint64_t seedOverride = 0);
+
+    /** Event-driven faults due at one dynamic block event. */
+    struct Tick
+    {
+        bool invalidate = false;
+        bool flush = false;
+        bool reset = false;
+    };
+
+    /**
+     * Advance the event stream by one dynamic block event and return
+     * the faults due now. Consumes a fixed number of draws per call,
+     * independent of the outcome.
+     */
+    Tick onEvent();
+
+    /** True if the current region submit fails to materialize. */
+    bool translationFails();
+
+    /**
+     * Deterministic victim index in [0, count) for an invalidation,
+     * drawn from the event stream. @pre count > 0.
+     */
+    std::uint64_t pickVictim(std::uint64_t count);
+
+    /** The plan being executed. */
+    const FaultPlan &plan() const { return plan_; }
+
+  private:
+    FaultPlan plan_;
+    /** Per-event fault decisions (selector-independent alignment). */
+    Rng eventRng_;
+    /** Per-submit translation-failure decisions. */
+    Rng submitRng_;
+};
+
+} // namespace resilience
+} // namespace rsel
+
+#endif // RSEL_RESILIENCE_FAULT_INJECTOR_HPP

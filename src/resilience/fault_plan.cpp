@@ -1,0 +1,146 @@
+#include "resilience/fault_plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/random.hpp"
+
+namespace rsel {
+namespace resilience {
+
+namespace {
+
+/** Field table: one row per knob, so toString/parse/== cannot drift. */
+struct FieldDef
+{
+    const char *key;
+    std::uint64_t FaultPlan::*wide;
+    std::uint32_t FaultPlan::*narrow;
+};
+
+const FieldDef fieldTable[] = {
+    {"tfail", nullptr, &FaultPlan::pTranslationFail},
+    {"inval", nullptr, &FaultPlan::invalidateRate},
+    {"flush", nullptr, &FaultPlan::flushRate},
+    {"reset", nullptr, &FaultPlan::resetRate},
+    {"retry", nullptr, &FaultPlan::retryBudget},
+    {"backoff", &FaultPlan::backoffEvents, nullptr},
+    {"seed", &FaultPlan::seed, nullptr},
+};
+
+std::uint64_t
+getField(const FaultPlan &p, const FieldDef &f)
+{
+    return f.wide ? p.*(f.wide) : p.*(f.narrow);
+}
+
+void
+setField(FaultPlan &p, const FieldDef &f, std::uint64_t v)
+{
+    if (f.wide)
+        p.*(f.wide) = v;
+    else
+        p.*(f.narrow) = static_cast<std::uint32_t>(v);
+}
+
+} // namespace
+
+void
+FaultPlan::clamp()
+{
+    pTranslationFail = std::min<std::uint32_t>(pTranslationFail, 100);
+    invalidateRate = std::min<std::uint32_t>(invalidateRate, 100'000);
+    flushRate = std::min<std::uint32_t>(flushRate, 100'000);
+    resetRate = std::min<std::uint32_t>(resetRate, 100'000);
+    retryBudget = std::min<std::uint32_t>(retryBudget, 16);
+    backoffEvents = std::max<std::uint64_t>(
+        1, std::min<std::uint64_t>(backoffEvents, 1'000'000));
+}
+
+std::string
+FaultPlan::toString() const
+{
+    std::ostringstream os;
+    os << "f1";
+    for (const FieldDef &f : fieldTable)
+        os << "," << f.key << "=" << getField(*this, f);
+    return os.str();
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string part;
+    if (!std::getline(is, part, ',') || part != "f1")
+        fatal("bad fault plan: expected leading \"f1\", got \"" +
+              text + "\"");
+
+    FaultPlan plan;
+    while (std::getline(is, part, ',')) {
+        const std::size_t eq = part.find('=');
+        if (eq == std::string::npos)
+            fatal("bad fault-plan field \"" + part +
+                  "\" (expected key=value)");
+        const std::string key = part.substr(0, eq);
+        const std::string val = part.substr(eq + 1);
+        const FieldDef *def = nullptr;
+        for (const FieldDef &f : fieldTable)
+            if (key == f.key)
+                def = &f;
+        if (!def)
+            fatal("unknown fault-plan field \"" + key + "\"");
+        std::uint64_t v = 0;
+        try {
+            std::size_t used = 0;
+            v = std::stoull(val, &used);
+            if (used != val.size())
+                throw std::invalid_argument(val);
+        } catch (const std::exception &) {
+            fatal("bad value \"" + val + "\" for fault-plan field \"" +
+                  key + "\"");
+        }
+        setField(plan, *def, v);
+    }
+    plan.clamp();
+    return plan;
+}
+
+FaultPlan
+FaultPlan::fromSeed(std::uint64_t seed)
+{
+    Rng rng(seed ^ 0xb5297a4d9c2f8e61ull);
+    FaultPlan p;
+    // Always armed: every seed injects at least translation failures.
+    p.pTranslationFail = static_cast<std::uint32_t>(rng.nextRange(1, 50));
+    p.invalidateRate =
+        rng.nextBool(0.7)
+            ? static_cast<std::uint32_t>(rng.nextRange(1, 400))
+            : 0;
+    p.flushRate =
+        rng.nextBool(0.4)
+            ? static_cast<std::uint32_t>(rng.nextRange(1, 120))
+            : 0;
+    p.resetRate =
+        rng.nextBool(0.3)
+            ? static_cast<std::uint32_t>(rng.nextRange(1, 80))
+            : 0;
+    p.retryBudget = static_cast<std::uint32_t>(rng.nextRange(0, 5));
+    p.backoffEvents = rng.nextRange(16, 512);
+    p.seed = seed * 0xd1342543de82ef95ull + 1;
+    p.clamp();
+    return p;
+}
+
+bool
+FaultPlan::operator==(const FaultPlan &other) const
+{
+    for (const FieldDef &f : fieldTable)
+        if (getField(*this, f) != getField(other, f))
+            return false;
+    return true;
+}
+
+} // namespace resilience
+} // namespace rsel

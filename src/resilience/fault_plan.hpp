@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The fault plan: a compact, seeded description of every fault a run
+ * will face.
+ *
+ * A FaultPlan is the entire input of the fault injector, exactly as
+ * a GenSpec is the entire input of the program generator: injection
+ * is a pure function of the plan and the consumed event/submit
+ * streams, so a plan string is a complete, portable reproducer. The
+ * one-line codec ("f1,tfail=10,inval=50,...") round-trips through
+ * toString()/parse() and rides on rselect-sim --fault-spec and
+ * rselect-fuzz reproducer lines.
+ */
+
+#ifndef RSEL_RESILIENCE_FAULT_PLAN_HPP
+#define RSEL_RESILIENCE_FAULT_PLAN_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace rsel {
+namespace resilience {
+
+/**
+ * Knobs of the deterministic fault injector. Event-driven fault
+ * rates are expressed per 100k dynamic block events so small rates
+ * round-trip exactly through the text form; the translation-failure
+ * probability is in percent per submit.
+ */
+struct FaultPlan
+{
+    /** % chance a region submit fails to materialize. */
+    std::uint32_t pTranslationFail = 0;
+    /** Block-invalidation events per 100k dynamic block events. */
+    std::uint32_t invalidateRate = 0;
+    /** Flush storms per 100k dynamic block events. */
+    std::uint32_t flushRate = 0;
+    /** Selector-state resets per 100k dynamic block events. */
+    std::uint32_t resetRate = 0;
+    /** Failed submits tolerated per entrance before blacklisting. */
+    std::uint32_t retryBudget = 3;
+    /**
+     * Base backoff window in interpreted events after the first
+     * failure at an entrance; doubles per further failure.
+     */
+    std::uint64_t backoffEvents = 64;
+    /** Injector seed (independent of program/executor seeds). */
+    std::uint64_t seed = 1;
+
+    /** True if any fault can ever fire. Disarmed plans are free. */
+    bool
+    armed() const
+    {
+        return pTranslationFail != 0 || invalidateRate != 0 ||
+               flushRate != 0 || resetRate != 0;
+    }
+
+    /** Clamp every knob into its legal range. */
+    void clamp();
+
+    /** Compact one-line text form ("f1,tfail=10,inval=50,..."). */
+    std::string toString() const;
+
+    /**
+     * Parse the text form produced by toString().
+     * @throws FatalError on malformed input.
+     */
+    static FaultPlan parse(const std::string &text);
+
+    /**
+     * Derive a randomized, always-armed plan from a fuzz seed (the
+     * seed-to-fault-space mapping of the fault-fuzzing mode).
+     */
+    static FaultPlan fromSeed(std::uint64_t seed);
+
+    bool operator==(const FaultPlan &other) const;
+    bool operator!=(const FaultPlan &other) const
+    {
+        return !(*this == other);
+    }
+};
+
+} // namespace resilience
+} // namespace rsel
+
+#endif // RSEL_RESILIENCE_FAULT_PLAN_HPP

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Counters of injected faults and the system's recovery work.
+ *
+ * Filled by DynOptSystem when a FaultPlan is armed; all zero
+ * otherwise. The testing layer's conservation oracle checks the
+ * closure identity: every injected fault is exactly one translation
+ * failure, block invalidation, flush storm or selector reset.
+ */
+
+#ifndef RSEL_RESILIENCE_RECOVERY_STATS_HPP
+#define RSEL_RESILIENCE_RECOVERY_STATS_HPP
+
+#include <cstdint>
+
+namespace rsel {
+namespace resilience {
+
+/** Fault-injection and graceful-degradation counters of one run. */
+struct RecoveryStats
+{
+    /** Total faults the injector fired (sum of the four kinds). */
+    std::uint64_t faultsInjected = 0;
+    /** Region submits that failed to materialize (translation). */
+    std::uint64_t translationFailures = 0;
+    /** Block-invalidation events (self-modifying-code model). */
+    std::uint64_t blockInvalidations = 0;
+    /** Live regions dropped by those invalidations. */
+    std::uint64_t regionsInvalidated = 0;
+    /** Capacity-pressure flush storms fired. */
+    std::uint64_t flushStorms = 0;
+    /** Selector profiling-state resets fired. */
+    std::uint64_t selectorResets = 0;
+    /** Successful re-submits after at least one failure. */
+    std::uint64_t retries = 0;
+    /** Submits suppressed inside an exponential-backoff window. */
+    std::uint64_t backoffSuppressed = 0;
+    /** Submits dropped at a blacklisted entrance. */
+    std::uint64_t blacklistSuppressed = 0;
+    /** Entrances degraded to pure interpretation (budget spent). */
+    std::uint64_t blacklistedEntrances = 0;
+    /** Re-inserts at an entry the cache had invalidated before. */
+    std::uint64_t retranslations = 0;
+
+    /** Additive fold, for suite-level SimResult merging. */
+    RecoveryStats &
+    mergeFrom(const RecoveryStats &other)
+    {
+        faultsInjected += other.faultsInjected;
+        translationFailures += other.translationFailures;
+        blockInvalidations += other.blockInvalidations;
+        regionsInvalidated += other.regionsInvalidated;
+        flushStorms += other.flushStorms;
+        selectorResets += other.selectorResets;
+        retries += other.retries;
+        backoffSuppressed += other.backoffSuppressed;
+        blacklistSuppressed += other.blacklistSuppressed;
+        blacklistedEntrances += other.blacklistedEntrances;
+        retranslations += other.retranslations;
+        return *this;
+    }
+};
+
+} // namespace resilience
+} // namespace rsel
+
+#endif // RSEL_RESILIENCE_RECOVERY_STATS_HPP

@@ -36,6 +36,11 @@
 #include "selection/selector.hpp"
 #include "selection/wrs_selector.hpp"
 
+// Fault injection and graceful degradation.
+#include "resilience/fault_injector.hpp"
+#include "resilience/fault_plan.hpp"
+#include "resilience/recovery_stats.hpp"
+
 // Simulator and metrics.
 #include "dynopt/dynopt_system.hpp"
 #include "driver/sweep_runner.hpp"
@@ -53,6 +58,7 @@
 // Support utilities.
 #include "support/cli.hpp"
 #include "support/error.hpp"
+#include "support/exit_codes.hpp"
 #include "support/random.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"

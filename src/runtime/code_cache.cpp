@@ -1,5 +1,8 @@
 #include "runtime/code_cache.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "support/error.hpp"
 
 namespace rsel {
@@ -9,14 +12,62 @@ CodeCache::CodeCache(CacheLimits limits)
 {}
 
 void
-CodeCache::evict(RegionId id)
+CodeCache::removeLive(RegionId id)
 {
-    RSEL_ASSERT(live_.count(id) != 0, "evicting a non-live region");
+    RSEL_ASSERT(live_.count(id) != 0, "removing a non-live region");
     const Region &r = regions_[id];
     live_.erase(id);
     byEntry_.erase(r.entryAddr());
     liveBytes_ -= estimateOf(r);
+}
+
+void
+CodeCache::evict(RegionId id)
+{
+    const Addr entry = regions_[id].entryAddr();
+    removeLive(id);
     ++evictions_;
+    // The entry's stale translation is gone with it: a later
+    // re-insert is a plain regeneration, not a re-translation.
+    invalidatedEntries_.erase(entry);
+}
+
+bool
+CodeCache::invalidate(RegionId id)
+{
+    if (live_.count(id) == 0)
+        return false; // already evicted or invalidated: no-op
+    const Addr entry = regions_[id].entryAddr();
+    removeLive(id);
+    ++invalidations_;
+    invalidatedEntries_.insert(entry);
+    return true;
+}
+
+std::size_t
+CodeCache::invalidateBlock(BlockId block)
+{
+    std::vector<RegionId> victims;
+    for (const RegionId id : live_)
+        if (regions_[id].containsBlock(block))
+            victims.push_back(id);
+    std::sort(victims.begin(), victims.end());
+    for (const RegionId id : victims)
+        invalidate(id);
+    return victims.size();
+}
+
+void
+CodeCache::flushAll()
+{
+    if (live_.empty())
+        return;
+    ++flushes_;
+    while (!fifo_.empty()) {
+        if (live_.count(fifo_.front()) != 0)
+            evict(fifo_.front());
+        fifo_.pop_front();
+    }
 }
 
 void
@@ -29,14 +80,7 @@ CodeCache::makeRoom(std::uint64_t incomingBytes)
 
     if (limits_.policy == CacheLimits::Policy::FullFlush) {
         // Dynamo's preemptive flush: everything goes at once.
-        if (!live_.empty()) {
-            ++flushes_;
-            while (!fifo_.empty()) {
-                if (live_.count(fifo_.front()) != 0)
-                    evict(fifo_.front());
-                fifo_.pop_front();
-            }
-        }
+        flushAll();
         return;
     }
 
@@ -69,6 +113,8 @@ CodeCache::insert(Region region)
     liveBytes_ += estimateOf(region);
     if (!everCached_.insert(region.entryAddr()).second)
         ++regenerations_; // this entry was cached and evicted before
+    if (invalidatedEntries_.erase(region.entryAddr()) != 0)
+        ++retranslations_; // re-translating self-modified code
     byEntry_.emplace(region.entryAddr(), id);
     live_.insert(id);
     fifo_.push_back(id);

@@ -123,11 +123,50 @@ class CodeCache
     /** Number of live regions. */
     std::size_t liveRegionCount() const { return live_.size(); }
 
+    /**
+     * Invalidate one live region (self-modifying-code model): the
+     * region stops hitting lookup() and its entry may be re-cached.
+     * The Region object stays alive for in-flight execution, exactly
+     * as with eviction. A non-live id (already evicted or already
+     * invalidated) is a no-op so eviction races with invalidation
+     * resolve safely. @return true if a live region was dropped.
+     */
+    bool invalidate(RegionId id);
+
+    /**
+     * Invalidate every live region containing `block` — the unit of
+     * a self-modifying-code event: a store into a block's bytes
+     * makes every translation that copied them stale. Victims are
+     * processed in ascending region-id order (determinism).
+     * @return the number of live regions dropped.
+     */
+    std::size_t invalidateBlock(BlockId block);
+
+    /**
+     * Evict every live region (a capacity-pressure flush storm, or
+     * an explicit Dynamo-style preemptive flush). Counts one flush
+     * plus one eviction per region, like policy-driven full flushes.
+     */
+    void flushAll();
+
     /** Regions evicted so far (every region of a flush counts). */
     std::uint64_t evictions() const { return evictions_; }
 
     /** Full-cache flushes performed. */
     std::uint64_t flushes() const { return flushes_; }
+
+    /** Regions dropped by invalidate()/invalidateBlock(). */
+    std::uint64_t invalidations() const { return invalidations_; }
+
+    /**
+     * Re-translations: inserts at an entry address whose previous
+     * region was *invalidated* (as opposed to evicted) — the work a
+     * real system pays to re-translate self-modified code. Disjoint
+     * accounting from regenerations(): an insert can count as both
+     * (entry seen before → regeneration; last drop was an
+     * invalidation → retranslation).
+     */
+    std::uint64_t retranslations() const { return retranslations_; }
 
     /**
      * Regenerations: inserts at an entry address that was cached
@@ -149,6 +188,9 @@ class CodeCache
     /** Evict one region / flush per policy to make room. */
     void makeRoom(std::uint64_t incomingBytes);
 
+    /** Drop a live region from the lookup structures. @pre live. */
+    void removeLive(RegionId id);
+
     /** Evict a specific live region. */
     void evict(RegionId id);
 
@@ -160,6 +202,8 @@ class CodeCache
     std::deque<RegionId> fifo_;
     /** Entry addresses that were cached at some point. */
     std::unordered_set<Addr> everCached_;
+    /** Entries whose most recent drop was an invalidation. */
+    std::unordered_set<Addr> invalidatedEntries_;
     std::uint64_t totalInsts_ = 0;
     std::uint64_t totalBytes_ = 0;
     std::uint64_t totalStubs_ = 0;
@@ -167,6 +211,8 @@ class CodeCache
     std::uint64_t evictions_ = 0;
     std::uint64_t flushes_ = 0;
     std::uint64_t regenerations_ = 0;
+    std::uint64_t invalidations_ = 0;
+    std::uint64_t retranslations_ = 0;
 };
 
 } // namespace rsel

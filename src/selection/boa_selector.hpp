@@ -49,6 +49,19 @@ class BoaSelector : public RegionSelector
     std::optional<RegionSpec>
     onInterpreted(const SelectorEvent &event) override;
 
+    void onCacheDisruption(CacheDisruption kind) override
+    {
+        // Edge profiles describe the program, not the cache, so they
+        // survive invalidations and flushes; only the in-flight
+        // attribution chain breaks. A reset forgets everything.
+        if (kind == CacheDisruption::Reset) {
+            profile_.reset();
+            counters_.clear();
+        } else {
+            profile_.breakChain();
+        }
+    }
+
     std::size_t maxLiveCounters() const override { return maxCounters_; }
 
     std::string name() const override { return "BOA"; }

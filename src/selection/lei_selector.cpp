@@ -108,6 +108,20 @@ LeiSelector::formTrace(Addr start, std::uint64_t oldSeq)
     return path;
 }
 
+void
+LeiSelector::onCacheDisruption(CacheDisruption kind)
+{
+    // The history buffer describes paths that may run through
+    // dropped translations (fromCacheExit anchors in particular);
+    // any disruption clears it, and the stored observations with it.
+    // A full reset also forgets cycle hotness.
+    buffer_.clear();
+    if (store_)
+        store_->clear();
+    if (kind == CacheDisruption::Reset)
+        counters_.clear();
+}
+
 std::optional<RegionSpec>
 LeiSelector::onInterpreted(const SelectorEvent &ev)
 {

@@ -62,6 +62,8 @@ class LeiSelector : public RegionSelector
     std::optional<RegionSpec>
     onInterpreted(const SelectorEvent &event) override;
 
+    void onCacheDisruption(CacheDisruption kind) override;
+
     std::size_t maxLiveCounters() const override { return maxCounters_; }
 
     std::uint64_t peakObservedTraceBytes() const override;

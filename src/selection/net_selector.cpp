@@ -174,4 +174,19 @@ NetSelector::onCacheEnter(const BasicBlock &entry)
     return std::nullopt;
 }
 
+void
+NetSelector::onCacheDisruption(CacheDisruption kind)
+{
+    // Any disruption aborts the in-flight recording (the recorded
+    // prefix may lead into a dropped translation) and releases the
+    // stored observations; a full reset also forgets hotness.
+    recording_ = false;
+    recordPath_.clear();
+    recordInsts_ = 0;
+    if (store_)
+        store_->clear();
+    if (kind == CacheDisruption::Reset)
+        counters_.clear();
+}
+
 } // namespace rsel

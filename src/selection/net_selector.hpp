@@ -88,6 +88,8 @@ class NetSelector : public RegionSelector
     std::optional<RegionSpec>
     onCacheEnter(const BasicBlock &entry) override;
 
+    void onCacheDisruption(CacheDisruption kind) override;
+
     std::size_t maxLiveCounters() const override { return maxCounters_; }
 
     std::uint64_t peakObservedTraceBytes() const override;

@@ -53,6 +53,18 @@ class ObservedTraceStore
      */
     RegionSpec combine(const Program &prog, Addr entry);
 
+    /**
+     * Release every stored observation (cache disruption: observed
+     * traces may describe invalidated translations). The peak-bytes
+     * high-water mark and sweep statistics survive; profiling starts
+     * over from empty windows.
+     */
+    void clear()
+    {
+        observations_.clear();
+        curBytes_ = 0;
+    }
+
     /** Peak aggregate bytes of live observed traces. */
     std::uint64_t peakBytes() const { return peakBytes_; }
 

@@ -57,6 +57,17 @@ class PathProfile
         return edges_.size() + indirect_.size();
     }
 
+    /** Forget the previous block (the interpreted chain broke). */
+    void breakChain() { lastBlock_ = nullptr; }
+
+    /** Drop every accumulated statistic (full profiling reset). */
+    void reset()
+    {
+        edges_.clear();
+        indirect_.clear();
+        lastBlock_ = nullptr;
+    }
+
   private:
     struct EdgeProfile
     {

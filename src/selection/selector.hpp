@@ -59,6 +59,26 @@ struct RegionSpec
 };
 
 /**
+ * A code-cache disturbance the driver reports to the selector so
+ * profiling state referring to dropped translations can be shed.
+ */
+enum class CacheDisruption : std::uint8_t {
+    /**
+     * One or more cached regions were invalidated (self-modifying
+     * code). In-flight recordings and stored observations may
+     * reference stale cache contents and should be dropped; hotness
+     * counters stay (the blocks themselves are still hot).
+     */
+    Invalidation,
+    /** The whole cache was flushed (capacity pressure). Same
+     *  shedding contract as Invalidation. */
+    Flush,
+    /** Full profiling reset: counters, buffers and observations all
+     *  restart cold (a fault-injection worst case). */
+    Reset,
+};
+
+/**
  * A region-selection algorithm.
  *
  * Implementations observe the interpreted stream and decide when to
@@ -90,6 +110,18 @@ class RegionSelector
     {
         (void)entry;
         return std::nullopt;
+    }
+
+    /**
+     * Observe a cache disruption (invalidation, flush or reset).
+     * Default: keep all state — correct for selectors whose profile
+     * describes the program rather than the cache. Only fired when
+     * fault injection is armed; never on policy-driven eviction,
+     * whose effects selectors already observe through lookup().
+     */
+    virtual void onCacheDisruption(CacheDisruption kind)
+    {
+        (void)kind;
     }
 
     /**

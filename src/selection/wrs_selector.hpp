@@ -51,6 +51,21 @@ class WrsSelector : public RegionSelector
     std::optional<RegionSpec>
     onInterpreted(const SelectorEvent &event) override;
 
+    void onCacheDisruption(CacheDisruption kind) override
+    {
+        // PC samples and edge profiles describe the program and
+        // survive invalidations/flushes; only the in-flight
+        // attribution chain breaks. A reset forgets everything (the
+        // sampling clock tick_ keeps running — it is a clock, not
+        // profile state).
+        if (kind == CacheDisruption::Reset) {
+            profile_.reset();
+            samples_.clear();
+        } else {
+            profile_.breakChain();
+        }
+    }
+
     std::size_t maxLiveCounters() const override { return maxCounters_; }
 
     std::string name() const override { return "WRS"; }

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Process exit codes shared by every rselect tool.
+ *
+ * Scripts and CI gates branch on these, so the mapping is part of
+ * the CLI contract (asserted by cli_test):
+ *
+ *   0  success
+ *   1  runtime fault (I/O error, unexpected exception, panic)
+ *   2  usage error (bad flag, malformed spec, missing file argument)
+ *   3  verification failure (a static verifier diagnostic, a dynamic
+ *      invariant violation, fuzz failures found, or a self-test that
+ *      missed its target)
+ */
+
+#ifndef RSEL_SUPPORT_EXIT_CODES_HPP
+#define RSEL_SUPPORT_EXIT_CODES_HPP
+
+namespace rsel {
+
+enum ExitCode : int {
+    ExitOk = 0,
+    ExitRuntimeFault = 1,
+    ExitUsageError = 2,
+    ExitVerifyFailure = 3,
+};
+
+} // namespace rsel
+
+#endif // RSEL_SUPPORT_EXIT_CODES_HPP

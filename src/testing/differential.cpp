@@ -319,7 +319,23 @@ resultFingerprint(const SimResult &r)
        << "\n"
        << "licmCapableRegions=" << r.licmCapableRegions << "\n"
        << "dualSplitRegions=" << r.dualSplitRegions << "\n"
-       << "joinBlocksTotal=" << r.joinBlocksTotal << "\n";
+       << "joinBlocksTotal=" << r.joinBlocksTotal << "\n"
+       << "faultsInjected=" << r.recovery.faultsInjected << "\n"
+       << "translationFailures=" << r.recovery.translationFailures
+       << "\n"
+       << "blockInvalidations=" << r.recovery.blockInvalidations
+       << "\n"
+       << "regionsInvalidated=" << r.recovery.regionsInvalidated
+       << "\n"
+       << "flushStorms=" << r.recovery.flushStorms << "\n"
+       << "selectorResets=" << r.recovery.selectorResets << "\n"
+       << "retries=" << r.recovery.retries << "\n"
+       << "backoffSuppressed=" << r.recovery.backoffSuppressed << "\n"
+       << "blacklistSuppressed=" << r.recovery.blacklistSuppressed
+       << "\n"
+       << "blacklistedEntrances=" << r.recovery.blacklistedEntrances
+       << "\n"
+       << "retranslations=" << r.recovery.retranslations << "\n";
     for (const RegionStats &s : r.regions)
         os << "region" << s.id << "="
            << (s.kind == Region::Kind::Trace ? "T" : "M") << ","
@@ -331,10 +347,13 @@ resultFingerprint(const SimResult &r)
 }
 
 DiffReport
-runDifferential(const GenSpec &rawSpec, BrokenMode broken, bool verify)
+runDifferential(const GenSpec &rawSpec, BrokenMode broken, bool verify,
+                const resilience::FaultPlan &rawFaults)
 {
     GenSpec spec = rawSpec;
     spec.clamp();
+    resilience::FaultPlan faults = rawFaults;
+    faults.clamp();
     // Alias and Noncyclic are invisible to the dynamic oracle by
     // construction; they only make sense with the static verifier on.
     const bool staticOnlyBug = broken == BrokenMode::Alias ||
@@ -433,6 +452,7 @@ runDifferential(const GenSpec &rawSpec, BrokenMode broken, bool verify)
                 attachAlgorithm(sys, algo, opts);
                 if (verify)
                     sys.enableVerifyOnSubmit();
+                sys.armFaults(faults);
                 InvariantSink inv(prog, sys);
                 exec.run(spec.events, inv);
                 live = inv.finish();
@@ -456,6 +476,7 @@ runDifferential(const GenSpec &rawSpec, BrokenMode broken, bool verify)
                 attachAlgorithm(sys, algo, opts);
                 if (verify)
                     sys.enableVerifyOnSubmit();
+                sys.armFaults(faults);
                 InvariantSink inv(prog, sys);
                 replayer.run(spec.events, inv);
                 replayed = inv.finish();

@@ -28,6 +28,7 @@
 #include <string>
 
 #include "metrics/sim_result.hpp"
+#include "resilience/fault_plan.hpp"
 #include "testing/gen_spec.hpp"
 
 namespace rsel {
@@ -82,10 +83,17 @@ struct DiffReport
  * `verify` set, every live and replay system additionally runs with
  * verify-on-submit, so each emitted region passes the static
  * RegionVerifier before it is cached.
+ *
+ * An armed `faults` plan is injected into every live and replay
+ * system (the reference architectural run stays fault-free): the
+ * whole oracle matrix — transparency, conservation, record→replay
+ * fingerprint equality — must hold under the faulted runs too, which
+ * is exactly the graceful-degradation guarantee.
  */
 DiffReport runDifferential(const GenSpec &spec,
                            BrokenMode broken = BrokenMode::None,
-                           bool verify = false);
+                           bool verify = false,
+                           const resilience::FaultPlan &faults = {});
 
 } // namespace testing
 } // namespace rsel

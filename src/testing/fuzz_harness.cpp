@@ -11,7 +11,8 @@ namespace rsel {
 namespace testing {
 
 std::string
-fuzzCliLine(const GenSpec &spec, BrokenMode mode, bool verify)
+fuzzCliLine(const GenSpec &spec, BrokenMode mode, bool verify,
+            const resilience::FaultPlan &faults)
 {
     std::string line = "rselect-fuzz --spec '" + spec.toString() + "'";
     if (mode != BrokenMode::None)
@@ -19,22 +20,32 @@ fuzzCliLine(const GenSpec &spec, BrokenMode mode, bool verify)
                 brokenModeName(mode);
     if (verify)
         line += " --verify";
+    if (faults.armed())
+        line += " --fault-spec '" + faults.toString() + "'";
     return line;
 }
 
 FuzzSummary
 runFuzz(const FuzzOptions &opts)
 {
-    // Specs derive serially from the seeds so the corpus is fixed
-    // before any parallelism starts.
+    // Specs (and their fault plans) derive serially from the seeds
+    // so the corpus is fixed before any parallelism starts.
     std::vector<GenSpec> specs;
+    std::vector<resilience::FaultPlan> plans;
     specs.reserve(opts.seeds);
+    plans.reserve(opts.seeds);
     for (std::uint64_t i = 0; i < opts.seeds; ++i) {
-        GenSpec spec = GenSpec::fromSeed(opts.startSeed + i);
+        const std::uint64_t seed = opts.startSeed + i;
+        GenSpec spec = GenSpec::fromSeed(seed);
         if (opts.events != 0)
             spec.events = opts.events;
         spec.clamp();
         specs.push_back(spec);
+        resilience::FaultPlan plan =
+            opts.faultFuzz ? resilience::FaultPlan::fromSeed(seed)
+                           : opts.faults;
+        plan.clamp();
+        plans.push_back(plan);
     }
 
     // Fan the checks out; results land in per-seed slots, so the
@@ -43,15 +54,15 @@ runFuzz(const FuzzOptions &opts)
     if (opts.jobs == 1 || specs.size() <= 1) {
         for (std::size_t i = 0; i < specs.size(); ++i)
             reports[i] = runDifferential(specs[i], opts.broken,
-                                         opts.verify);
+                                         opts.verify, plans[i]);
     } else {
         ThreadPool pool(opts.jobs == 0 ? ThreadPool::hardwareWorkers()
                                        : opts.jobs);
         for (std::size_t i = 0; i < specs.size(); ++i) {
-            pool.submit([&specs, &reports, &opts, i] {
+            pool.submit([&specs, &plans, &reports, &opts, i] {
                 // runDifferential never throws (pool contract).
                 reports[i] = runDifferential(specs[i], opts.broken,
-                                             opts.verify);
+                                             opts.verify, plans[i]);
             });
         }
         pool.wait();
@@ -68,6 +79,7 @@ runFuzz(const FuzzOptions &opts)
         failure.seed = opts.startSeed + i;
         failure.spec = specs[i];
         failure.error = reports[i].error;
+        failure.faults = plans[i];
         failure.shrunkSpec = specs[i];
         failure.shrunkError = reports[i].error;
         failure.shrunkBlocks = reports[i].programBlocks;
@@ -75,8 +87,9 @@ runFuzz(const FuzzOptions &opts)
         if (opts.shrink &&
             static_cast<std::uint32_t>(summary.detail.size()) <
                 opts.maxShrinks) {
-            const ShrinkOutcome shrunk = shrinkSpec(
-                specs[i], opts.broken, reports[i].error, opts.verify);
+            const ShrinkOutcome shrunk =
+                shrinkSpec(specs[i], opts.broken, reports[i].error,
+                           opts.verify, plans[i]);
             failure.shrunk = true;
             failure.shrunkSpec = shrunk.spec;
             failure.shrunkError = shrunk.error;
@@ -93,7 +106,7 @@ runFuzz(const FuzzOptions &opts)
                 e.what() + ">";
         }
         failure.cliLine = fuzzCliLine(failure.shrunkSpec, opts.broken,
-                                      opts.verify);
+                                      opts.verify, plans[i]);
         summary.detail.push_back(std::move(failure));
     }
     return summary;

@@ -47,6 +47,14 @@ struct FuzzOptions
     bool shrink = true;
     /** Shrink at most this many failures (the rest report as-is). */
     std::uint32_t maxShrinks = 3;
+    /**
+     * Fault-fuzzing mode: pair every seed with its own fault plan
+     * (FaultPlan::fromSeed of the same seed) and run the whole
+     * differential matrix under injected faults.
+     */
+    bool faultFuzz = false;
+    /** Fixed fault plan applied to every seed (when armed). */
+    resilience::FaultPlan faults;
 };
 
 /** One failing seed, with its reproducer. */
@@ -57,6 +65,8 @@ struct FuzzFailure
     GenSpec spec;
     /** Failure at the original spec. */
     std::string error;
+    /** Fault plan active for this seed (disarmed when fault-free). */
+    resilience::FaultPlan faults;
     /** True if the shrinker ran for this failure. */
     bool shrunk = false;
     /** Minimal still-failing spec. */
@@ -81,7 +91,8 @@ struct FuzzSummary
 
 /** The rselect-fuzz command line replaying `spec` under `mode`. */
 std::string fuzzCliLine(const GenSpec &spec, BrokenMode mode,
-                        bool verify = false);
+                        bool verify = false,
+                        const resilience::FaultPlan &faults = {});
 
 /** Run the corpus described by `opts`. */
 FuzzSummary runFuzz(const FuzzOptions &opts);

@@ -91,6 +91,7 @@ blockCountOf(const GenSpec &spec)
 ShrinkOutcome
 shrinkSpec(const GenSpec &failing, BrokenMode broken,
            const std::string &origError, bool verify,
+           const resilience::FaultPlan &faults,
            std::uint32_t maxAttempts)
 {
     ShrinkOutcome out;
@@ -107,7 +108,7 @@ shrinkSpec(const GenSpec &failing, BrokenMode broken,
                 break;
             ++out.attempts;
             const DiffReport rep = runDifferential(cand, broken,
-                                                   verify);
+                                                   verify, faults);
             if (rep.error.empty())
                 continue;
             out.spec = cand;

@@ -36,13 +36,16 @@ struct ShrinkOutcome
 /**
  * Greedily minimize `failing` (a spec for which runDifferential
  * reports a failure under `broken`, with the static verifier on when
- * `verify` is set). `origError` is that failure, kept if no
- * candidate shrinks. Deterministic; bounded by `maxAttempts`
- * differential evaluations.
+ * `verify` is set and the fault plan `faults` armed). `origError` is
+ * that failure, kept if no candidate shrinks. The fault plan itself
+ * is held fixed — only the program spec shrinks, so the reproducer
+ * pairs the minimal program with the original plan. Deterministic;
+ * bounded by `maxAttempts` differential evaluations.
  */
 ShrinkOutcome shrinkSpec(const GenSpec &failing, BrokenMode broken,
                          const std::string &origError,
                          bool verify = false,
+                         const resilience::FaultPlan &faults = {},
                          std::uint32_t maxAttempts = 300);
 
 } // namespace testing

@@ -1,13 +1,23 @@
 /**
  * @file
- * Unit tests for CliOptions: argument forms, strict numeric
- * parsing, and error reporting.
+ * Unit tests for CliOptions (argument forms, strict numeric parsing,
+ * error reporting) and for the tool exit-code contract: every shipped
+ * binary distinguishes usage errors (2), verification failures (3)
+ * and runtime faults (1) from a clean run (0).
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "support/cli.hpp"
 #include "support/error.hpp"
+#include "support/exit_codes.hpp"
+
+#ifdef RSEL_TOOL_DIR
+#include <sys/wait.h>
+#endif
 
 namespace rsel {
 namespace {
@@ -90,6 +100,76 @@ TEST(CliTest, WellFormedNumericValuesStillParse)
     EXPECT_EQ(parseWith({}).getUint("events"), 0u);
     EXPECT_DOUBLE_EQ(parseWith({}).getDouble("alpha"), 0.5);
 }
+
+TEST(ExitCodeTest, CodesAreDistinctAndStable)
+{
+    // The values are a published contract (scripts and CI match on
+    // them), not an implementation detail.
+    EXPECT_EQ(ExitOk, 0);
+    EXPECT_EQ(ExitRuntimeFault, 1);
+    EXPECT_EQ(ExitUsageError, 2);
+    EXPECT_EQ(ExitVerifyFailure, 3);
+}
+
+#ifdef RSEL_TOOL_DIR
+
+/** Run one shipped tool, muted, and return its exit code. */
+int
+toolExit(const std::string &tool, const std::string &args)
+{
+    const std::string cmd = std::string(RSEL_TOOL_DIR) + "/" + tool +
+                            " " + args + " >/dev/null 2>&1";
+    const int rc = std::system(cmd.c_str());
+    EXPECT_TRUE(WIFEXITED(rc)) << cmd;
+    return WEXITSTATUS(rc);
+}
+
+TEST(ExitCodeTest, SimDistinguishesUsageFromClean)
+{
+    EXPECT_EQ(toolExit("rselect-sim",
+                       "--workload gzip --events 4000 --algos NET"),
+              ExitOk);
+    EXPECT_EQ(toolExit("rselect-sim", "--definitely-not-a-flag"),
+              ExitUsageError);
+    EXPECT_EQ(toolExit("rselect-sim", "--workload nosuchworkload"),
+              ExitUsageError);
+    EXPECT_EQ(toolExit("rselect-sim", "--fault-spec garbage"),
+              ExitUsageError);
+    EXPECT_EQ(toolExit("rselect-sim",
+                       "--workload gzip --events 4000 --algos NET "
+                       "--fault-spec f1,tfail=20,inval=100"),
+              ExitOk);
+}
+
+TEST(ExitCodeTest, FuzzSignalsFailuresFound)
+{
+    EXPECT_EQ(toolExit("rselect-fuzz",
+                       "--seeds 1 --events 1500 --no-shrink"),
+              ExitOk);
+    // A planted selector bug must be reported as a verification
+    // failure, not a crash and not success.
+    EXPECT_EQ(toolExit("rselect-fuzz",
+                       "--seeds 1 --events 1500 --no-shrink "
+                       "--break-selector disconnect"),
+              ExitVerifyFailure);
+    EXPECT_EQ(toolExit("rselect-fuzz", "--break-selector bogus"),
+              ExitUsageError);
+    EXPECT_EQ(toolExit("rselect-fuzz",
+                       "--fault-fuzz --fault-spec f1,tfail=5"),
+              ExitUsageError);
+}
+
+TEST(ExitCodeTest, VerifySignalsVerdicts)
+{
+    EXPECT_EQ(toolExit("rselect-verify", "--self-test all"), ExitOk);
+    EXPECT_EQ(toolExit("rselect-verify", "--workload gzip"), ExitOk);
+    // No mode selected prints usage and flags the invocation.
+    EXPECT_EQ(toolExit("rselect-verify", ""), ExitUsageError);
+    EXPECT_EQ(toolExit("rselect-verify", "--self-test bogus"),
+              ExitUsageError);
+}
+
+#endif // RSEL_TOOL_DIR
 
 TEST(CliTest, UnknownOptionsAreRejectedWithUsage)
 {

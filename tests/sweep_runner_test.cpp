@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <set>
+#include <stdexcept>
 
 #include "driver/sweep_runner.hpp"
 #include "driver/thread_pool.hpp"
@@ -56,6 +58,59 @@ TEST(ThreadPoolTest, DestructorDrainsPendingTasks)
 TEST(ThreadPoolTest, HardwareWorkersIsAtLeastOne)
 {
     EXPECT_GE(ThreadPool::hardwareWorkers(), 1u);
+}
+
+TEST(ThreadPoolTest, TaskExceptionRethrownFromWait)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    try {
+        pool.wait();
+        FAIL() << "expected the task exception from wait()";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boom");
+    }
+}
+
+TEST(ThreadPoolTest, ThrowCancelsPendingTasks)
+{
+    // One worker so ordering is deterministic: the first task blocks
+    // until every submit below has landed in the queue, then throws;
+    // none of the queued successors may run.
+    ThreadPool pool(1);
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+    std::atomic<int> ran{0};
+    pool.submit([opened] {
+        opened.wait();
+        throw std::runtime_error("first");
+    });
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&ran] { ++ran; });
+    gate.set_value();
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterRethrow)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The error is consumed: later rounds run clean.
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 25; ++i)
+        pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 25);
+}
+
+TEST(ThreadPoolTest, DestructorDiscardsUncollectedException)
+{
+    // A pool destroyed without wait() after a task threw must not
+    // rethrow from the destructor (that would terminate).
+    ThreadPool pool(1);
+    pool.submit([] { throw std::runtime_error("dropped"); });
 }
 
 TEST(SweepRunnerTest, MixSeedIsDeterministicAndSpreads)

@@ -15,7 +15,16 @@
  * --break-selector plants a deliberate selector bug (oracle
  * self-test); such runs are EXPECTED to report failures, and the
  * exit code still signals whether failures were found (0 = none,
- * 1 = found), so the caller asserts the direction it expects.
+ * 3 = found), so the caller asserts the direction it expects.
+ *
+ * Fault fuzzing (--fault-fuzz) pairs every seed with its own
+ * deterministic fault plan and re-runs the whole oracle matrix under
+ * injected faults — transparency and record→replay equality must
+ * hold while translations fail and cache lines are invalidated.
+ * --fault-spec instead applies one fixed plan to every seed.
+ *
+ * Exit codes: 0 = clean, 1 = runtime fault, 2 = usage error,
+ * 3 = failures found.
  */
 
 #include <cstdio>
@@ -25,6 +34,7 @@
 #include "program/trace_io.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
+#include "support/exit_codes.hpp"
 #include "testing/fuzz_harness.hpp"
 #include "testing/random_program.hpp"
 #include "testing/shrinker.hpp"
@@ -40,6 +50,8 @@ printFailure(const FuzzFailure &f)
     std::printf("FAILURE seed=%llu\n",
                 static_cast<unsigned long long>(f.seed));
     std::printf("  spec:  %s\n", f.spec.toString().c_str());
+    if (f.faults.armed())
+        std::printf("  faults: %s\n", f.faults.toString().c_str());
     std::printf("  error: %s\n", f.error.c_str());
     if (f.shrunk) {
         std::printf("  shrunk spec:  %s\n",
@@ -65,24 +77,27 @@ printFailure(const FuzzFailure &f)
 
 int
 runSpecMode(const std::string &specText, BrokenMode broken,
-            bool verify, bool shrink)
+            bool verify, bool shrink,
+            const resilience::FaultPlan &faults)
 {
     const GenSpec spec = GenSpec::parse(specText);
-    const DiffReport report = runDifferential(spec, broken, verify);
+    const DiffReport report =
+        runDifferential(spec, broken, verify, faults);
     if (report.error.empty()) {
         std::printf("spec OK (%u blocks): %s\n", report.programBlocks,
                     spec.toString().c_str());
-        return 0;
+        return ExitOk;
     }
     FuzzFailure failure;
     failure.spec = spec;
     failure.error = report.error;
+    failure.faults = faults;
     failure.shrunkSpec = spec;
     failure.shrunkError = report.error;
     failure.shrunkBlocks = report.programBlocks;
     if (shrink) {
         const ShrinkOutcome shrunk =
-            shrinkSpec(spec, broken, report.error, verify);
+            shrinkSpec(spec, broken, report.error, verify, faults);
         failure.shrunk = true;
         failure.shrunkSpec = shrunk.spec;
         failure.shrunkError = shrunk.error;
@@ -95,9 +110,10 @@ runSpecMode(const std::string &specText, BrokenMode broken,
         os << "<program generation failed: " << e.what() << ">";
     }
     failure.reproProgram = os.str();
-    failure.cliLine = fuzzCliLine(failure.shrunkSpec, broken, verify);
+    failure.cliLine =
+        fuzzCliLine(failure.shrunkSpec, broken, verify, faults);
     printFailure(failure);
-    return 1;
+    return ExitVerifyFailure;
 }
 
 } // namespace
@@ -121,22 +137,37 @@ main(int argc, char **argv)
                "statically verify every emitted region "
                "(verify-on-submit)");
     cli.define("no-shrink", "false", "skip shrinking failing specs");
+    cli.define("fault-fuzz", "false",
+               "pair every seed with its own deterministic fault "
+               "plan (FaultPlan::fromSeed)");
+    cli.define("fault-spec", "",
+               "apply one fixed fault plan to every seed (e.g. "
+               "'f1,tfail=20,inval=50,seed=9')");
 
     try {
         cli.parse(argc, argv);
         if (cli.helpRequested()) {
             std::fputs(cli.usage(argv[0]).c_str(), stdout);
-            return 0;
+            return ExitOk;
         }
 
         const BrokenMode broken =
             parseBrokenMode(cli.get("break-selector"));
         const bool verify = cli.getBool("verify");
         const bool shrink = !cli.getBool("no-shrink");
+        const bool faultFuzz = cli.getBool("fault-fuzz");
+        resilience::FaultPlan faults;
+        if (!cli.get("fault-spec").empty()) {
+            if (faultFuzz)
+                fatal("--fault-fuzz and --fault-spec are mutually "
+                      "exclusive");
+            faults = resilience::FaultPlan::parse(
+                cli.get("fault-spec"));
+        }
 
         if (!cli.get("spec").empty())
             return runSpecMode(cli.get("spec"), broken, verify,
-                               shrink);
+                               shrink, faults);
 
         FuzzOptions opts;
         opts.seeds = cli.getUint("seeds");
@@ -146,6 +177,8 @@ main(int argc, char **argv)
         opts.broken = broken;
         opts.verify = verify;
         opts.shrink = shrink;
+        opts.faultFuzz = faultFuzz;
+        opts.faults = faults;
 
         const FuzzSummary summary = runFuzz(opts);
         std::printf("fuzz: %llu seeds (start %llu), %llu failure%s\n",
@@ -160,12 +193,12 @@ main(int argc, char **argv)
             std::printf("(%llu further failing seeds not detailed)\n",
                         static_cast<unsigned long long>(
                             summary.failures - summary.detail.size()));
-        return summary.failures == 0 ? 0 : 1;
+        return summary.failures == 0 ? ExitOk : ExitVerifyFailure;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
-        return 2;
+        return ExitUsageError;
     } catch (const std::exception &e) {
-        std::fprintf(stderr, "internal error: %s\n", e.what());
-        return 2;
+        std::fprintf(stderr, "runtime fault: %s\n", e.what());
+        return ExitRuntimeFault;
     }
 }

@@ -27,6 +27,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "analysis/diagnostics.hpp"
 #include "program/trace_io.hpp"
 #include "rselect.hpp"
 
@@ -136,16 +137,24 @@ main(int argc, char **argv)
     cli.define("trace", "",
                "replay a recorded trace instead of executing "
                "(requires --program or --workload)");
+    cli.define("fault-spec", "",
+               "fault-injection plan (e.g. "
+               "'f1,tfail=20,inval=50,seed=9'); empty = disarmed");
+    cli.define("fault-seed", "0",
+               "non-zero overrides the fault plan's own seed");
+    cli.define("verify", "false",
+               "statically verify every emitted region "
+               "(verify-on-submit)");
 
     try {
         cli.parse(argc, argv);
     } catch (const FatalError &e) {
         std::cerr << e.what() << '\n';
-        return 2;
+        return ExitUsageError;
     }
     if (cli.helpRequested()) {
         std::cout << cli.usage(argv[0]);
-        return 0;
+        return ExitOk;
     }
 
     try {
@@ -169,6 +178,11 @@ main(int argc, char **argv)
                                 ? CacheLimits::Policy::Fifo
                                 : CacheLimits::Policy::FullFlush;
         opts.maxEvents = cli.getUint("events");
+        if (!cli.get("fault-spec").empty())
+            opts.faults =
+                resilience::FaultPlan::parse(cli.get("fault-spec"));
+        opts.faultSeed = cli.getUint("fault-seed");
+        opts.verifyRegions = cli.getBool("verify");
 
         // Trace-driven single-program modes.
         if (!cli.get("save-program").empty() ||
@@ -228,6 +242,9 @@ main(int argc, char **argv)
                     DynOptSystem system(prog, opts.cache,
                                         opts.icache);
                     attachAlgorithm(system, algo, opts);
+                    if (opts.verifyRegions)
+                        system.enableVerifyOnSubmit();
+                    system.armFaults(opts.faults, opts.faultSeed);
                     const std::uint64_t n = rp.run(replayEvents,
                                                    system);
                     SimResult r = system.finish();
@@ -333,12 +350,41 @@ main(int argc, char **argv)
                     },
                     0);
             }
+            if (opts.faults.armed()) {
+                row("faults injected",
+                    [](const SimResult &r) {
+                        return double(r.recovery.faultsInjected);
+                    },
+                    0);
+                row("regions invalidated",
+                    [](const SimResult &r) {
+                        return double(r.recovery.regionsInvalidated);
+                    },
+                    0);
+                row("retranslations",
+                    [](const SimResult &r) {
+                        return double(r.recovery.retranslations);
+                    },
+                    0);
+                row("blacklisted entrances",
+                    [](const SimResult &r) {
+                        return double(
+                            r.recovery.blacklistedEntrances);
+                    },
+                    0);
+            }
             t.print(std::cout);
             std::cout << '\n';
         }
     } catch (const FatalError &e) {
         std::cerr << "error: " << e.what() << '\n';
-        return 2;
+        return ExitUsageError;
+    } catch (const analysis::VerifyError &e) {
+        std::cerr << "verification failure: " << e.what() << '\n';
+        return ExitVerifyFailure;
+    } catch (const std::exception &e) {
+        std::cerr << "runtime fault: " << e.what() << '\n';
+        return ExitRuntimeFault;
     }
-    return 0;
+    return ExitOk;
 }

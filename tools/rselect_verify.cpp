@@ -18,10 +18,12 @@
  *    cache passes the duplication accountant.
  *
  * Diagnostics print as a support/table grid. Exit codes: 0 = clean
- * (or self-test caught), 1 = error diagnostics (or self-test
- * missed), 2 = usage / internal error.
+ * (or self-test caught), 1 = runtime fault, 2 = usage error,
+ * 3 = error diagnostics (or self-test missed, or the corpus failed
+ * verification).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -35,6 +37,7 @@
 #include "program/trace_io.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
+#include "support/exit_codes.hpp"
 #include "testing/gen_spec.hpp"
 #include "testing/random_program.hpp"
 #include "workloads/workloads.hpp"
@@ -43,17 +46,17 @@ using namespace rsel;
 
 namespace {
 
-/** Print the diagnostics table and return 0 (clean) or 1 (errors). */
+/** Print the diagnostics table; exit clean or verify-failure. */
 int
 report(const analysis::DiagnosticEngine &diag, const std::string &what)
 {
     if (diag.empty()) {
         std::printf("%s: clean (no diagnostics)\n", what.c_str());
-        return 0;
+        return ExitOk;
     }
     diag.toTable("Verifier diagnostics: " + what).print(std::cout);
     std::printf("%s: %s\n", what.c_str(), diag.summary().c_str());
-    return diag.hasErrors() ? 1 : 0;
+    return diag.hasErrors() ? ExitVerifyFailure : ExitOk;
 }
 
 int
@@ -97,22 +100,28 @@ runWorkloads(const std::string &name)
             fatal("unknown workload " + name);
         todo.push_back(w);
     }
-    int rc = 0;
+    int rc = ExitOk;
     for (const WorkloadInfo *w : todo)
-        rc |= lintProgram(w->build(1), "workload " + w->name);
+        rc = std::max(rc, lintProgram(w->build(1),
+                                      "workload " + w->name));
     return rc;
 }
 
 /**
  * Corpus mode: every region each selector emits over the fuzz
  * programs must pass the static verifier, and every finished cache
- * the duplication accountant. A VerifyError is a red result.
+ * the duplication accountant. A VerifyError is a red result. With
+ * `faultFuzz`, each seed additionally runs under its own fault plan,
+ * proving the verifier stays green across invalidations, flush
+ * storms and retranslations.
  */
 int
 runCorpus(std::uint64_t seeds, std::uint64_t startSeed,
-          std::uint64_t events)
+          std::uint64_t events, bool faultFuzz)
 {
-    Table table("Static verification over the fuzz corpus",
+    Table table(std::string("Static verification over the fuzz "
+                            "corpus") +
+                    (faultFuzz ? " (fault injection armed)" : ""),
                 {"selector", "seeds", "regions", "warnings",
                  "failures"});
     bool anyFailure = false;
@@ -130,10 +139,14 @@ runCorpus(std::uint64_t seeds, std::uint64_t startSeed,
             opts.seed = spec.execSeed;
             opts.cache.capacityBytes = spec.cacheKb * 1024;
             opts.verifyRegions = true;
+            if (faultFuzz)
+                opts.faults = resilience::FaultPlan::fromSeed(
+                    startSeed + i);
             try {
                 DynOptSystem sys(prog, opts.cache, opts.icache);
                 attachAlgorithm(sys, algo, opts);
                 sys.enableVerifyOnSubmit();
+                sys.armFaults(opts.faults);
                 Executor exec(prog, opts.seed);
                 exec.run(opts.maxEvents, sys);
                 const SimResult res = sys.finish();
@@ -157,7 +170,7 @@ runCorpus(std::uint64_t seeds, std::uint64_t startSeed,
     std::printf("corpus: %s\n",
                 anyFailure ? "FAILED (verifier rejected regions)"
                            : "all regions verified");
-    return anyFailure ? 1 : 0;
+    return anyFailure ? ExitVerifyFailure : ExitOk;
 }
 
 /**
@@ -246,7 +259,7 @@ runSelfTest(const std::string &which)
 
     analysis::AnalysisManager mgr;
     analysis::RegionVerifier verifier(mgr);
-    int rc = 0;
+    int rc = ExitOk;
     bool ranAny = false;
     for (const PlantedBug &bug : bugs) {
         if (which != "all" && which != bug.name)
@@ -272,7 +285,7 @@ runSelfTest(const std::string &which)
                         "%s); diagnostics were:\n",
                         bug.name.c_str(), bug.expectedPass.c_str());
             diag.toTable("self-test " + bug.name).print(std::cout);
-            rc = 1;
+            rc = ExitVerifyFailure;
         }
     }
     if (!ranAny)
@@ -300,12 +313,15 @@ main(int argc, char **argv)
     cli.define("start-seed", "1", "first corpus seed");
     cli.define("events", "6000",
                "events per corpus run (0 = per-spec default)");
+    cli.define("fault-fuzz", "false",
+               "corpus mode: run every seed under its own "
+               "deterministic fault plan");
 
     try {
         cli.parse(argc, argv);
         if (cli.helpRequested()) {
             std::fputs(cli.usage(argv[0]).c_str(), stdout);
-            return 0;
+            return ExitOk;
         }
         if (!cli.get("self-test").empty()) {
             // A bare --self-test (the CLI stores "true") runs all.
@@ -321,14 +337,15 @@ main(int argc, char **argv)
         if (cli.getUint("corpus") != 0)
             return runCorpus(cli.getUint("corpus"),
                              cli.getUint("start-seed"),
-                             cli.getUint("events"));
+                             cli.getUint("events"),
+                             cli.getBool("fault-fuzz"));
         std::fputs(cli.usage(argv[0]).c_str(), stdout);
-        return 2;
+        return ExitUsageError;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
-        return 2;
+        return ExitUsageError;
     } catch (const std::exception &e) {
-        std::fprintf(stderr, "internal error: %s\n", e.what());
-        return 2;
+        std::fprintf(stderr, "runtime fault: %s\n", e.what());
+        return ExitRuntimeFault;
     }
 }
