@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Static-prediction validation table: how tight the dataflow-based
+ * region-quality bounds are, and how accurate the heuristic
+ * estimates, measured over the fuzz corpus.
+ *
+ * For every corpus seed the program's static report is computed and
+ * every shipped selector is run (unbounded cache, fault-free — the
+ * regime the bounds are sound for). Per selector the table reports
+ * the measured/bound tightness ratios for region count, duplicated
+ * instructions, code expansion and exit stubs, the mean absolute
+ * error of the stub-density and spanning-ratio estimates, and the
+ * number of violated bounds (which must be zero: a violation fails
+ * the binary).
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "support/cli.hpp"
+#include "support/exit_codes.hpp"
+#include "support/table.hpp"
+#include "testing/prediction_check.hpp"
+#include "testing/random_program.hpp"
+
+using namespace rsel;
+
+namespace {
+
+/** Per-selector accumulation over the corpus. */
+struct SelectorAgg
+{
+    std::string selector;
+    std::uint64_t measuredRegions = 0, boundRegions = 0;
+    std::uint64_t measuredDup = 0, boundDup = 0;
+    std::uint64_t measuredExp = 0, boundExp = 0;
+    std::uint64_t measuredStubs = 0;
+    double boundStubs = 0.0; ///< sum of densityMax * expansion
+    double densityEstAbsErr = 0.0;
+    double spanEstAbsErr = 0.0;
+    std::uint64_t runs = 0;
+    std::uint64_t violations = 0;
+};
+
+std::string
+ratio(std::uint64_t measured, double bound)
+{
+    if (bound <= 0.0)
+        return "-";
+    return formatPercent(static_cast<double>(measured) / bound, 1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions cli;
+    cli.define("seeds", "30", "fuzz-corpus seeds to validate");
+    cli.define("start-seed", "1", "first corpus seed");
+    cli.define("events", "8000",
+               "events per run (0 = per-spec default)");
+
+    try {
+        cli.parse(argc, argv);
+        if (cli.helpRequested()) {
+            std::fputs(cli.usage(argv[0]).c_str(), stdout);
+            return ExitOk;
+        }
+        const std::uint64_t seeds = cli.getUint("seeds");
+        const std::uint64_t startSeed = cli.getUint("start-seed");
+        const std::uint64_t events = cli.getUint("events");
+
+        std::vector<SelectorAgg> aggs;
+        const auto aggFor =
+            [&aggs](const std::string &name) -> SelectorAgg & {
+            for (SelectorAgg &a : aggs)
+                if (a.selector == name)
+                    return a;
+            aggs.emplace_back();
+            aggs.back().selector = name;
+            return aggs.back();
+        };
+
+        for (std::uint64_t i = 0; i < seeds; ++i) {
+            testing::GenSpec spec =
+                testing::GenSpec::fromSeed(startSeed + i);
+            if (events != 0)
+                spec.events = events;
+            spec.clamp();
+            const Program prog = testing::generateProgram(spec);
+            const testing::PredictionValidation val =
+                testing::validatePredictions(prog, spec.events,
+                                             spec.execSeed);
+            for (const testing::SelectorValidation &sv :
+                 val.selectors) {
+                SelectorAgg &agg =
+                    aggFor(sv.prediction.selector);
+                ++agg.runs;
+                agg.measuredRegions += sv.measured.regionCount;
+                agg.boundRegions += sv.prediction.maxRegions;
+                agg.measuredDup += sv.measured.duplicatedInsts;
+                agg.boundDup += sv.prediction.dupBoundInsts;
+                agg.measuredExp += sv.measured.expansionInsts;
+                agg.boundExp += sv.prediction.expansionBoundInsts;
+                agg.measuredStubs += sv.measured.exitStubs;
+                agg.boundStubs +=
+                    sv.prediction.stubDensityMax *
+                    static_cast<double>(
+                        sv.prediction.expansionBoundInsts);
+                if (sv.measured.expansionInsts > 0) {
+                    const double density =
+                        static_cast<double>(sv.measured.exitStubs) /
+                        static_cast<double>(
+                            sv.measured.expansionInsts);
+                    const double err =
+                        density - sv.prediction.stubDensityEst;
+                    agg.densityEstAbsErr += err < 0 ? -err : err;
+                }
+                if (sv.measured.regionCount > 0) {
+                    const double span =
+                        static_cast<double>(
+                            sv.measured.spanningRegions) /
+                        static_cast<double>(sv.measured.regionCount);
+                    const double err =
+                        span - sv.prediction.spanningRatioEst;
+                    agg.spanEstAbsErr += err < 0 ? -err : err;
+                }
+                agg.violations += sv.violations.size();
+                for (const std::string &v : sv.violations)
+                    std::printf("seed %llu, %s: VIOLATED %s\n",
+                                static_cast<unsigned long long>(
+                                    startSeed + i),
+                                sv.prediction.selector.c_str(),
+                                v.c_str());
+            }
+        }
+
+        Table table(
+            "Static prediction tightness over " +
+                std::to_string(seeds) + " corpus seeds",
+            {"selector", "regions m/b", "dup m/b", "expansion m/b",
+             "stubs m/b", "densEst err", "spanEst err",
+             "violations"});
+        std::uint64_t totalViolations = 0;
+        for (const SelectorAgg &agg : aggs) {
+            totalViolations += agg.violations;
+            const double runs =
+                agg.runs == 0 ? 1.0 : static_cast<double>(agg.runs);
+            table.addRow(
+                {agg.selector,
+                 ratio(agg.measuredRegions,
+                       static_cast<double>(agg.boundRegions)),
+                 ratio(agg.measuredDup,
+                       static_cast<double>(agg.boundDup)),
+                 ratio(agg.measuredExp,
+                       static_cast<double>(agg.boundExp)),
+                 ratio(agg.measuredStubs, agg.boundStubs),
+                 formatDouble(agg.densityEstAbsErr / runs, 3),
+                 formatDouble(agg.spanEstAbsErr / runs, 3),
+                 std::to_string(agg.violations)});
+        }
+        table.addSummaryRow(
+            {"total", "", "", "", "", "", "",
+             std::to_string(totalViolations)});
+        table.print(std::cout);
+        std::printf("static prediction: %s\n",
+                    totalViolations == 0
+                        ? "every bound held (measured <= bound)"
+                        : "BOUNDS VIOLATED");
+        return totalViolations == 0 ? ExitOk : ExitVerifyFailure;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "runtime fault: %s\n", e.what());
+        return ExitRuntimeFault;
+    }
+}

@@ -3,11 +3,35 @@
 namespace rsel {
 namespace analysis {
 
+std::uint64_t
+programFingerprint(const Program &prog)
+{
+    // FNV-style mix of the shape properties a reassignment would
+    // realistically change; collisions only matter when a variable
+    // is rebound to a program of identical shape, in which case the
+    // facts are identical anyway for every graph-level consumer.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    const auto mix = [&h](std::uint64_t v) {
+        h = (h ^ v) * 0x100000001b3ull;
+    };
+    mix(prog.blocks().size());
+    mix(prog.functions().size());
+    mix(prog.entry());
+    mix(prog.staticInstCount());
+    mix(prog.staticByteSize());
+    for (const BasicBlock &b : prog.blocks()) {
+        mix(static_cast<std::uint64_t>(b.terminator()));
+        mix(b.startAddr());
+    }
+    return h;
+}
+
 ProgramFacts
 buildProgramFacts(const Program &prog)
 {
     ProgramFacts pf;
     pf.prog = &prog;
+    pf.fingerprint = programFingerprint(prog);
     const std::uint32_t n =
         static_cast<std::uint32_t>(prog.blocks().size());
     pf.graph = DiGraph(n);
@@ -99,24 +123,46 @@ const ProgramFacts &
 AnalysisManager::facts(const Program &prog)
 {
     auto it = programs_.find(&prog);
-    if (it == programs_.end())
+    if (it != programs_.end() &&
+        it->second->fingerprint != programFingerprint(prog)) {
+        // The Program variable was reassigned under this address:
+        // drop the stale facts (and every region fact — regions may
+        // point into the replaced program) instead of serving them.
+        ++stats_.staleInvalidations;
+        programs_.erase(it);
+        regions_.clear();
+        it = programs_.end();
+    }
+    if (it == programs_.end()) {
+        ++stats_.programMisses;
         it = programs_
                  .emplace(&prog, std::make_unique<ProgramFacts>(
                                      buildProgramFacts(prog)))
                  .first;
+    } else {
+        ++stats_.programHits;
+    }
     return *it->second;
 }
 
 const MemberFacts &
 AnalysisManager::regionFacts(const Program &prog, const Region &region)
 {
+    // Resolve the program facts first: a stale-program invalidation
+    // clears regions_, so the lookup below never returns member
+    // facts built against replaced program content.
+    const ProgramFacts &pf = facts(prog);
     auto it = regions_.find(&region);
-    if (it == regions_.end())
+    if (it == regions_.end()) {
+        ++stats_.regionMisses;
         it = regions_
                  .emplace(&region,
                           std::make_unique<MemberFacts>(buildMemberFacts(
-                              facts(prog), region.blocks())))
+                              pf, region.blocks())))
                  .first;
+    } else {
+        ++stats_.regionHits;
+    }
     return *it->second;
 }
 

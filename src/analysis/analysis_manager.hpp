@@ -35,10 +35,20 @@
 namespace rsel {
 namespace analysis {
 
+/**
+ * Cheap shape fingerprint of a Program. Programs are immutable, but
+ * a Program *variable* can be reassigned in place (same object
+ * address, new content) — the cache must not serve the old facts
+ * then. @see AnalysisManager::facts.
+ */
+std::uint64_t programFingerprint(const Program &prog);
+
 /** Static facts about one Program, computed once. */
 struct ProgramFacts
 {
     const Program *prog = nullptr;
+    /** programFingerprint() of prog at computation time. */
+    std::uint64_t fingerprint = 0;
     /** Possible-dynamic-CFG: node i == BlockId i. */
     DiGraph graph{0};
     /** Dataflow facts rooted at the program entry. */
@@ -84,10 +94,26 @@ MemberFacts buildMemberFacts(
     const ProgramFacts &pf,
     const std::vector<const BasicBlock *> &members);
 
+/** Cache traffic counters of one AnalysisManager. */
+struct AnalysisCacheStats
+{
+    std::uint64_t programHits = 0;
+    std::uint64_t programMisses = 0;
+    std::uint64_t regionHits = 0;
+    std::uint64_t regionMisses = 0;
+    /** Cached facts dropped because the Program's shape changed
+     *  under its address (stale facts are never served). */
+    std::uint64_t staleInvalidations = 0;
+};
+
 /**
  * Owns and caches facts. Programs are keyed by object identity (the
  * caller guarantees the Program outlives the manager or calls
- * invalidate()); cached Regions likewise.
+ * invalidate()); cached Regions likewise. A fingerprint check on
+ * every facts() lookup guards the identity assumption: if the
+ * Program at a cached address no longer matches the shape its facts
+ * were computed from (the variable was reassigned), the stale entry
+ * is dropped and recomputed, never served.
  */
 class AnalysisManager
 {
@@ -102,11 +128,15 @@ class AnalysisManager
     /** Drop cached facts for `prog` (and its regions). */
     void invalidate(const Program &prog);
 
+    /** Hit/miss/invalidation counters. */
+    const AnalysisCacheStats &cacheStats() const { return stats_; }
+
   private:
     std::unordered_map<const Program *, std::unique_ptr<ProgramFacts>>
         programs_;
     std::unordered_map<const Region *, std::unique_ptr<MemberFacts>>
         regions_;
+    AnalysisCacheStats stats_;
 };
 
 } // namespace analysis

@@ -1,0 +1,52 @@
+#include "analysis/dataflow.hpp"
+
+#include <bit>
+
+namespace rsel {
+namespace analysis {
+
+std::uint32_t
+BitsetLattice::countBits(const Value &v)
+{
+    std::uint32_t n = 0;
+    for (const std::uint64_t w : v)
+        n += static_cast<std::uint32_t>(std::popcount(w));
+    return n;
+}
+
+DataflowResult<BitsetLattice::Value>
+reachingSources(const DiGraph &graph, const CfgFacts &cfg,
+                const std::vector<std::uint32_t> &sources)
+{
+    const BitsetLattice lattice(
+        static_cast<std::uint32_t>(sources.size()));
+    // gen[n] holds the bits of the sources located at n.
+    std::vector<BitsetLattice::Value> gen(graph.size(),
+                                          lattice.bottom());
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(sources.size()); ++i)
+        BitsetLattice::setBit(gen[sources[i]], i);
+    return solveDataflow(
+        graph, cfg, DataflowDirection::Forward, lattice,
+        [&gen, &lattice](std::uint32_t node,
+                         BitsetLattice::Value in) {
+            lattice.meetInto(in, gen[node]);
+            return in;
+        });
+}
+
+DataflowResult<std::uint8_t>
+reachesAnyOf(const DiGraph &graph, const CfgFacts &cfg,
+             const std::vector<std::uint8_t> &targetMask)
+{
+    const BoolOrLattice lattice;
+    return solveDataflow(
+        graph, cfg, DataflowDirection::Backward, lattice,
+        [&targetMask](std::uint32_t node, std::uint8_t in) {
+            return static_cast<std::uint8_t>(
+                in | (targetMask[node] ? 1u : 0u));
+        });
+}
+
+} // namespace analysis
+} // namespace rsel

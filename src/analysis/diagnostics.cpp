@@ -1,5 +1,8 @@
 #include "analysis/diagnostics.hpp"
 
+#include <algorithm>
+#include <tuple>
+
 namespace rsel {
 namespace analysis {
 
@@ -11,6 +14,8 @@ severityName(Severity sev)
         return "error";
     case Severity::Warning:
         return "warning";
+    case Severity::Note:
+        return "note";
     }
     return "error";
 }
@@ -34,8 +39,10 @@ DiagnosticEngine::report(Severity sev, const std::string &pass,
     diagnostics_.push_back(std::move(d));
     if (sev == Severity::Error)
         ++errors_;
-    else
+    else if (sev == Severity::Warning)
         ++warnings_;
+    else
+        ++notes_;
 }
 
 void
@@ -52,6 +59,34 @@ DiagnosticEngine::warning(const std::string &pass,
                           const std::string &message)
 {
     report(Severity::Warning, pass, object, message);
+}
+
+void
+DiagnosticEngine::note(const std::string &pass,
+                       const std::string &object,
+                       const std::string &message)
+{
+    report(Severity::Note, pass, object, message);
+}
+
+std::vector<Diagnostic>
+DiagnosticEngine::stableUnique() const
+{
+    std::vector<Diagnostic> sorted = diagnostics_;
+    const auto key = [](const Diagnostic &d) {
+        return std::tie(d.pass, d.object, d.severity, d.message);
+    };
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [&key](const Diagnostic &a, const Diagnostic &b) {
+                         return key(a) < key(b);
+                     });
+    sorted.erase(std::unique(sorted.begin(), sorted.end(),
+                             [&key](const Diagnostic &a,
+                                    const Diagnostic &b) {
+                                 return key(a) == key(b);
+                             }),
+                 sorted.end());
+    return sorted;
 }
 
 std::string
@@ -72,20 +107,30 @@ DiagnosticEngine::firstErrorAfter(std::size_t start) const
 std::string
 DiagnosticEngine::summary() const
 {
-    return std::to_string(errors_) +
-           (errors_ == 1 ? " error, " : " errors, ") +
-           std::to_string(warnings_) +
-           (warnings_ == 1 ? " warning" : " warnings");
+    std::string s = std::to_string(errors_) +
+                    (errors_ == 1 ? " error, " : " errors, ") +
+                    std::to_string(warnings_) +
+                    (warnings_ == 1 ? " warning" : " warnings");
+    if (notes_ != 0)
+        s += ", " + std::to_string(notes_) +
+             (notes_ == 1 ? " note" : " notes");
+    return s;
 }
 
 Table
 DiagnosticEngine::toTable(const std::string &title) const
 {
     Table table(title, {"severity", "pass", "object", "message"});
-    for (const Diagnostic &d : diagnostics_)
+    const std::vector<Diagnostic> rows = stableUnique();
+    for (const Diagnostic &d : rows)
         table.addRow({severityName(d.severity), d.pass, d.object,
                       d.message});
-    table.addSummaryRow({summary(), "", "", ""});
+    std::string tail = summary();
+    const std::size_t suppressed = diagnostics_.size() - rows.size();
+    if (suppressed != 0)
+        tail += " (" + std::to_string(suppressed) +
+                " duplicates suppressed)";
+    table.addSummaryRow({tail, "", "", ""});
     return table;
 }
 

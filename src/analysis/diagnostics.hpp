@@ -39,6 +39,7 @@ class VerifyError : public std::runtime_error
 enum class Severity : std::uint8_t {
     Error,   ///< Invariant violation: the object is malformed.
     Warning, ///< Lint: legal but suspicious.
+    Note,    ///< Machine-readable fact: informational only.
 };
 
 /** Severity name as printed ("error" / "warning"). */
@@ -71,14 +72,28 @@ class DiagnosticEngine
     void warning(const std::string &pass, const std::string &object,
                  const std::string &message);
 
+    /** Record one note-severity diagnostic (a fact). */
+    void note(const std::string &pass, const std::string &object,
+              const std::string &message);
+
     /** All diagnostics, in report order. */
     const std::vector<Diagnostic> &diagnostics() const
     {
         return diagnostics_;
     }
 
+    /**
+     * Diagnostics in the deterministic render order: sorted by pass,
+     * then object, then severity, then message, with exact
+     * duplicates suppressed. This is the order toTable() prints, so
+     * CLI output is byte-stable for any insertion order (and hence
+     * any job count).
+     */
+    std::vector<Diagnostic> stableUnique() const;
+
     std::size_t errorCount() const { return errors_; }
     std::size_t warningCount() const { return warnings_; }
+    std::size_t noteCount() const { return notes_; }
     bool hasErrors() const { return errors_ != 0; }
     bool empty() const { return diagnostics_.empty(); }
 
@@ -92,10 +107,14 @@ class DiagnosticEngine
      */
     std::string firstErrorAfter(std::size_t start) const;
 
-    /** "N errors, M warnings". */
+    /** "N errors, M warnings" (plus ", K notes" when any). */
     std::string summary() const;
 
-    /** Render every diagnostic as a support/table grid. */
+    /**
+     * Render the diagnostics as a support/table grid, in
+     * stableUnique() order; the summary row names how many exact
+     * duplicates were suppressed, if any.
+     */
     Table toTable(const std::string &title) const;
 
   private:
@@ -105,6 +124,7 @@ class DiagnosticEngine
     std::vector<Diagnostic> diagnostics_;
     std::size_t errors_ = 0;
     std::size_t warnings_ = 0;
+    std::size_t notes_ = 0;
 };
 
 } // namespace analysis

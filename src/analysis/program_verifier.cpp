@@ -1,5 +1,7 @@
 #include "analysis/program_verifier.hpp"
 
+#include <algorithm>
+
 namespace rsel {
 namespace analysis {
 
@@ -201,23 +203,41 @@ lintNoExitSccs(const ProgramFacts &pf, DiagnosticEngine &diag)
 
 } // namespace
 
+bool
+ProgramVerifyOptions::passEnabled(const std::string &pass) const
+{
+    const auto contains = [&pass](const std::vector<std::string> &v) {
+        return std::find(v.begin(), v.end(), pass) != v.end();
+    };
+    if (!only.empty() && !contains(only))
+        return false;
+    return !contains(skip);
+}
+
 void
 ProgramVerifier::run(const Program &prog, DiagnosticEngine &diag,
                      const ProgramVerifyOptions &opts) const
 {
     const ProgramFacts &pf = manager_.facts(prog);
-    checkEntry(pf, diag);
+    if (opts.passEnabled("entry"))
+        checkEntry(pf, diag);
     if (prog.blocks().empty() ||
         prog.entry() >= prog.blocks().size())
         return; // the remaining passes assume a rooted CFG
-    checkBranchTargets(pf, diag);
-    checkFallthrough(pf, diag);
-    checkBehaviors(pf, diag);
+    if (opts.passEnabled("branch-targets"))
+        checkBranchTargets(pf, diag);
+    if (opts.passEnabled("fallthrough"))
+        checkFallthrough(pf, diag);
+    if (opts.passEnabled("behaviors"))
+        checkBehaviors(pf, diag);
     if (!opts.lints)
         return;
-    lintUnreachable(pf, diag);
-    lintDeadFunctions(pf, diag);
-    lintNoExitSccs(pf, diag);
+    if (opts.passEnabled("unreachable-code"))
+        lintUnreachable(pf, diag);
+    if (opts.passEnabled("dead-function"))
+        lintDeadFunctions(pf, diag);
+    if (opts.passEnabled("no-exit-scc"))
+        lintNoExitSccs(pf, diag);
 }
 
 const std::vector<std::string> &

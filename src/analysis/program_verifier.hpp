@@ -47,6 +47,13 @@ struct ProgramVerifyOptions
 {
     /** Run the warning-severity lint passes too. */
     bool lints = true;
+    /** When non-empty, run only the named passes. */
+    std::vector<std::string> only;
+    /** Skip the named passes (applied after `only`). */
+    std::vector<std::string> skip;
+
+    /** True if the named pass should run under this filter. */
+    bool passEnabled(const std::string &pass) const;
 };
 
 /** Runs the Program pass set; facts come from the manager's cache. */

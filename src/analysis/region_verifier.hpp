@@ -49,6 +49,7 @@
 #define RSEL_ANALYSIS_REGION_VERIFIER_HPP
 
 #include <string>
+#include <vector>
 
 #include "analysis/analysis_manager.hpp"
 #include "analysis/diagnostics.hpp"
@@ -95,6 +96,10 @@ class RegionVerifier
     void runOnRegion(const Region &region,
                      const RegionVerifyContext &ctx,
                      DiagnosticEngine &diag) const;
+
+    /** Names of every region pass, including the whole-cache
+     *  duplication accountant. */
+    static const std::vector<std::string> &passNames();
 
   private:
     AnalysisManager &manager_;

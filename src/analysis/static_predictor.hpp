@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Static region-quality predictors: the paper's shape metrics
+ * (duplication, spanning cycles, exit-stub pressure, trace
+ * separation) computed from the CFG plus branch-behaviour specs,
+ * without running the simulator.
+ *
+ * Two kinds of output live side by side and are never mixed up:
+ *
+ *  - *Bounds* (`maxRegions`, `maxSpanningRegions`, `dupBoundInsts`,
+ *    `expansionBoundInsts`, `stubDensityMin/Max`) are sound for any
+ *    unbounded-cache, fault-free run: `checkPrediction` treats a
+ *    measured value outside them as a hard violation. They rest on
+ *    the selector formation models (`src/selection/formation_model`),
+ *    the single-entrance invariant and the region-connectivity
+ *    invariant (members reachable from the entrance), all enforced
+ *    by the verifier layer. Bounded caches and fault injection break
+ *    the single-entrance premise (entrances re-select after
+ *    eviction), so the validation harness always measures against
+ *    unbounded, fault-free runs.
+ *
+ *  - *Estimates* (`stubDensityEst`, `spanningRatioEst`,
+ *    `tailDupEstInsts`, `innerLoopDupInsts`) are heuristics; the
+ *    bench table reports their error, nothing gates on them.
+ *
+ * The pass suite is built on the dataflow framework: entrance
+ * reach-sets are a forward bitset-union analysis
+ * (`reachingSources`), the unbiased-branch frontier a backward
+ * or-analysis (`reachesAnyOf`) over the forward-edge subgraph.
+ */
+
+#ifndef RSEL_ANALYSIS_STATIC_PREDICTOR_HPP
+#define RSEL_ANALYSIS_STATIC_PREDICTOR_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis_manager.hpp"
+#include "analysis/diagnostics.hpp"
+#include "metrics/sim_result.hpp"
+
+namespace rsel {
+namespace analysis {
+
+/** Static bounds and estimates for one selector. */
+struct SelectorPrediction
+{
+    /** Selector name (algorithmName / SimResult::selector). */
+    std::string selector;
+    /** Entrance candidates under the selector's formation rule. */
+    std::uint32_t entranceCount = 0;
+    /** Bound: regions selected (single-entrance argument). */
+    std::uint64_t maxRegions = 0;
+    /** Bound: regions that span a cycle (entrance on a cycle). */
+    std::uint64_t maxSpanningRegions = 0;
+    /** Bound: duplicated instructions (entrance reach-sets). */
+    std::uint64_t dupBoundInsts = 0;
+    /** Bound: instructions copied into the cache. */
+    std::uint64_t expansionBoundInsts = 0;
+    /** Bound: exitStubs <= stubDensityMax * expansionInsts. */
+    double stubDensityMax = 0.0;
+    /** Bound: exitStubs >= stubDensityMin * expansionInsts. */
+    double stubDensityMin = 0.0;
+    /** Estimate: expected stubs per copied instruction. */
+    double stubDensityEst = 0.0;
+    /** Estimate: expected spanning-region fraction. */
+    double spanningRatioEst = 0.0;
+};
+
+/** Whole-program static report: shared facts plus per-selector
+ *  predictions. */
+struct StaticReport
+{
+    std::uint32_t blockCount = 0;
+    std::uint32_t reachableBlocks = 0;
+    std::uint64_t staticInsts = 0;
+    /** Instructions of reachable blocks only. */
+    std::uint64_t reachableInsts = 0;
+
+    /** Loop nesting. */
+    std::uint32_t loopCount = 0;
+    std::uint32_t maxLoopDepth = 0;
+    /** Natural-loop nesting depth per block (0 = not in a loop). */
+    std::vector<std::uint32_t> loopDepth;
+    /** Loops nested inside another loop (depth >= 2 headers). */
+    std::uint32_t innerLoops = 0;
+    /** Instructions in inner-loop bodies: the NET inner-loop
+     *  duplication set (estimate input). */
+    std::uint64_t innerLoopDupInsts = 0;
+
+    /** Unbiased conditional branches (Bernoulli p in [0.35, 0.65]
+     *  in some phase), reachable blocks only. */
+    std::vector<std::uint8_t> unbiasedBranch;
+    std::uint32_t unbiasedBranches = 0;
+    /** Of those, branches inside some natural loop body. */
+    std::uint32_t unbiasedInLoops = 0;
+    /** Blocks that can reach an unbiased branch along forward edges
+     *  (the backward-dataflow frontier). */
+    std::uint32_t frontierBlocks = 0;
+    /** Estimate: instructions NET tail-duplicates past unbiased
+     *  branches (joint forward-edge descendants of both arms). */
+    std::uint64_t tailDupEstInsts = 0;
+
+    /** Blocks on a possible-CFG cycle (reachable only). */
+    std::uint32_t cyclicBlocks = 0;
+    /** Cyclic SCCs spanning more than one function. */
+    std::uint32_t crossFuncCycles = 0;
+    /** Most functions any single cyclic SCC spans. */
+    std::uint32_t maxSeparationFuncs = 0;
+
+    /** Transfer-function applications the pass suite spent. */
+    std::uint64_t dataflowTransfers = 0;
+
+    /** One prediction per shipped selector. */
+    std::vector<SelectorPrediction> predictions;
+};
+
+/** Compute the full report (facts come from the manager's cache). */
+StaticReport computeStaticReport(AnalysisManager &mgr,
+                                 const Program &prog);
+
+/** Prediction for a selector name; nullptr if absent. */
+const SelectorPrediction *findPrediction(const StaticReport &report,
+                                         const std::string &selector);
+
+/**
+ * Check one measured run against a prediction's *bounds*. Only
+ * meaningful for unbounded-cache, fault-free runs (see file
+ * comment). @return one message per violated bound; empty if every
+ * bound holds.
+ */
+std::vector<std::string> checkPrediction(const SelectorPrediction &p,
+                                         const SimResult &res);
+
+/**
+ * Emit the report as machine-readable note diagnostics (one per
+ * fact family, pass names "loop-nesting", "unbiased-frontier",
+ * "net-duplication", "lei-coverage", "exit-stubs",
+ * "trace-separation") plus warning lints for pathological inputs:
+ * "duplication-explosion" (predicted duplication exceeding the
+ * reachable code, or >= 3 unbiased branches in one loop body) and
+ * "separation-prone" (a cyclic SCC spanning >= 3 functions).
+ */
+void emitStaticFacts(const StaticReport &report, const Program &prog,
+                     const ProgramFacts &pf, DiagnosticEngine &diag);
+
+} // namespace analysis
+} // namespace rsel
+
+#endif // RSEL_ANALYSIS_STATIC_PREDICTOR_HPP

@@ -1,0 +1,42 @@
+#include "selection/formation_model.hpp"
+
+namespace rsel {
+
+const std::vector<FormationModel> &
+allFormationModels()
+{
+    static const std::vector<FormationModel> models = [] {
+        std::vector<FormationModel> m;
+        const auto add = [&m](const char *name,
+                              FormationModel::Entrance entrance,
+                              bool tracesOnly, double discount) {
+            FormationModel fm;
+            fm.selector = name;
+            fm.entrance = entrance;
+            fm.tracesOnly = tracesOnly;
+            fm.stubDiscount = discount;
+            m.push_back(std::move(fm));
+        };
+        using E = FormationModel::Entrance;
+        add("NET", E::NeedsPredecessor, true, 1.0);
+        add("LEI", E::OnCycle, true, 1.0);
+        add("NET+comb", E::NeedsPredecessor, false, 0.7);
+        add("LEI+comb", E::OnCycle, false, 0.7);
+        add("Mojo", E::NeedsPredecessor, true, 1.0);
+        add("BOA", E::AnyReachable, true, 1.0);
+        add("WRS", E::AnyReachable, true, 1.0);
+        return m;
+    }();
+    return models;
+}
+
+const FormationModel *
+findFormationModel(const std::string &selector)
+{
+    for (const FormationModel &m : allFormationModels())
+        if (m.selector == selector)
+            return &m;
+    return nullptr;
+}
+
+} // namespace rsel

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Static formation-rule models of the shipped selectors.
+ *
+ * Each selector constrains where a region may *begin*; the static
+ * predictor turns that constraint into sound upper bounds on region
+ * count, duplication and expansion without running the simulator.
+ * The entrance rules mirror the selector implementations:
+ *
+ *  - NET / NET+comb / Mojo place profiling counters only at targets
+ *    of taken transfers (backward branches and code-cache exits), so
+ *    every entrance has at least one possible-CFG predecessor.
+ *  - LEI / LEI+comb fire a counter only when a branch target
+ *    reappears in the history buffer — the block executed at least
+ *    twice, which puts it on a possible-CFG cycle.
+ *  - BOA (edge profiles) and WRS (PC sampling) carry no such
+ *    refinement here; any reachable block may become an entrance.
+ *
+ * All bounds additionally rest on the single-entrance invariant
+ * (at most one region per entrance address, enforced by the
+ * region-single-entrance verifier pass), which holds for unbounded,
+ * fault-free runs — the validation harness's configuration.
+ */
+
+#ifndef RSEL_SELECTION_FORMATION_MODEL_HPP
+#define RSEL_SELECTION_FORMATION_MODEL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rsel {
+
+/** Static description of one selector's region-formation rules. */
+struct FormationModel
+{
+    /** Where this selector may start a region. */
+    enum class Entrance : std::uint8_t {
+        AnyReachable,     ///< any block reachable from the entry
+        NeedsPredecessor, ///< entrance entered via a taken transfer
+        OnCycle,          ///< entrance lies on a possible-CFG cycle
+    };
+
+    /** Selector name as reported in SimResult::selector. */
+    std::string selector;
+    Entrance entrance = Entrance::AnyReachable;
+    /** Emits only single-path traces (no multi-path combination). */
+    bool tracesOnly = true;
+    /**
+     * Heuristic scale in (0, 1] for the exit-stub density estimate:
+     * combination keeps rejoining paths inside the region, so
+     * combined regions stub a smaller share of their branches.
+     */
+    double stubDiscount = 1.0;
+};
+
+/** One model per shipped selector, in allSelectors order. */
+const std::vector<FormationModel> &allFormationModels();
+
+/** Model for a selector name; nullptr if unknown. */
+const FormationModel *findFormationModel(const std::string &selector);
+
+} // namespace rsel
+
+#endif // RSEL_SELECTION_FORMATION_MODEL_HPP

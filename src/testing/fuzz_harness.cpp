@@ -4,6 +4,7 @@
 
 #include "driver/thread_pool.hpp"
 #include "program/trace_io.hpp"
+#include "testing/prediction_check.hpp"
 #include "testing/random_program.hpp"
 #include "testing/shrinker.hpp"
 
@@ -12,7 +13,7 @@ namespace testing {
 
 std::string
 fuzzCliLine(const GenSpec &spec, BrokenMode mode, bool verify,
-            const resilience::FaultPlan &faults)
+            const resilience::FaultPlan &faults, bool analyze)
 {
     std::string line = "rselect-fuzz --spec '" + spec.toString() + "'";
     if (mode != BrokenMode::None)
@@ -20,10 +21,39 @@ fuzzCliLine(const GenSpec &spec, BrokenMode mode, bool verify,
                 brokenModeName(mode);
     if (verify)
         line += " --verify";
+    if (analyze)
+        line += " --analyze";
     if (faults.armed())
         line += " --fault-spec '" + faults.toString() + "'";
     return line;
 }
+
+namespace {
+
+/** True for failures the differential-based shrinker cannot
+ *  reproduce (static-prediction checks run outside the oracle). */
+bool
+isAnalyzeFailure(const std::string &error)
+{
+    return error.rfind("static-prediction:", 0) == 0;
+}
+
+/** One seed's full check: the differential oracle, then (when
+ *  requested and clean) the static-prediction validation. */
+DiffReport
+runSeedCheck(const GenSpec &spec, const FuzzOptions &opts,
+             const resilience::FaultPlan &plan)
+{
+    DiffReport report =
+        runDifferential(spec, opts.broken, opts.verify, plan);
+    // Prediction bounds assume fault-free runs; a fault plan only
+    // affects the differential leg, never the analyze leg.
+    if (report.error.empty() && opts.analyze)
+        report.error = checkSpecPredictions(spec);
+    return report;
+}
+
+} // namespace
 
 FuzzSummary
 runFuzz(const FuzzOptions &opts)
@@ -53,16 +83,14 @@ runFuzz(const FuzzOptions &opts)
     std::vector<DiffReport> reports(specs.size());
     if (opts.jobs == 1 || specs.size() <= 1) {
         for (std::size_t i = 0; i < specs.size(); ++i)
-            reports[i] = runDifferential(specs[i], opts.broken,
-                                         opts.verify, plans[i]);
+            reports[i] = runSeedCheck(specs[i], opts, plans[i]);
     } else {
         ThreadPool pool(opts.jobs == 0 ? ThreadPool::hardwareWorkers()
                                        : opts.jobs);
         for (std::size_t i = 0; i < specs.size(); ++i) {
             pool.submit([&specs, &plans, &reports, &opts, i] {
-                // runDifferential never throws (pool contract).
-                reports[i] = runDifferential(specs[i], opts.broken,
-                                             opts.verify, plans[i]);
+                // runSeedCheck never throws (pool contract).
+                reports[i] = runSeedCheck(specs[i], opts, plans[i]);
             });
         }
         pool.wait();
@@ -84,7 +112,10 @@ runFuzz(const FuzzOptions &opts)
         failure.shrunkError = reports[i].error;
         failure.shrunkBlocks = reports[i].programBlocks;
 
-        if (opts.shrink &&
+        // Static-prediction failures are found outside the
+        // differential predicate, so the shrinker cannot reproduce
+        // them; report the original spec as the reproducer instead.
+        if (opts.shrink && !isAnalyzeFailure(reports[i].error) &&
             static_cast<std::uint32_t>(summary.detail.size()) <
                 opts.maxShrinks) {
             const ShrinkOutcome shrunk =
@@ -105,8 +136,9 @@ runFuzz(const FuzzOptions &opts)
                 std::string("<program generation failed: ") +
                 e.what() + ">";
         }
-        failure.cliLine = fuzzCliLine(failure.shrunkSpec, opts.broken,
-                                      opts.verify, plans[i]);
+        failure.cliLine =
+            fuzzCliLine(failure.shrunkSpec, opts.broken, opts.verify,
+                        plans[i], opts.analyze);
         summary.detail.push_back(std::move(failure));
     }
     return summary;

@@ -43,6 +43,12 @@ struct FuzzOptions
     BrokenMode broken = BrokenMode::None;
     /** Run the static verifier on every emitted region (--verify). */
     bool verify = false;
+    /**
+     * After a clean differential, additionally validate the static
+     * region-quality predictions against measured unbounded-cache
+     * runs of every selector (--analyze).
+     */
+    bool analyze = false;
     /** Shrink failing specs and build reproducers. */
     bool shrink = true;
     /** Shrink at most this many failures (the rest report as-is). */
@@ -92,7 +98,8 @@ struct FuzzSummary
 /** The rselect-fuzz command line replaying `spec` under `mode`. */
 std::string fuzzCliLine(const GenSpec &spec, BrokenMode mode,
                         bool verify = false,
-                        const resilience::FaultPlan &faults = {});
+                        const resilience::FaultPlan &faults = {},
+                        bool analyze = false);
 
 /** Run the corpus described by `opts`. */
 FuzzSummary runFuzz(const FuzzOptions &opts);

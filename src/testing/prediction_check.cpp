@@ -1,0 +1,61 @@
+#include "testing/prediction_check.hpp"
+
+#include "analysis/analysis_manager.hpp"
+#include "dynopt/dynopt_system.hpp"
+#include "testing/random_program.hpp"
+
+namespace rsel {
+namespace testing {
+
+PredictionValidation
+validatePredictions(const Program &prog, std::uint64_t events,
+                    std::uint64_t seed)
+{
+    PredictionValidation val;
+    analysis::AnalysisManager mgr;
+    val.report = analysis::computeStaticReport(mgr, prog);
+
+    for (const Algorithm algo : allSelectors) {
+        const std::string name = algorithmName(algo);
+        const analysis::SelectorPrediction *pred =
+            analysis::findPrediction(val.report, name);
+        if (pred == nullptr) {
+            // A selector the predictor does not model: a wiring bug,
+            // reported as a violation rather than silently skipped.
+            if (val.error.empty())
+                val.error = "static-prediction: selector " + name +
+                            ": no formation model";
+            continue;
+        }
+
+        SelectorValidation sv;
+        sv.prediction = *pred;
+        SimOptions opts; // default cache is unbounded, faults off
+        opts.maxEvents = events;
+        opts.seed = seed;
+        sv.measured = simulate(prog, algo, opts);
+        sv.violations =
+            analysis::checkPrediction(sv.prediction, sv.measured);
+        if (val.error.empty() && !sv.violations.empty())
+            val.error = "static-prediction: selector " + name + ": " +
+                        sv.violations.front();
+        val.selectors.push_back(std::move(sv));
+    }
+    return val;
+}
+
+std::string
+checkSpecPredictions(const GenSpec &spec)
+{
+    try {
+        const Program prog = generateProgram(spec);
+        return validatePredictions(prog, spec.events, spec.execSeed)
+            .error;
+    } catch (const std::exception &e) {
+        return std::string("static-prediction: harness fault: ") +
+               e.what();
+    }
+}
+
+} // namespace testing
+} // namespace rsel

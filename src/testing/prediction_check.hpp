@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Prediction-vs-measured validation: run every shipped selector on a
+ * program and check the measured SimResult against the static
+ * predictor's *bounds* (src/analysis/static_predictor).
+ *
+ * The measured runs are always unbounded-cache and fault-free — the
+ * only regime the bounds are sound for (bounded caches re-select
+ * evicted entrances, breaking the single-entrance argument the
+ * bounds rest on). A spec's own cacheKb is deliberately ignored.
+ */
+
+#ifndef RSEL_TESTING_PREDICTION_CHECK_HPP
+#define RSEL_TESTING_PREDICTION_CHECK_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/static_predictor.hpp"
+#include "metrics/sim_result.hpp"
+#include "program/program.hpp"
+#include "testing/gen_spec.hpp"
+
+namespace rsel {
+namespace testing {
+
+/** One selector's measured run against its static prediction. */
+struct SelectorValidation
+{
+    analysis::SelectorPrediction prediction;
+    SimResult measured;
+    /** checkPrediction() messages; empty = every bound held. */
+    std::vector<std::string> violations;
+};
+
+/** Whole-program validation across every shipped selector. */
+struct PredictionValidation
+{
+    analysis::StaticReport report;
+    std::vector<SelectorValidation> selectors;
+    /**
+     * First violation as a fuzz-harness error string
+     * ("static-prediction: selector NAME: MESSAGE"), or empty.
+     */
+    std::string error;
+};
+
+/**
+ * Run all shipped selectors on `prog` (unbounded cache, no faults,
+ * `events` block events, executor seed `seed`) and check each
+ * measured result against the static bounds.
+ */
+PredictionValidation validatePredictions(const Program &prog,
+                                         std::uint64_t events,
+                                         std::uint64_t seed);
+
+/**
+ * Fuzz-harness form: generate the spec's program, validate with the
+ * spec's own events/execSeed, and return the first violation ("" if
+ * every bound held for every selector).
+ */
+std::string checkSpecPredictions(const GenSpec &spec);
+
+} // namespace testing
+} // namespace rsel
+
+#endif // RSEL_TESTING_PREDICTION_CHECK_HPP

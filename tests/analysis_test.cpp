@@ -12,6 +12,8 @@
 #include "analysis/analysis_manager.hpp"
 #include "analysis/cfg_facts.hpp"
 #include "program/program_builder.hpp"
+#include "testing/gen_spec.hpp"
+#include "testing/random_program.hpp"
 
 namespace rsel {
 namespace analysis {
@@ -202,6 +204,196 @@ TEST(AnalysisManagerTest, FactsAreCachedPerProgram)
     mgr.invalidate(p);
     const ProgramFacts &third = mgr.facts(p);
     EXPECT_EQ(third.prog, &p);
+}
+
+TEST(AnalysisManagerTest, CountsHitsAndMisses)
+{
+    const Program p = buildLoopProgram();
+    AnalysisManager mgr;
+    EXPECT_EQ(mgr.cacheStats().programMisses, 0u);
+    mgr.facts(p);
+    mgr.facts(p);
+    mgr.facts(p);
+    EXPECT_EQ(mgr.cacheStats().programMisses, 1u);
+    EXPECT_EQ(mgr.cacheStats().programHits, 2u);
+    mgr.invalidate(p);
+    mgr.facts(p);
+    EXPECT_EQ(mgr.cacheStats().programMisses, 2u);
+    EXPECT_EQ(mgr.cacheStats().staleInvalidations, 0u);
+}
+
+TEST(AnalysisManagerTest, StaleFactsAreNeverServed)
+{
+    // Reassigning a Program variable keeps the object address: the
+    // cache must notice the shape change and recompute, not serve
+    // facts of the replaced program.
+    Program p = buildLoopProgram();
+    AnalysisManager mgr;
+    const std::uint64_t oldFp = mgr.facts(p).fingerprint;
+    ASSERT_EQ(mgr.facts(p).graph.size(), 4u);
+
+    ProgramBuilder pb;
+    pb.beginFunction("main");
+    const BlockId e = pb.block(2);
+    const BlockId f = pb.block(1);
+    pb.halt(f);
+    pb.setEntry(e);
+    p = pb.build(); // same address, different program
+
+    const ProgramFacts &fresh = mgr.facts(p);
+    EXPECT_EQ(mgr.cacheStats().staleInvalidations, 1u);
+    EXPECT_NE(fresh.fingerprint, oldFp);
+    EXPECT_EQ(fresh.fingerprint, programFingerprint(p));
+    EXPECT_EQ(fresh.graph.size(), 2u); // facts match the new shape
+    // Served from cache again now that the entry is fresh.
+    mgr.facts(p);
+    EXPECT_EQ(mgr.cacheStats().staleInvalidations, 1u);
+}
+
+TEST(CfgFactsDegenerateTest, SingleBlockProgram)
+{
+    ProgramBuilder pb;
+    pb.beginFunction("main");
+    const BlockId a = pb.block(3);
+    pb.halt(a);
+    pb.setEntry(a);
+    const Program p = pb.build();
+    const ProgramFacts pf = buildProgramFacts(p);
+
+    EXPECT_EQ(pf.graph.size(), 1u);
+    EXPECT_EQ(pf.graph.edgeCount(), 0u);
+    EXPECT_EQ(pf.cfg.reachableCount, 1u);
+    EXPECT_EQ(pf.cfg.idom[0], 0u);
+    EXPECT_TRUE(pf.cfg.loops.empty());
+    EXPECT_FALSE(pf.cfg.sccIsCycle[pf.cfg.sccId[0]]);
+}
+
+TEST(CfgFactsDegenerateTest, SelfLoopBlock)
+{
+    // A latch that targets itself: a one-node cycle and a natural
+    // loop whose body is just the header.
+    ProgramBuilder pb;
+    pb.beginFunction("main");
+    const BlockId a = pb.block(2);
+    const BlockId b = pb.block(1);
+    pb.loopTo(a, a, 3, 3);
+    pb.halt(b);
+    pb.setEntry(a);
+    const Program p = pb.build();
+    const ProgramFacts pf = buildProgramFacts(p);
+
+    EXPECT_TRUE(pf.possibleEdge(p.block(a), p.block(a)));
+    EXPECT_TRUE(pf.cfg.sccIsCycle[pf.cfg.sccId[a]]);
+    ASSERT_EQ(pf.cfg.loops.size(), 1u);
+    EXPECT_EQ(pf.cfg.loops[0].header, static_cast<std::uint32_t>(a));
+    EXPECT_EQ(pf.cfg.loops[0].body,
+              (std::vector<std::uint32_t>{a}));
+}
+
+TEST(CfgFactsDegenerateTest, UnreachableOnlyFunction)
+{
+    // A second function no call ever enters: reachability, idom and
+    // loops must all treat its blocks as off the rooted CFG.
+    ProgramBuilder pb;
+    pb.beginFunction("main");
+    const BlockId a = pb.block(2);
+    pb.halt(a);
+    pb.beginFunction("dead");
+    const BlockId u0 = pb.block(2);
+    const BlockId u1 = pb.block(1);
+    const BlockId u2 = pb.block(1);
+    pb.loopTo(u1, u0, 2, 2);
+    pb.halt(u2);
+    pb.setEntry(a);
+    const Program p = pb.build();
+    const ProgramFacts pf = buildProgramFacts(p);
+
+    EXPECT_FALSE(pf.cfg.reachable[u0]);
+    EXPECT_FALSE(pf.cfg.reachable[u1]);
+    EXPECT_EQ(pf.cfg.idom[u0], invalidNode);
+    EXPECT_EQ(pf.cfg.reachableCount, 1u);
+    // Natural loops are defined over reachable back edges only.
+    EXPECT_TRUE(pf.cfg.loops.empty());
+    // The dead cycle still shows up in the (whole-graph) SCCs.
+    EXPECT_TRUE(pf.cfg.sccIsCycle[pf.cfg.sccId[u0]]);
+}
+
+TEST(CfgFactsDegenerateTest, IrreducibleCycleHasNoNaturalLoop)
+{
+    // 0 -> {1, 2}, 1 <-> 2: the cycle {1, 2} has two entries, so
+    // neither node dominates the other — an irreducible region with
+    // a cyclic SCC but no natural loop.
+    DiGraph g(3);
+    g.addEdge(0, 1);
+    g.addEdge(0, 2);
+    g.addEdge(1, 2);
+    g.addEdge(2, 1);
+    const CfgFacts f = CfgFacts::compute(g, 0);
+
+    EXPECT_EQ(f.sccId[1], f.sccId[2]);
+    EXPECT_TRUE(f.sccIsCycle[f.sccId[1]]);
+    EXPECT_TRUE(f.loops.empty());
+    EXPECT_EQ(f.idom[1], 0u);
+    EXPECT_EQ(f.idom[2], 0u);
+}
+
+TEST(CfgFactsPropertyTest, InvariantsHoldOverFuzzCorpus)
+{
+    // Fixed-seed GenSpec corpus: structural invariants of the facts
+    // must hold for every generated program shape.
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        testing::GenSpec spec = testing::GenSpec::fromSeed(seed);
+        spec.clamp();
+        const Program p = testing::generateProgram(spec);
+        const ProgramFacts pf = buildProgramFacts(p);
+        const CfgFacts &f = pf.cfg;
+        const std::uint32_t n = pf.graph.size();
+        SCOPED_TRACE("seed " + std::to_string(seed));
+
+        // RPO enumerates exactly the reachable nodes, entry first.
+        ASSERT_EQ(f.rpo.size(), f.reachableCount);
+        if (!f.rpo.empty()) {
+            EXPECT_EQ(f.rpo.front(), f.entry);
+        }
+        std::uint32_t reachable = 0;
+        for (std::uint32_t u = 0; u < n; ++u)
+            reachable += f.reachable[u] ? 1 : 0;
+        EXPECT_EQ(reachable, f.reachableCount);
+
+        // The entry dominates itself; unreachable nodes have no
+        // dominator; every reachable non-entry's idom is reachable.
+        EXPECT_EQ(f.idom[f.entry], f.entry);
+        for (std::uint32_t u = 0; u < n; ++u) {
+            if (!f.reachable[u]) {
+                EXPECT_EQ(f.idom[u], invalidNode);
+                continue;
+            }
+            if (u != f.entry) {
+                ASSERT_NE(f.idom[u], invalidNode);
+                EXPECT_TRUE(f.reachable[f.idom[u]]);
+                EXPECT_TRUE(f.dominates(f.idom[u], u));
+            }
+        }
+
+        // Predecessor lists agree with the edge relation.
+        for (std::uint32_t u = 0; u < n; ++u)
+            for (const std::uint32_t v : pf.graph.succs(u))
+                EXPECT_NE(std::find(f.preds[v].begin(),
+                                    f.preds[v].end(), u),
+                          f.preds[v].end());
+
+        // Loop headers dominate their bodies, bodies are cyclic.
+        for (const NaturalLoop &loop : f.loops) {
+            EXPECT_TRUE(f.reachable[loop.header]);
+            for (const std::uint32_t node : loop.body) {
+                EXPECT_TRUE(f.dominates(loop.header, node));
+                EXPECT_EQ(f.sccId[node], f.sccId[loop.header]);
+            }
+            if (loop.body.size() > 1) {
+                EXPECT_TRUE(f.sccIsCycle[f.sccId[loop.header]]);
+            }
+        }
+    }
 }
 
 } // namespace

@@ -169,6 +169,39 @@ TEST(ExitCodeTest, VerifySignalsVerdicts)
               ExitUsageError);
 }
 
+TEST(ExitCodeTest, VerifyPassFiltering)
+{
+    EXPECT_EQ(toolExit("rselect-verify", "--list-passes"), ExitOk);
+    EXPECT_EQ(toolExit("rselect-verify",
+                       "--workload gzip --only entry,branch-targets"),
+              ExitOk);
+    EXPECT_EQ(toolExit("rselect-verify",
+                       "--workload gzip --skip dead-function"),
+              ExitOk);
+    // Unknown pass names are usage errors, not silent no-ops.
+    EXPECT_EQ(toolExit("rselect-verify", "--workload gzip --only bogus"),
+              ExitUsageError);
+    EXPECT_EQ(toolExit("rselect-verify", "--workload gzip --skip bogus"),
+              ExitUsageError);
+}
+
+TEST(ExitCodeTest, AnalyzeSignalsVerdicts)
+{
+    EXPECT_EQ(toolExit("rselect-analyze", "--workload gzip"), ExitOk);
+    EXPECT_EQ(toolExit("rselect-analyze",
+                       "--workload gzip --validate --events 4000"),
+              ExitOk);
+    EXPECT_EQ(toolExit("rselect-analyze",
+                       "--workload gzip --json --selector NET"),
+              ExitOk);
+    // No mode selected prints usage and flags the invocation.
+    EXPECT_EQ(toolExit("rselect-analyze", ""), ExitUsageError);
+    EXPECT_EQ(toolExit("rselect-analyze", "--workload bogus"),
+              ExitUsageError);
+    EXPECT_EQ(toolExit("rselect-analyze", "--selector bogus"),
+              ExitUsageError);
+}
+
 #endif // RSEL_TOOL_DIR
 
 TEST(CliTest, UnknownOptionsAreRejectedWithUsage)

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Unit tests for the static region-quality predictor: shared shape
+ * facts, per-selector formation-model predictions, the bound
+ * checker, the fact emitter and the pathology lints.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/analysis_manager.hpp"
+#include "analysis/static_predictor.hpp"
+#include "program/program_builder.hpp"
+#include "selection/formation_model.hpp"
+
+namespace rsel {
+namespace analysis {
+namespace {
+
+CondBehavior
+unbiased()
+{
+    CondBehavior cb;
+    cb.kind = CondBehavior::Kind::Bernoulli;
+    cb.takenProbByPhase = {0.5};
+    return cb;
+}
+
+CondBehavior
+biased()
+{
+    CondBehavior cb;
+    cb.kind = CondBehavior::Kind::Bernoulli;
+    cb.takenProbByPhase = {0.95};
+    return cb;
+}
+
+/** a: unbiased cond -> c | b; b: ft -> c; c: latch -> a | d; d halt. */
+Program
+buildLoopProgram()
+{
+    ProgramBuilder pb;
+    pb.beginFunction("main");
+    const BlockId a = pb.block(4);
+    pb.block(3); // b
+    const BlockId c = pb.block(2);
+    const BlockId d = pb.block(1);
+    pb.condTo(a, c, unbiased());
+    pb.loopTo(c, a, 10, 10);
+    pb.halt(d);
+    pb.setEntry(a);
+    return pb.build();
+}
+
+TEST(StaticReportTest, LoopProgramShapeFacts)
+{
+    const Program p = buildLoopProgram();
+    AnalysisManager mgr;
+    const StaticReport rep = computeStaticReport(mgr, p);
+
+    EXPECT_EQ(rep.blockCount, 4u);
+    EXPECT_EQ(rep.reachableBlocks, 4u);
+    EXPECT_EQ(rep.staticInsts, 10u);
+    EXPECT_EQ(rep.reachableInsts, 10u);
+    EXPECT_EQ(rep.loopCount, 1u);
+    EXPECT_EQ(rep.maxLoopDepth, 1u);
+    EXPECT_EQ(rep.innerLoops, 0u);
+    EXPECT_EQ(rep.cyclicBlocks, 3u); // a, b, c; d is off the cycle
+    EXPECT_EQ(rep.crossFuncCycles, 0u);
+    EXPECT_GT(rep.dataflowTransfers, 0u);
+
+    // The one unbiased branch sits in the loop body; only the
+    // branch block itself has no forward path to it.
+    EXPECT_EQ(rep.unbiasedBranches, 1u);
+    EXPECT_EQ(rep.unbiasedInLoops, 1u);
+    EXPECT_EQ(rep.frontierBlocks, 1u);
+    // Both arms (c taken, b fall-through) rejoin at c, which leads
+    // to d: the joint forward descendants are c and d (2 + 1 insts).
+    EXPECT_EQ(rep.tailDupEstInsts, 3u);
+}
+
+TEST(StaticReportTest, FormationModelsDriveEntranceCounts)
+{
+    const Program p = buildLoopProgram();
+    AnalysisManager mgr;
+    const StaticReport rep = computeStaticReport(mgr, p);
+    ASSERT_EQ(rep.predictions.size(),
+              allFormationModels().size());
+
+    // NET needs a possible predecessor: every block has one here
+    // (the latch feeds a, fall-throughs and the cond feed the rest).
+    const SelectorPrediction *net = findPrediction(rep, "NET");
+    ASSERT_NE(net, nullptr);
+    EXPECT_EQ(net->entranceCount, 4u);
+    EXPECT_EQ(net->maxRegions, 4u);
+    EXPECT_EQ(net->maxSpanningRegions, 3u); // d is not cyclic
+
+    // LEI promotes loop iterations: only cyclic blocks qualify.
+    const SelectorPrediction *lei = findPrediction(rep, "LEI");
+    ASSERT_NE(lei, nullptr);
+    EXPECT_EQ(lei->entranceCount, 3u);
+    EXPECT_EQ(lei->maxSpanningRegions, 3u);
+    EXPECT_DOUBLE_EQ(lei->spanningRatioEst, 1.0);
+
+    // Every entrance can pull in every block it reaches: the
+    // expansion bound covers at least the whole reachable program,
+    // and duplication is possible (multiple entrances reach c).
+    EXPECT_GE(net->expansionBoundInsts, rep.reachableInsts);
+    EXPECT_GT(net->dupBoundInsts, 0u);
+    EXPECT_GT(net->stubDensityMax, 0.0);
+    EXPECT_GT(net->stubDensityEst, 0.0);
+
+    // The combined variants share the entrance rule but discount
+    // the stub estimate (multi-path regions internalize exits).
+    const SelectorPrediction *comb = findPrediction(rep, "NET+comb");
+    ASSERT_NE(comb, nullptr);
+    EXPECT_EQ(comb->entranceCount, net->entranceCount);
+    EXPECT_LT(comb->stubDensityEst, net->stubDensityEst);
+
+    EXPECT_EQ(findPrediction(rep, "no-such-selector"), nullptr);
+}
+
+TEST(CheckPredictionTest, FlagsEachViolatedBound)
+{
+    SelectorPrediction p;
+    p.selector = "NET";
+    p.maxRegions = 2;
+    p.maxSpanningRegions = 1;
+    p.dupBoundInsts = 10;
+    p.expansionBoundInsts = 100;
+    p.stubDensityMin = 0.1;
+    p.stubDensityMax = 0.5;
+
+    SimResult ok;
+    ok.regionCount = 2;
+    ok.spanningRegions = 1;
+    ok.duplicatedInsts = 10;
+    ok.expansionInsts = 100;
+    ok.exitStubs = 20; // density 0.2, inside [0.1, 0.5]
+    EXPECT_TRUE(checkPrediction(p, ok).empty());
+
+    SimResult bad = ok;
+    bad.regionCount = 3;
+    bad.spanningRegions = 2;
+    bad.duplicatedInsts = 11;
+    bad.expansionInsts = 101;
+    bad.exitStubs = 60; // density > 0.5 over 101 insts
+    const std::vector<std::string> violations =
+        checkPrediction(p, bad);
+    ASSERT_EQ(violations.size(), 5u);
+    EXPECT_EQ(violations[0].rfind("max-regions", 0), 0u);
+    EXPECT_EQ(violations[1].rfind("spanning-bound", 0), 0u);
+    EXPECT_EQ(violations[2].rfind("dup-bound", 0), 0u);
+    EXPECT_EQ(violations[3].rfind("expansion-bound", 0), 0u);
+    EXPECT_EQ(violations[4].rfind("stub-density-max", 0), 0u);
+
+    SimResult starved = ok;
+    starved.exitStubs = 5; // density < 0.1
+    const std::vector<std::string> low = checkPrediction(p, starved);
+    ASSERT_EQ(low.size(), 1u);
+    EXPECT_EQ(low[0].rfind("stub-density-min", 0), 0u);
+
+    SimResult stubby = ok;
+    RegionStats r;
+    r.id = 0;
+    r.blockCount = 2;
+    r.exitStubs = 5; // > 2 per block
+    stubby.regions.push_back(r);
+    const std::vector<std::string> perRegion =
+        checkPrediction(p, stubby);
+    ASSERT_EQ(perRegion.size(), 1u);
+    EXPECT_EQ(perRegion[0].rfind("per-region-stubs", 0), 0u);
+}
+
+TEST(EmitStaticFactsTest, NotesCoverEveryPassFamily)
+{
+    const Program p = buildLoopProgram();
+    AnalysisManager mgr;
+    const StaticReport rep = computeStaticReport(mgr, p);
+    DiagnosticEngine diag;
+    emitStaticFacts(rep, p, mgr.facts(p), diag);
+
+    EXPECT_FALSE(diag.hasErrors());
+    EXPECT_GT(diag.noteCount(), 0u);
+    const std::vector<std::string> families = {
+        "loop-nesting",    "unbiased-frontier", "net-duplication",
+        "lei-coverage",    "exit-stubs",        "trace-separation"};
+    for (const std::string &family : families) {
+        bool seen = false;
+        for (const Diagnostic &d : diag.diagnostics())
+            if (d.pass == family)
+                seen = true;
+        EXPECT_TRUE(seen) << "missing note family " << family;
+    }
+    // A tame loop program triggers no pathology lint.
+    EXPECT_EQ(diag.warningCount(), 0u);
+}
+
+TEST(EmitStaticFactsTest, PathExplosionLintFires)
+{
+    // Three unbiased branches inside one loop body: 2^3 trace paths.
+    ProgramBuilder pb;
+    pb.beginFunction("main");
+    const BlockId h = pb.block(1);
+    const BlockId c1 = pb.block(1);
+    pb.block(1); // s1
+    const BlockId c2 = pb.block(1);
+    pb.block(1); // s2
+    const BlockId c3 = pb.block(1);
+    pb.block(1); // s3
+    const BlockId l = pb.block(1);
+    const BlockId x = pb.block(1);
+    pb.condTo(c1, c2, unbiased());
+    pb.condTo(c2, c3, unbiased());
+    pb.condTo(c3, l, unbiased());
+    pb.loopTo(l, h, 5, 5);
+    pb.halt(x);
+    pb.setEntry(h);
+    const Program p = pb.build();
+
+    AnalysisManager mgr;
+    const StaticReport rep = computeStaticReport(mgr, p);
+    EXPECT_EQ(rep.unbiasedBranches, 3u);
+    EXPECT_EQ(rep.unbiasedInLoops, 3u);
+
+    DiagnosticEngine diag;
+    emitStaticFacts(rep, p, mgr.facts(p), diag);
+    bool linted = false;
+    for (const Diagnostic &d : diag.diagnostics())
+        if (d.severity == Severity::Warning &&
+            d.pass == "duplication-explosion")
+            linted = true;
+    EXPECT_TRUE(linted);
+}
+
+TEST(EmitStaticFactsTest, BiasedBranchesDoNotTriggerTheLint)
+{
+    ProgramBuilder pb;
+    pb.beginFunction("main");
+    const BlockId h = pb.block(1);
+    const BlockId c1 = pb.block(1);
+    pb.block(1);
+    const BlockId c2 = pb.block(1);
+    pb.block(1);
+    const BlockId c3 = pb.block(1);
+    pb.block(1);
+    const BlockId l = pb.block(1);
+    const BlockId x = pb.block(1);
+    pb.condTo(c1, c2, biased());
+    pb.condTo(c2, c3, biased());
+    pb.condTo(c3, l, biased());
+    pb.loopTo(l, h, 5, 5);
+    pb.halt(x);
+    pb.setEntry(h);
+    const Program p = pb.build();
+
+    AnalysisManager mgr;
+    const StaticReport rep = computeStaticReport(mgr, p);
+    EXPECT_EQ(rep.unbiasedBranches, 0u);
+    DiagnosticEngine diag;
+    emitStaticFacts(rep, p, mgr.facts(p), diag);
+    for (const Diagnostic &d : diag.diagnostics())
+        EXPECT_NE(d.pass, "duplication-explosion");
+}
+
+TEST(EmitStaticFactsTest, SeparationLintOnThreeFunctionCycle)
+{
+    // f1 -> f2 -> f3 -> f1 mutual recursion: one cyclic SCC through
+    // three functions.
+    ProgramBuilder pb;
+    pb.beginFunction("f1");
+    const BlockId a0 = pb.block(2);
+    const BlockId a1 = pb.block(1);
+    const FuncId f2 = pb.beginFunction("f2");
+    const BlockId b0 = pb.block(2);
+    const BlockId b1 = pb.block(1);
+    const FuncId f3 = pb.beginFunction("f3");
+    const BlockId c0 = pb.block(2);
+    const BlockId c1 = pb.block(1);
+    pb.callTo(a0, f2);
+    pb.callTo(b0, f3);
+    pb.jumpTo(c0, a0); // closes the cross-function cycle
+    pb.ret(a1);
+    pb.ret(b1);
+    pb.halt(c1);
+    pb.setEntry(a0);
+    const Program p = pb.build();
+
+    AnalysisManager mgr;
+    const StaticReport rep = computeStaticReport(mgr, p);
+    EXPECT_GE(rep.crossFuncCycles, 1u);
+    EXPECT_EQ(rep.maxSeparationFuncs, 3u);
+
+    DiagnosticEngine diag;
+    emitStaticFacts(rep, p, mgr.facts(p), diag);
+    bool linted = false;
+    for (const Diagnostic &d : diag.diagnostics())
+        if (d.severity == Severity::Warning &&
+            d.pass == "separation-prone")
+            linted = true;
+    EXPECT_TRUE(linted);
+}
+
+TEST(EmitStaticFactsTest, TwoFunctionCycleCountsButDoesNotLint)
+{
+    // f1 <-> f2 recursion spans two functions: counted as a
+    // cross-function cycle, below the separation-lint threshold.
+    ProgramBuilder pb;
+    pb.beginFunction("f1");
+    const BlockId a0 = pb.block(2);
+    const BlockId a1 = pb.block(1);
+    const FuncId f2 = pb.beginFunction("f2");
+    const BlockId b0 = pb.block(2);
+    const BlockId b1 = pb.block(1);
+    pb.callTo(a0, f2);
+    pb.jumpTo(b0, a0);
+    pb.halt(a1);
+    pb.ret(b1);
+    pb.setEntry(a0);
+    const Program p = pb.build();
+
+    AnalysisManager mgr;
+    const StaticReport rep = computeStaticReport(mgr, p);
+    EXPECT_GE(rep.crossFuncCycles, 1u);
+    EXPECT_EQ(rep.maxSeparationFuncs, 2u);
+
+    DiagnosticEngine diag;
+    emitStaticFacts(rep, p, mgr.facts(p), diag);
+    for (const Diagnostic &d : diag.diagnostics())
+        EXPECT_NE(d.pass, "separation-prone");
+}
+
+TEST(FormationModelTest, CoversEveryShippedSelector)
+{
+    const std::vector<FormationModel> &models =
+        allFormationModels();
+    EXPECT_EQ(models.size(), 7u);
+    EXPECT_NE(findFormationModel("NET"), nullptr);
+    EXPECT_NE(findFormationModel("LEI+comb"), nullptr);
+    EXPECT_EQ(findFormationModel("nope"), nullptr);
+    const FormationModel *lei =
+        findFormationModel("LEI");
+    ASSERT_NE(lei, nullptr);
+    EXPECT_EQ(lei->entrance,
+              FormationModel::Entrance::OnCycle);
+}
+
+} // namespace
+} // namespace analysis
+} // namespace rsel

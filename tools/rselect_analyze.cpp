@@ -1,0 +1,490 @@
+/**
+ * @file
+ * rselect-analyze: static region-quality predictor front end.
+ *
+ * Runs the dataflow-based pass suite (src/analysis/static_predictor)
+ * over a program and prints the shared shape facts, the per-selector
+ * predictions (sound bounds plus heuristic estimates), and the
+ * machine-readable fact/lint diagnostics.
+ *
+ * Modes (first match wins):
+ *
+ *  - --self-test       compute genuine predictions for a hand-built
+ *    loop program, demand they hold against measured runs of every
+ *    selector, then plant one mis-prediction per bound kind and
+ *    demand checkPrediction catches each. Exit 0 iff all caught.
+ *  - --program FILE    analyze a saved program (trace_io format).
+ *  - --spec 'SPEC'     generate the fuzz spec's program and analyze.
+ *  - --workload NAME   analyze one synthetic workload, or all.
+ *
+ * --selector NAME restricts the prediction table to one selector.
+ * --validate additionally measures every selector (unbounded cache,
+ * fault-free) and checks the bounds; violations are red. --json
+ * emits the whole report as JSON instead of tables.
+ *
+ * Exit codes: 0 = clean (or self-test caught everything), 1 =
+ * runtime fault, 2 = usage error, 3 = validation found a violated
+ * bound (or self-test missed a planted bug).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/static_predictor.hpp"
+#include "dynopt/dynopt_system.hpp"
+#include "program/program_builder.hpp"
+#include "program/trace_io.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/exit_codes.hpp"
+#include "support/table.hpp"
+#include "testing/gen_spec.hpp"
+#include "testing/prediction_check.hpp"
+#include "testing/random_program.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace rsel;
+
+namespace {
+
+/** Options shared by every analyze mode. */
+struct AnalyzeOptions
+{
+    std::string selector; ///< restrict tables to one selector
+    bool json = false;
+    bool validate = false;
+    std::uint64_t events = 20000; ///< validation run length
+    std::uint64_t seed = 1;       ///< validation executor seed
+};
+
+std::string
+u64(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+/** Minimal JSON string escape (names here are ASCII identifiers). */
+std::string
+jsonStr(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out + "\"";
+}
+
+void
+emitJson(const analysis::StaticReport &rep,
+         const testing::PredictionValidation *val,
+         const AnalyzeOptions &opts, std::ostream &os)
+{
+    os << "{\n  \"program\": {"
+       << "\"blocks\": " << rep.blockCount
+       << ", \"reachableBlocks\": " << rep.reachableBlocks
+       << ", \"staticInsts\": " << rep.staticInsts
+       << ", \"reachableInsts\": " << rep.reachableInsts
+       << ", \"loops\": " << rep.loopCount
+       << ", \"maxLoopDepth\": " << rep.maxLoopDepth
+       << ", \"innerLoops\": " << rep.innerLoops
+       << ", \"innerLoopDupInsts\": " << rep.innerLoopDupInsts
+       << ", \"unbiasedBranches\": " << rep.unbiasedBranches
+       << ", \"unbiasedInLoops\": " << rep.unbiasedInLoops
+       << ", \"frontierBlocks\": " << rep.frontierBlocks
+       << ", \"tailDupEstInsts\": " << rep.tailDupEstInsts
+       << ", \"cyclicBlocks\": " << rep.cyclicBlocks
+       << ", \"crossFuncCycles\": " << rep.crossFuncCycles
+       << ", \"maxSeparationFuncs\": " << rep.maxSeparationFuncs
+       << ", \"dataflowTransfers\": " << rep.dataflowTransfers
+       << "},\n  \"selectors\": [";
+    bool first = true;
+    for (const analysis::SelectorPrediction &p : rep.predictions) {
+        if (!opts.selector.empty() && p.selector != opts.selector)
+            continue;
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "    {\"selector\": " << jsonStr(p.selector)
+           << ", \"entrances\": " << p.entranceCount
+           << ", \"maxRegions\": " << p.maxRegions
+           << ", \"maxSpanningRegions\": " << p.maxSpanningRegions
+           << ", \"dupBoundInsts\": " << p.dupBoundInsts
+           << ", \"expansionBoundInsts\": " << p.expansionBoundInsts
+           << ", \"stubDensityMin\": " << p.stubDensityMin
+           << ", \"stubDensityMax\": " << p.stubDensityMax
+           << ", \"stubDensityEst\": " << p.stubDensityEst
+           << ", \"spanningRatioEst\": " << p.spanningRatioEst;
+        if (val != nullptr) {
+            for (const testing::SelectorValidation &sv :
+                 val->selectors) {
+                if (sv.prediction.selector != p.selector)
+                    continue;
+                os << ", \"measured\": {\"regions\": "
+                   << sv.measured.regionCount << ", \"spanning\": "
+                   << sv.measured.spanningRegions
+                   << ", \"duplicatedInsts\": "
+                   << sv.measured.duplicatedInsts
+                   << ", \"expansionInsts\": "
+                   << sv.measured.expansionInsts
+                   << ", \"exitStubs\": " << sv.measured.exitStubs
+                   << "}, \"violations\": [";
+                for (std::size_t i = 0; i < sv.violations.size(); ++i)
+                    os << (i == 0 ? "" : ", ")
+                       << jsonStr(sv.violations[i]);
+                os << "]";
+            }
+        }
+        os << "}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+void
+printFactsTable(const analysis::StaticReport &rep,
+                const std::string &what)
+{
+    Table table("Static program facts: " + what, {"fact", "value"});
+    table.addRow({"blocks", u64(rep.blockCount)});
+    table.addRow({"reachable blocks", u64(rep.reachableBlocks)});
+    table.addRow({"static insts", u64(rep.staticInsts)});
+    table.addRow({"reachable insts", u64(rep.reachableInsts)});
+    table.addRow({"natural loops", u64(rep.loopCount)});
+    table.addRow({"max loop depth", u64(rep.maxLoopDepth)});
+    table.addRow({"inner loops", u64(rep.innerLoops)});
+    table.addRow(
+        {"inner-loop dup insts (est)", u64(rep.innerLoopDupInsts)});
+    table.addRow({"unbiased branches", u64(rep.unbiasedBranches)});
+    table.addRow({"unbiased in loops", u64(rep.unbiasedInLoops)});
+    table.addRow({"frontier blocks", u64(rep.frontierBlocks)});
+    table.addRow(
+        {"tail-dup insts (est)", u64(rep.tailDupEstInsts)});
+    table.addRow({"cyclic blocks", u64(rep.cyclicBlocks)});
+    table.addRow({"cross-function cycles", u64(rep.crossFuncCycles)});
+    table.addRow(
+        {"max separation funcs", u64(rep.maxSeparationFuncs)});
+    table.addSummaryRow(
+        {"dataflow transfers", u64(rep.dataflowTransfers)});
+    table.print(std::cout);
+}
+
+void
+printPredictionTable(const analysis::StaticReport &rep,
+                     const testing::PredictionValidation *val,
+                     const AnalyzeOptions &opts)
+{
+    std::vector<std::string> headers = {
+        "selector",  "entrances", "maxRegions", "maxSpanning",
+        "dupBound",  "expBound",  "stubDens",   "stubDensEst",
+        "spanEst"};
+    if (val != nullptr)
+        headers.push_back("measured");
+    Table table("Per-selector predictions", headers);
+    for (const analysis::SelectorPrediction &p : rep.predictions) {
+        if (!opts.selector.empty() && p.selector != opts.selector)
+            continue;
+        std::vector<std::string> row = {
+            p.selector,
+            u64(p.entranceCount),
+            u64(p.maxRegions),
+            u64(p.maxSpanningRegions),
+            u64(p.dupBoundInsts),
+            u64(p.expansionBoundInsts),
+            formatDouble(p.stubDensityMin, 2) + ".." +
+                formatDouble(p.stubDensityMax, 2),
+            formatDouble(p.stubDensityEst, 2),
+            formatDouble(p.spanningRatioEst, 2)};
+        if (val != nullptr) {
+            std::string cell = "-";
+            for (const testing::SelectorValidation &sv :
+                 val->selectors)
+                if (sv.prediction.selector == p.selector)
+                    cell = sv.violations.empty()
+                               ? u64(sv.measured.regionCount) +
+                                     " regions OK"
+                               : "VIOLATED: " + sv.violations.front();
+            row.push_back(cell);
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+}
+
+int
+analyzeProgram(const Program &prog, const std::string &what,
+               const AnalyzeOptions &opts)
+{
+    analysis::AnalysisManager mgr;
+    const analysis::StaticReport rep =
+        analysis::computeStaticReport(mgr, prog);
+
+    testing::PredictionValidation val;
+    const testing::PredictionValidation *valPtr = nullptr;
+    if (opts.validate) {
+        val = testing::validatePredictions(prog, opts.events,
+                                           opts.seed);
+        valPtr = &val;
+    }
+
+    if (opts.json) {
+        emitJson(rep, valPtr, opts, std::cout);
+    } else {
+        printFactsTable(rep, what);
+        printPredictionTable(rep, valPtr, opts);
+        analysis::DiagnosticEngine diag;
+        analysis::emitStaticFacts(rep, prog, mgr.facts(prog), diag);
+        diag.toTable("Static facts and lints: " + what)
+            .print(std::cout);
+    }
+    if (valPtr != nullptr && !valPtr->error.empty()) {
+        std::printf("%s: VALIDATION FAILED: %s\n", what.c_str(),
+                    valPtr->error.c_str());
+        return ExitVerifyFailure;
+    }
+    if (!opts.json)
+        std::printf("%s: analysis complete%s\n", what.c_str(),
+                    opts.validate ? " (all bounds held)" : "");
+    return ExitOk;
+}
+
+int
+runProgramFile(const std::string &path, const AnalyzeOptions &opts)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open program file " + path);
+    const Program prog = loadProgram(in);
+    return analyzeProgram(prog, path, opts);
+}
+
+int
+runSpec(const std::string &specText, const AnalyzeOptions &opts)
+{
+    testing::GenSpec spec = testing::GenSpec::parse(specText);
+    spec.clamp();
+    return analyzeProgram(testing::generateProgram(spec),
+                          "spec " + spec.toString(), opts);
+}
+
+int
+runWorkloads(const std::string &name, const AnalyzeOptions &opts)
+{
+    std::vector<const WorkloadInfo *> todo;
+    if (name == "all") {
+        for (const WorkloadInfo &w : workloadSuite())
+            todo.push_back(&w);
+    } else {
+        const WorkloadInfo *w = findWorkload(name);
+        if (w == nullptr)
+            fatal("unknown workload " + name);
+        todo.push_back(w);
+    }
+    int rc = ExitOk;
+    for (const WorkloadInfo *w : todo)
+        rc = std::max(rc, analyzeProgram(w->build(1),
+                                         "workload " + w->name,
+                                         opts));
+    return rc;
+}
+
+/**
+ * Self-test: the genuine predictions must hold against measured runs
+ * of every selector, and one planted mis-prediction per bound kind
+ * must be caught by checkPrediction. The rig is a loop program with
+ * an unbiased branch, so every selector forms regions, conditional
+ * exits produce stubs, and tail duplication copies the join block.
+ */
+Program
+selfTestProgram()
+{
+    ProgramBuilder pb;
+    pb.beginFunction("main");
+    const BlockId a = pb.block(4);
+    (void)pb.block(3); // fall-through arm of the unbiased branch
+    const BlockId c = pb.block(2);
+    const BlockId d = pb.block(1);
+    CondBehavior skip;
+    skip.kind = CondBehavior::Kind::Bernoulli;
+    skip.takenProbByPhase = {0.5};
+    pb.condTo(a, c, skip);
+    pb.loopTo(c, a, 10000, 10000);
+    pb.halt(d);
+    pb.setEntry(a);
+    return pb.build();
+}
+
+/** One planted mis-prediction: tamper one bound, expect one check. */
+struct PlantedMiss
+{
+    std::string kind; ///< checkPrediction message prefix expected
+    /** Pick a selector this kind applies to; false = inapplicable. */
+    bool (*applies)(const SimResult &res);
+    /** Sabotage the prediction so the measured run violates it. */
+    void (*tamper)(analysis::SelectorPrediction &p,
+                   const SimResult &res);
+};
+
+int
+runSelfTest()
+{
+    const Program prog = selfTestProgram();
+    const testing::PredictionValidation val =
+        testing::validatePredictions(prog, 40000, 1);
+
+    // Leg 1: genuine predictions hold for every selector.
+    if (!val.error.empty()) {
+        std::printf("self-test genuine: FAILED: %s\n",
+                    val.error.c_str());
+        return ExitVerifyFailure;
+    }
+    std::printf("self-test genuine: all bounds held for %u "
+                "selectors\n",
+                static_cast<unsigned>(val.selectors.size()));
+
+    // Leg 2: plant one mis-prediction per bound kind.
+    const std::vector<PlantedMiss> misses = {
+        {"max-regions",
+         [](const SimResult &r) { return r.regionCount > 0; },
+         [](analysis::SelectorPrediction &p, const SimResult &r) {
+             p.maxRegions = r.regionCount - 1;
+         }},
+        {"spanning-bound",
+         [](const SimResult &r) { return r.spanningRegions > 0; },
+         [](analysis::SelectorPrediction &p, const SimResult &r) {
+             p.maxSpanningRegions = r.spanningRegions - 1;
+         }},
+        {"dup-bound",
+         [](const SimResult &r) { return r.duplicatedInsts > 0; },
+         [](analysis::SelectorPrediction &p, const SimResult &r) {
+             p.dupBoundInsts = r.duplicatedInsts - 1;
+         }},
+        {"expansion-bound",
+         [](const SimResult &r) { return r.expansionInsts > 0; },
+         [](analysis::SelectorPrediction &p, const SimResult &r) {
+             p.expansionBoundInsts = r.expansionInsts - 1;
+         }},
+        {"stub-density-max",
+         [](const SimResult &r) {
+             return r.exitStubs > 0 && r.expansionInsts > 0;
+         },
+         [](analysis::SelectorPrediction &p, const SimResult &r) {
+             p.stubDensityMax =
+                 (static_cast<double>(r.exitStubs) - 0.5) /
+                 static_cast<double>(r.expansionInsts);
+         }},
+        {"stub-density-min",
+         [](const SimResult &r) { return r.expansionInsts > 0; },
+         [](analysis::SelectorPrediction &p, const SimResult &r) {
+             p.stubDensityMin =
+                 (static_cast<double>(r.exitStubs) + 0.5) /
+                 static_cast<double>(r.expansionInsts);
+         }},
+    };
+
+    std::uint32_t caught = 0;
+    for (const PlantedMiss &miss : misses) {
+        const testing::SelectorValidation *victim = nullptr;
+        for (const testing::SelectorValidation &sv : val.selectors)
+            if (miss.applies(sv.measured)) {
+                victim = &sv;
+                break;
+            }
+        if (victim == nullptr) {
+            std::printf("self-test %s: NOT caught (no selector "
+                        "produced a nonzero measurement)\n",
+                        miss.kind.c_str());
+            continue;
+        }
+        analysis::SelectorPrediction bad = victim->prediction;
+        miss.tamper(bad, victim->measured);
+        const std::vector<std::string> violations =
+            analysis::checkPrediction(bad, victim->measured);
+        bool hit = false;
+        for (const std::string &v : violations)
+            if (v.rfind(miss.kind, 0) == 0)
+                hit = true;
+        if (hit) {
+            ++caught;
+            std::printf("self-test %s: caught (%s)\n",
+                        miss.kind.c_str(),
+                        victim->prediction.selector.c_str());
+        } else {
+            std::printf("self-test %s: NOT caught (%s reported %zu "
+                        "other violations)\n",
+                        miss.kind.c_str(),
+                        victim->prediction.selector.c_str(),
+                        violations.size());
+        }
+    }
+    std::printf("analyze self-test: caught %u/%zu planted "
+                "mis-predictions\n",
+                caught, misses.size());
+    return caught == misses.size() ? ExitOk : ExitVerifyFailure;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions cli;
+    cli.define("self-test", "false",
+               "check genuine predictions hold and planted "
+               "mis-predictions are caught");
+    cli.define("program", "", "analyze a saved program file");
+    cli.define("spec", "", "analyze the program of one fuzz spec");
+    cli.define("workload", "",
+               "analyze a synthetic workload by name, or all");
+    cli.define("selector", "",
+               "restrict the prediction table to one selector");
+    cli.define("json", "false", "emit the report as JSON");
+    cli.define("validate", "false",
+               "measure every selector (unbounded cache) and check "
+               "the bounds");
+    cli.define("events", "20000", "events per validation run");
+    cli.define("seed", "1", "executor seed for validation runs");
+
+    try {
+        cli.parse(argc, argv);
+        if (cli.helpRequested()) {
+            std::fputs(cli.usage(argv[0]).c_str(), stdout);
+            return ExitOk;
+        }
+
+        AnalyzeOptions opts;
+        opts.selector = cli.get("selector");
+        opts.json = cli.getBool("json");
+        opts.validate = cli.getBool("validate");
+        opts.events = cli.getUint("events");
+        opts.seed = cli.getUint("seed");
+        if (!opts.selector.empty()) {
+            bool known = false;
+            for (const Algorithm algo : allSelectors)
+                if (algorithmName(algo) == opts.selector)
+                    known = true;
+            if (!known)
+                fatal("unknown selector " + opts.selector);
+        }
+
+        if (cli.getBool("self-test"))
+            return runSelfTest();
+        if (!cli.get("program").empty())
+            return runProgramFile(cli.get("program"), opts);
+        if (!cli.get("spec").empty())
+            return runSpec(cli.get("spec"), opts);
+        if (!cli.get("workload").empty())
+            return runWorkloads(cli.get("workload"), opts);
+        std::fputs(cli.usage(argv[0]).c_str(), stdout);
+        return ExitUsageError;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return ExitUsageError;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "runtime fault: %s\n", e.what());
+        return ExitRuntimeFault;
+    }
+}

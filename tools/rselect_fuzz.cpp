@@ -17,6 +17,11 @@
  * exit code still signals whether failures were found (0 = none,
  * 3 = found), so the caller asserts the direction it expects.
  *
+ * --analyze additionally validates the static region-quality
+ * predictions (rselect-analyze's bounds) against measured
+ * unbounded-cache runs of every selector, after each seed's clean
+ * differential.
+ *
  * Fault fuzzing (--fault-fuzz) pairs every seed with its own
  * deterministic fault plan and re-runs the whole oracle matrix under
  * injected faults — transparency and record→replay equality must
@@ -36,6 +41,7 @@
 #include "support/error.hpp"
 #include "support/exit_codes.hpp"
 #include "testing/fuzz_harness.hpp"
+#include "testing/prediction_check.hpp"
 #include "testing/random_program.hpp"
 #include "testing/shrinker.hpp"
 
@@ -77,12 +83,13 @@ printFailure(const FuzzFailure &f)
 
 int
 runSpecMode(const std::string &specText, BrokenMode broken,
-            bool verify, bool shrink,
+            bool verify, bool shrink, bool analyze,
             const resilience::FaultPlan &faults)
 {
     const GenSpec spec = GenSpec::parse(specText);
-    const DiffReport report =
-        runDifferential(spec, broken, verify, faults);
+    DiffReport report = runDifferential(spec, broken, verify, faults);
+    if (report.error.empty() && analyze)
+        report.error = checkSpecPredictions(spec);
     if (report.error.empty()) {
         std::printf("spec OK (%u blocks): %s\n", report.programBlocks,
                     spec.toString().c_str());
@@ -95,6 +102,10 @@ runSpecMode(const std::string &specText, BrokenMode broken,
     failure.shrunkSpec = spec;
     failure.shrunkError = report.error;
     failure.shrunkBlocks = report.programBlocks;
+    // Static-prediction failures live outside the differential
+    // predicate the shrinker replays; keep the original spec.
+    if (report.error.rfind("static-prediction:", 0) == 0)
+        shrink = false;
     if (shrink) {
         const ShrinkOutcome shrunk =
             shrinkSpec(spec, broken, report.error, verify, faults);
@@ -110,8 +121,8 @@ runSpecMode(const std::string &specText, BrokenMode broken,
         os << "<program generation failed: " << e.what() << ">";
     }
     failure.reproProgram = os.str();
-    failure.cliLine =
-        fuzzCliLine(failure.shrunkSpec, broken, verify, faults);
+    failure.cliLine = fuzzCliLine(failure.shrunkSpec, broken, verify,
+                                  faults, analyze);
     printFailure(failure);
     return ExitVerifyFailure;
 }
@@ -137,6 +148,9 @@ main(int argc, char **argv)
                "statically verify every emitted region "
                "(verify-on-submit)");
     cli.define("no-shrink", "false", "skip shrinking failing specs");
+    cli.define("analyze", "false",
+               "validate static region-quality predictions against "
+               "measured unbounded-cache runs");
     cli.define("fault-fuzz", "false",
                "pair every seed with its own deterministic fault "
                "plan (FaultPlan::fromSeed)");
@@ -155,6 +169,7 @@ main(int argc, char **argv)
             parseBrokenMode(cli.get("break-selector"));
         const bool verify = cli.getBool("verify");
         const bool shrink = !cli.getBool("no-shrink");
+        const bool analyze = cli.getBool("analyze");
         const bool faultFuzz = cli.getBool("fault-fuzz");
         resilience::FaultPlan faults;
         if (!cli.get("fault-spec").empty()) {
@@ -167,7 +182,7 @@ main(int argc, char **argv)
 
         if (!cli.get("spec").empty())
             return runSpecMode(cli.get("spec"), broken, verify,
-                               shrink, faults);
+                               shrink, analyze, faults);
 
         FuzzOptions opts;
         opts.seeds = cli.getUint("seeds");
@@ -177,6 +192,7 @@ main(int argc, char **argv)
         opts.broken = broken;
         opts.verify = verify;
         opts.shrink = shrink;
+        opts.analyze = analyze;
         opts.faultFuzz = faultFuzz;
         opts.faults = faults;
 

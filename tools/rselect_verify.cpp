@@ -17,6 +17,10 @@
  *    emitted region passes the static RegionVerifier and the final
  *    cache passes the duplication accountant.
  *
+ * --list-passes prints every program and region pass name and exits.
+ * --only=a,b / --skip=a,b filter which program passes the lint modes
+ * run (unknown names are a usage error).
+ *
  * Diagnostics print as a support/table grid. Exit codes: 0 = clean
  * (or self-test caught), 1 = runtime fault, 2 = usage error,
  * 3 = error diagnostics (or self-test missed, or the corpus failed
@@ -59,13 +63,57 @@ report(const analysis::DiagnosticEngine &diag, const std::string &what)
     return diag.hasErrors() ? ExitVerifyFailure : ExitOk;
 }
 
+/** Program-pass filter shared by every lint mode (--only/--skip). */
+analysis::ProgramVerifyOptions gVerifyOpts;
+
 int
 lintProgram(const Program &prog, const std::string &what)
 {
     analysis::AnalysisManager mgr;
     analysis::DiagnosticEngine diag;
-    analysis::ProgramVerifier(mgr).run(prog, diag);
+    analysis::ProgramVerifier(mgr).run(prog, diag, gVerifyOpts);
     return report(diag, what);
+}
+
+/** Split a comma-separated pass list, validating every name. */
+std::vector<std::string>
+parsePassList(const std::string &flag, const std::string &value)
+{
+    const std::vector<std::string> &known =
+        analysis::ProgramVerifier::passNames();
+    std::vector<std::string> names;
+    std::string cur;
+    const auto push = [&]() {
+        if (cur.empty())
+            return;
+        if (std::find(known.begin(), known.end(), cur) == known.end())
+            fatal("--" + flag + ": unknown program pass '" + cur +
+                  "' (see --list-passes)");
+        names.push_back(cur);
+        cur.clear();
+    };
+    for (const char c : value) {
+        if (c == ',')
+            push();
+        else
+            cur += c;
+    }
+    push();
+    return names;
+}
+
+int
+listPasses()
+{
+    std::printf("program passes:\n");
+    for (const std::string &name :
+         analysis::ProgramVerifier::passNames())
+        std::printf("  %s\n", name.c_str());
+    std::printf("region passes:\n");
+    for (const std::string &name :
+         analysis::RegionVerifier::passNames())
+        std::printf("  %s\n", name.c_str());
+    return ExitOk;
 }
 
 int
@@ -316,6 +364,12 @@ main(int argc, char **argv)
     cli.define("fault-fuzz", "false",
                "corpus mode: run every seed under its own "
                "deterministic fault plan");
+    cli.define("list-passes", "false",
+               "print every program and region pass name and exit");
+    cli.define("only", "",
+               "run only these program passes (comma-separated)");
+    cli.define("skip", "",
+               "skip these program passes (comma-separated)");
 
     try {
         cli.parse(argc, argv);
@@ -323,6 +377,14 @@ main(int argc, char **argv)
             std::fputs(cli.usage(argv[0]).c_str(), stdout);
             return ExitOk;
         }
+        if (cli.getBool("list-passes"))
+            return listPasses();
+        if (!cli.get("only").empty())
+            gVerifyOpts.only =
+                parsePassList("only", cli.get("only"));
+        if (!cli.get("skip").empty())
+            gVerifyOpts.skip =
+                parsePassList("skip", cli.get("skip"));
         if (!cli.get("self-test").empty()) {
             // A bare --self-test (the CLI stores "true") runs all.
             const std::string which = cli.get("self-test");
