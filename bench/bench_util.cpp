@@ -1,5 +1,7 @@
 #include "bench_util.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -105,6 +107,42 @@ printFigure(const Table &table, const std::string &paperNote)
 {
     table.print(std::cout);
     std::cout << "paper reports: " << paperNote << "\n\n";
+}
+
+std::uint64_t
+nowNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+double
+medianOf(std::vector<double> values)
+{
+    RSEL_ASSERT(!values.empty(), "median of an empty sample set");
+    std::sort(values.begin(), values.end());
+    const std::size_t n = values.size();
+    if (n % 2 == 1)
+        return values[n / 2];
+    return (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+double
+medianTimeNanos(int warmup, int reps, const std::function<void()> &fn)
+{
+    RSEL_ASSERT(reps > 0, "need at least one timed repetition");
+    for (int i = 0; i < warmup; ++i)
+        fn();
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(reps));
+    for (int i = 0; i < reps; ++i) {
+        const std::uint64_t start = nowNanos();
+        fn();
+        samples.push_back(static_cast<double>(nowNanos() - start));
+    }
+    return medianOf(std::move(samples));
 }
 
 } // namespace rsel::bench

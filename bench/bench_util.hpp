@@ -18,6 +18,7 @@
 #ifndef RSEL_BENCH_BENCH_UTIL_HPP
 #define RSEL_BENCH_BENCH_UTIL_HPP
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -92,6 +93,29 @@ class SuiteRunner
  * states the published shape the figure should reproduce.
  */
 void printFigure(const Table &table, const std::string &paperNote);
+
+// ---------------------------------------------------------------
+// Wall-clock timing helpers.
+//
+// Perf binaries must time with the monotonic steady_clock (never
+// system_clock, which NTP can step mid-measurement), discard warmup
+// repetitions (cold caches and lazy allocation dominate the first
+// runs), and report the median of several timed repetitions (robust
+// against scheduler noise, unlike a single run or the mean).
+// ---------------------------------------------------------------
+
+/** Monotonic nanoseconds since an arbitrary epoch (steady_clock). */
+std::uint64_t nowNanos();
+
+/** Median of a sample set. @pre non-empty (takes a copy to sort). */
+double medianOf(std::vector<double> values);
+
+/**
+ * Time `fn`: `warmup` untimed runs, then `reps` timed repetitions.
+ * @return the median wall time of one repetition, in nanoseconds.
+ */
+double medianTimeNanos(int warmup, int reps,
+                       const std::function<void()> &fn);
 
 } // namespace rsel::bench
 

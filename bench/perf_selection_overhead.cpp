@@ -1,177 +1,341 @@
 /**
  * @file
- * google-benchmark timing for the paper's overhead claims:
+ * Hand-rolled timing for the paper's overhead claims and the batched
+ * dispatch path:
  *
- *  - Section 3.1: LEI's per-taken-branch work is constant and
- *    comparable to NET's (one cache lookup, one buffer insert, one
- *    hash lookup, a possible counter update).
- *  - Section 4.2.1: the compact trace representation adds little
- *    overhead (2 bits per branch to encode; decode touches each
- *    instruction at most once).
- *  - Section 4.2.3: mark-rejoining-paths is linear in the edges in
- *    practice.
+ *  - Whole-system throughput (events/second) over the gzip and gcc
+ *    workloads for NET, LEI and combined LEI, measured twice per
+ *    configuration: per-event virtual dispatch versus batched
+ *    structure-of-arrays dispatch. The two runs must produce
+ *    byte-identical result fingerprints — a mismatch is a hard
+ *    failure (nonzero exit), so the speedup can never come from
+ *    computing something different.
+ *  - Section 3.1: LEI's per-taken-branch work is constant (one hash
+ *    find, one buffer insert, one hash repoint).
+ *  - Section 4.2.1: compact-trace encode/decode overhead.
+ *  - Section 4.2.3: mark-rejoining-paths cost.
  *
- * Whole-system throughput is reported as events/second over the
- * gzip and gcc workloads for all four configurations.
+ * Methodology: steady_clock only, warmup repetitions discarded,
+ * median of N timed repetitions (see bench_util.hpp). Results are
+ * also written as JSON (--json PATH, default
+ * BENCH_perf_selection_overhead.json) for CI trend tracking; --quick
+ * shrinks events and repetitions for the perf-smoke ctest entry.
  */
 
-#include <benchmark/benchmark.h>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
-#include "dynopt/dynopt_system.hpp"
+#include "bench_util.hpp"
 #include "selection/compact_trace.hpp"
 #include "selection/history_buffer.hpp"
 #include "selection/region_cfg.hpp"
+#include "support/error.hpp"
+#include "testing/differential.hpp"
 #include "workloads/scenarios.hpp"
-#include "workloads/workloads.hpp"
 
-namespace rsel {
+using namespace rsel;
+using namespace rsel::bench;
+
 namespace {
 
-/** End-to-end simulation throughput (events/sec). */
-void
-simulationThroughput(benchmark::State &state, const char *workload,
-                     Algorithm algo)
+struct ThroughputRow
 {
-    const WorkloadInfo *info = findWorkload(workload);
-    Program prog = info->build(42);
-    const std::uint64_t events = 200'000;
-    for (auto _ : state) {
-        SimOptions opts;
-        opts.maxEvents = events;
-        opts.seed = 7;
-        SimResult r = simulate(prog, algo, opts);
-        benchmark::DoNotOptimize(r.cachedInsts);
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations() * events));
+    std::string workload;
+    std::string selector;
+    double perEventEps = 0.0;
+    double batchedEps = 0.0;
+    bool identical = false;
+
+    double speedup() const { return batchedEps / perEventEps; }
+};
+
+/** One workload × selector cell, timed under both dispatch styles. */
+ThroughputRow
+timeConfig(const WorkloadInfo &w, Algorithm algo, std::uint64_t events,
+           int warmup, int reps)
+{
+    const Program prog = w.build(42);
+    SimOptions opts;
+    opts.maxEvents = events;
+    opts.seed = 7;
+
+    const auto runOnce = [&](Dispatch d) {
+        SimOptions o = opts;
+        o.dispatch = d;
+        return simulate(prog, algo, o);
+    };
+
+    ThroughputRow row;
+    row.workload = w.name;
+    row.selector = algorithmName(algo);
+    // Equivalence gate first, untimed: the batched run is only a
+    // valid measurement if it is byte-identical to the per-event run.
+    row.identical =
+        testing::resultFingerprint(runOnce(Dispatch::PerEvent)) ==
+        testing::resultFingerprint(runOnce(Dispatch::Batched));
+
+    const double nsPerEvent = medianTimeNanos(warmup, reps, [&] {
+        runOnce(Dispatch::PerEvent);
+    });
+    const double nsBatched = medianTimeNanos(warmup, reps, [&] {
+        runOnce(Dispatch::Batched);
+    });
+    row.perEventEps = static_cast<double>(events) * 1e9 / nsPerEvent;
+    row.batchedEps = static_cast<double>(events) * 1e9 / nsBatched;
+    return row;
 }
 
-void
-BM_Simulate_gzip_NET(benchmark::State &state)
+/** HistoryBuffer insert + hash find, ns per operation. */
+double
+historyBufferNsPerOp(int warmup, int reps)
 {
-    simulationThroughput(state, "gzip", Algorithm::Net);
+    constexpr std::uint64_t ops = 2'000'000;
+    const double ns = medianTimeNanos(warmup, reps, [] {
+        HistoryBuffer buf(500);
+        Addr addr = 0x1000;
+        std::uint64_t acc = 0;
+        for (std::uint64_t i = 0; i < ops; ++i) {
+            const Addr tgt = 0x1000 + (addr % 977) * 8;
+            if (const auto seq = buf.find(tgt))
+                acc += *seq;
+            const auto seq = buf.insert({addr, tgt, false});
+            buf.setHashLocation(tgt, seq);
+            addr += 13;
+        }
+        // Fold the accumulator into observable state so the loop
+        // cannot be optimized away.
+        if (acc == 0x5eed5eed5eed5eedull)
+            std::cerr << "";
+    });
+    return ns / static_cast<double>(ops);
 }
-BENCHMARK(BM_Simulate_gzip_NET);
 
-void
-BM_Simulate_gzip_LEI(benchmark::State &state)
-{
-    simulationThroughput(state, "gzip", Algorithm::Lei);
-}
-BENCHMARK(BM_Simulate_gzip_LEI);
-
-void
-BM_Simulate_gzip_CombinedLEI(benchmark::State &state)
-{
-    simulationThroughput(state, "gzip", Algorithm::LeiCombined);
-}
-BENCHMARK(BM_Simulate_gzip_CombinedLEI);
-
-void
-BM_Simulate_gcc_NET(benchmark::State &state)
-{
-    simulationThroughput(state, "gcc", Algorithm::Net);
-}
-BENCHMARK(BM_Simulate_gcc_NET);
-
-void
-BM_Simulate_gcc_LEI(benchmark::State &state)
-{
-    simulationThroughput(state, "gcc", Algorithm::Lei);
-}
-BENCHMARK(BM_Simulate_gcc_LEI);
-
-void
-BM_Simulate_gcc_CombinedLEI(benchmark::State &state)
-{
-    simulationThroughput(state, "gcc", Algorithm::LeiCombined);
-}
-BENCHMARK(BM_Simulate_gcc_CombinedLEI);
-
-/** History buffer: insert + hash lookup per taken branch. */
-void
-BM_HistoryBufferInsertFind(benchmark::State &state)
-{
-    HistoryBuffer buf(500);
-    Addr addr = 0x1000;
-    for (auto _ : state) {
-        const Addr tgt = 0x1000 + (addr % 977) * 8;
-        benchmark::DoNotOptimize(buf.find(tgt));
-        const auto seq = buf.insert({addr, tgt, false});
-        buf.setHashLocation(tgt, seq);
-        addr += 13;
-    }
-    state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_HistoryBufferInsertFind);
-
-/** Compact-trace encode cost as a function of trace length. */
-void
-BM_CompactTraceEncode(benchmark::State &state)
+/** Compact-trace encode ns/block over a 128-block path. */
+double
+compactTraceEncodeNs(int warmup, int reps)
 {
     Program p = buildUnbiasedBranch(1, 0.5, 0.1);
     using Ids = UnbiasedBranchIds;
-    // Build a path of the requested length by repeating the hot
-    // cycle (encode does not require uniqueness, only decode's end
-    // block must be unique — irrelevant for encode timing).
     std::vector<const BasicBlock *> path;
     const BlockId cycle[] = {Ids::a, Ids::c, Ids::d, Ids::f};
-    for (std::int64_t i = 0; i < state.range(0); ++i)
+    for (int i = 0; i < 128; ++i)
         path.push_back(&p.block(cycle[i % 4]));
-    for (auto _ : state) {
-        CompactTrace ct = CompactTrace::encode(path);
-        benchmark::DoNotOptimize(ct.sizeBytes());
-    }
-    state.SetItemsProcessed(state.iterations() *
-                            static_cast<std::int64_t>(path.size()));
+    constexpr int iters = 20'000;
+    const double ns = medianTimeNanos(warmup, reps, [&] {
+        std::size_t bytes = 0;
+        for (int i = 0; i < iters; ++i)
+            bytes += CompactTrace::encode(path).sizeBytes();
+        if (bytes == 0)
+            std::cerr << "";
+    });
+    return ns / (static_cast<double>(iters) * 128.0);
 }
-BENCHMARK(BM_CompactTraceEncode)->Arg(8)->Arg(32)->Arg(128);
 
-/** Compact-trace decode cost. */
-void
-BM_CompactTraceDecode(benchmark::State &state)
+/** Compact-trace decode ns/block. */
+double
+compactTraceDecodeNs(int warmup, int reps)
 {
     Program p = buildUnbiasedBranch(1, 0.5, 0.1);
     using Ids = UnbiasedBranchIds;
-    std::vector<const BasicBlock *> path = {
+    const std::vector<const BasicBlock *> path = {
         &p.block(Ids::a), &p.block(Ids::c), &p.block(Ids::d),
         &p.block(Ids::f)};
-    CompactTrace ct = CompactTrace::encode(path);
-    for (auto _ : state) {
-        auto decoded = ct.decode(p, p.block(Ids::a).startAddr());
-        benchmark::DoNotOptimize(decoded.size());
-    }
-    state.SetItemsProcessed(state.iterations() * 4);
+    const CompactTrace ct = CompactTrace::encode(path);
+    constexpr int iters = 200'000;
+    const double ns = medianTimeNanos(warmup, reps, [&] {
+        std::size_t n = 0;
+        for (int i = 0; i < iters; ++i)
+            n += ct.decode(p, p.block(Ids::a).startAddr()).size();
+        if (n == 0)
+            std::cerr << "";
+    });
+    return ns / (static_cast<double>(iters) * 4.0);
 }
-BENCHMARK(BM_CompactTraceDecode);
 
-/** Mark-rejoining-paths over a CFG built from many traces. */
-void
-BM_MarkRejoiningPaths(benchmark::State &state)
+/** Mark-rejoining-paths microseconds per invocation (60 traces). */
+double
+markRejoiningUs(int warmup, int reps)
 {
     Program p = buildUnbiasedBranch(1, 0.5, 0.1);
     using Ids = UnbiasedBranchIds;
-    for (auto _ : state) {
-        state.PauseTiming();
-        RegionCfg cfg(&p.block(Ids::a));
-        for (std::int64_t i = 0; i < state.range(0); ++i) {
-            if (i % 3 == 0) {
-                cfg.addTrace({&p.block(Ids::a), &p.block(Ids::b),
-                              &p.block(Ids::d), &p.block(Ids::f)});
-            } else {
-                cfg.addTrace({&p.block(Ids::a), &p.block(Ids::c),
-                              &p.block(Ids::d), &p.block(Ids::f)});
+    constexpr int iters = 2'000;
+    const double ns = medianTimeNanos(warmup, reps, [&] {
+        std::uint32_t n = 0;
+        for (int i = 0; i < iters; ++i) {
+            RegionCfg cfg(&p.block(Ids::a));
+            for (int t = 0; t < 60; ++t) {
+                if (t % 3 == 0) {
+                    cfg.addTrace({&p.block(Ids::a), &p.block(Ids::b),
+                                  &p.block(Ids::d), &p.block(Ids::f)});
+                } else {
+                    cfg.addTrace({&p.block(Ids::a), &p.block(Ids::c),
+                                  &p.block(Ids::d), &p.block(Ids::f)});
+                }
             }
+            cfg.markFrequent(20);
+            n += cfg.markRejoiningPaths();
         }
-        cfg.markFrequent(
-            static_cast<std::uint32_t>(state.range(0) / 3));
-        state.ResumeTiming();
-        benchmark::DoNotOptimize(cfg.markRejoiningPaths());
-    }
+        if (n == 0xffffffffu)
+            std::cerr << "";
+    });
+    return ns / (static_cast<double>(iters) * 1e3);
 }
-BENCHMARK(BM_MarkRejoiningPaths)->Arg(15)->Arg(60);
+
+std::string
+jsonEscapeless(const std::string &s)
+{
+    // Workload and selector names are [A-Za-z0-9_-]; nothing to
+    // escape, but keep the seam explicit.
+    return s;
+}
+
+void
+writeJson(const std::string &path, std::uint64_t events, int reps,
+          const std::vector<ThroughputRow> &rows, double hbNs,
+          double encNs, double decNs, double mrUs)
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"bench\": \"perf_selection_overhead\",\n"
+       << "  \"events_per_run\": " << events << ",\n"
+       << "  \"timed_reps\": " << reps << ",\n"
+       << "  \"timer\": \"steady_clock, median of reps after "
+          "warmup\",\n"
+       << "  \"throughput\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const ThroughputRow &r = rows[i];
+        os << "    {\"workload\": \"" << jsonEscapeless(r.workload)
+           << "\", \"selector\": \"" << jsonEscapeless(r.selector)
+           << "\", \"per_event_events_per_sec\": "
+           << formatDouble(r.perEventEps, 0)
+           << ", \"batched_events_per_sec\": "
+           << formatDouble(r.batchedEps, 0)
+           << ", \"batched_speedup\": "
+           << formatDouble(r.speedup(), 2)
+           << ", \"fingerprints_identical\": "
+           << (r.identical ? "true" : "false") << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    std::vector<double> speedups, batched;
+    for (const ThroughputRow &r : rows) {
+        speedups.push_back(r.speedup());
+        batched.push_back(r.batchedEps);
+    }
+    os << "  ],\n"
+       << "  \"geomean_batched_speedup\": "
+       << formatDouble(geomean(speedups), 2) << ",\n"
+       << "  \"min_batched_events_per_sec\": "
+       << formatDouble(minOf(batched), 0) << ",\n"
+       << "  \"history_buffer_insert_find_ns\": "
+       << formatDouble(hbNs, 2) << ",\n"
+       << "  \"compact_trace_encode_ns_per_block\": "
+       << formatDouble(encNs, 2) << ",\n"
+       << "  \"compact_trace_decode_ns_per_block\": "
+       << formatDouble(decNs, 2) << ",\n"
+       << "  \"mark_rejoining_us_per_call\": "
+       << formatDouble(mrUs, 2) << "\n"
+       << "}\n";
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write " + path);
+    out << os.str();
+}
 
 } // namespace
-} // namespace rsel
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    CliOptions cli;
+    cli.define("events", "200000", "dynamic block events per run");
+    cli.define("reps", "9", "timed repetitions (median is reported)");
+    cli.define("warmup", "2", "untimed warmup repetitions");
+    cli.define("quick", "false",
+               "smoke mode: fewer events and repetitions");
+    cli.define("json", "BENCH_perf_selection_overhead.json",
+               "output path for the JSON result record");
+    try {
+        cli.parse(argc, argv);
+    } catch (const FatalError &e) {
+        std::cerr << e.what() << '\n';
+        return 2;
+    }
+    if (cli.helpRequested()) {
+        std::cout
+            << "Selection-overhead timing: per-event vs batched "
+               "dispatch throughput,\nplus the constant-work "
+               "microbenchmarks behind the paper's overhead "
+               "claims.\n\n"
+            << cli.usage(argv[0]);
+        return 0;
+    }
+
+    std::uint64_t events = cli.getUint("events");
+    int reps = static_cast<int>(cli.getUint("reps"));
+    int warmup = static_cast<int>(cli.getUint("warmup"));
+    if (cli.getBool("quick")) {
+        events = 60'000;
+        reps = 3;
+        warmup = 1;
+    }
+
+    try {
+        std::vector<ThroughputRow> rows;
+        Table t("perf_selection_overhead: " + std::to_string(events) +
+                    " events/run, median of " + std::to_string(reps) +
+                    " reps",
+                {"workload", "selector", "per-event ev/s",
+                 "batched ev/s", "speedup", "identical"});
+        for (const char *wname : {"gzip", "gcc"}) {
+            const WorkloadInfo *w = findWorkload(wname);
+            for (const Algorithm algo :
+                 {Algorithm::Net, Algorithm::Lei,
+                  Algorithm::LeiCombined}) {
+                ThroughputRow row =
+                    timeConfig(*w, algo, events, warmup, reps);
+                t.addRow({row.workload, row.selector,
+                          formatDouble(row.perEventEps / 1e6, 1) + "M",
+                          formatDouble(row.batchedEps / 1e6, 1) + "M",
+                          formatDouble(row.speedup(), 2),
+                          row.identical ? "yes" : "NO"});
+                rows.push_back(std::move(row));
+            }
+        }
+        const double hbNs = historyBufferNsPerOp(warmup, reps);
+        const double encNs = compactTraceEncodeNs(warmup, reps);
+        const double decNs = compactTraceDecodeNs(warmup, reps);
+        const double mrUs = markRejoiningUs(warmup, reps);
+
+        printFigure(t,
+                    "not a paper figure — infrastructure: batched "
+                    "dispatch must win without changing any result");
+        std::cout << "history buffer insert+find: "
+                  << formatDouble(hbNs, 1) << " ns/op\n"
+                  << "compact trace encode: " << formatDouble(encNs, 1)
+                  << " ns/block, decode: " << formatDouble(decNs, 1)
+                  << " ns/block\n"
+                  << "mark rejoining paths (60 traces): "
+                  << formatDouble(mrUs, 1) << " us\n";
+
+        writeJson(cli.get("json"), events, reps, rows, hbNs, encNs,
+                  decNs, mrUs);
+        std::cout << "json: " << cli.get("json") << "\n";
+
+        for (const ThroughputRow &r : rows) {
+            if (!r.identical) {
+                std::cerr << "FAIL: batched dispatch diverged for "
+                          << r.workload << "/" << r.selector << "\n";
+                return 1;
+            }
+        }
+        std::cout << "equivalence ok: batched == per-event for all "
+                  << rows.size() << " configurations\n";
+    } catch (const FatalError &e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 2;
+    }
+    return 0;
+}

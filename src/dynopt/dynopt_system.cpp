@@ -12,15 +12,6 @@ DynOptSystem::DynOptSystem(const Program &prog, CacheLimits limits,
     : prog_(prog), cache_(limits), icache_(icache)
 {}
 
-void
-DynOptSystem::fetchCached(RegionId region, std::size_t pos)
-{
-    const RegionLayout &layout = layouts_[region];
-    const BasicBlock *block = cache_.region(region).blocks()[pos];
-    icache_.fetchRange(layout.base + layout.blockOffsets[pos],
-                       static_cast<std::uint32_t>(block->sizeBytes()));
-}
-
 DynOptSystem &
 DynOptSystem::useNet(NetConfig cfg)
 {
@@ -238,47 +229,57 @@ DynOptSystem::enterRegion(const Region &region, const BasicBlock &block)
 {
     inRegion_ = true;
     curRegion_ = region.id();
+    curRegionPtr_ = &region;
     regionPos_ = 0;
     pendingCacheExit_ = false;
     lastStep_.where = StepTrace::Where::Cached;
     lastStep_.region = curRegion_;
     lastStep_.pos = 0;
     lastStep_.enteredRegion = true;
+    const RegionLayout &layout = layouts_[curRegion_];
+    curBase_ = layout.base;
+    curOffsets_ = layout.blockOffsets.data();
     metrics_.onRegionEntered(curRegion_);
     metrics_.onCachedBlock(block, curRegion_);
-    fetchCached(curRegion_, 0);
+    fetchCachedCur(0, block);
 }
 
-bool
-DynOptSystem::onEvent(const ExecEvent &ev)
+template <bool Armed>
+void
+DynOptSystem::processEvent(const ExecEvent &ev)
 {
-    RSEL_ASSERT(!finished_, "events delivered after finish()");
-    RSEL_ASSERT(selector_ != nullptr, "no selector attached");
-
     metrics_.onEvent();
     const BasicBlock *from = prevBlock_;
-    if (from != nullptr)
+    if (from != nullptr) {
+        // Note: prevBlock_ deliberately survives cache disruptions
+        // (flush / reset / invalidation). The edge from -> ev.block
+        // is an architectural fact — faults perturb cache state,
+        // never the guest's control flow — so clearing it would
+        // under-count real predecessors and skew the exit-domination
+        // analysis. Regression: fault_injection_test
+        // EdgeAccountingSpansDisruptions.
         metrics_.onEdge(from->id(), ev.block->id());
+    }
     prevBlock_ = ev.block;
     lastStep_ = StepTrace{};
 
-    // Deterministic fault injection: one branch per event when
-    // disarmed. Faults fire on the event clock, before the event is
-    // dispatched, so every selector sees the same cache disruptions
-    // at the same event indices.
-    if (injector_)
+    // Deterministic fault injection, compiled out of the disarmed
+    // instantiation. Faults fire on the event clock, before the
+    // event is dispatched, so every selector sees the same cache
+    // disruptions at the same event indices.
+    if constexpr (Armed)
         injectEventFaults();
 
     if (inRegion_) {
-        const Region &r = cache_.region(curRegion_);
+        const Region &r = *curRegionPtr_;
         switch (r.step(regionPos_, *ev.block, ev.takenBranch)) {
           case RegionStep::Internal:
             lastStep_.where = StepTrace::Where::Cached;
             lastStep_.region = curRegion_;
             lastStep_.pos = regionPos_;
             metrics_.onCachedBlock(*ev.block, curRegion_);
-            fetchCached(curRegion_, regionPos_);
-            return true;
+            fetchCachedCur(regionPos_, *ev.block);
+            return;
           case RegionStep::CycleRestart:
             // One region execution ended by a branch to the top;
             // the next begins immediately at the same region.
@@ -289,17 +290,17 @@ DynOptSystem::onEvent(const ExecEvent &ev)
             metrics_.onRegionExecutionEnd(curRegion_, true);
             metrics_.onRegionEntered(curRegion_);
             metrics_.onCachedBlock(*ev.block, curRegion_);
-            fetchCached(curRegion_, regionPos_);
-            return true;
+            fetchCachedCur(regionPos_, *ev.block);
+            return;
           case RegionStep::Exit:
             metrics_.onRegionExecutionEnd(curRegion_, false);
-            if (const Region *s = cache_.lookup(ev.block->startAddr())) {
+            if (const Region *s = cache_.lookupEntry(ev.block->id())) {
                 // Exit stub linked straight to another region (or
                 // back to this one's own entry).
                 if (s->id() != curRegion_)
                     metrics_.onRegionTransition(curRegion_, s->id());
                 enterRegion(*s, *ev.block);
-                return true;
+                return;
             }
             // Exit to the interpreter: the landing block is the
             // target of a code-cache exit.
@@ -311,17 +312,17 @@ DynOptSystem::onEvent(const ExecEvent &ev)
         // Interpreted taken branch to a cached entry enters the
         // cache (Section 2.1); the selector is told so it can stop
         // a trace that reached the start of another trace.
-        if (const Region *r = cache_.lookup(ev.block->startAddr())) {
+        if (const Region *r = cache_.lookupEntry(ev.block->id())) {
             if (auto spec = selector_->onCacheEnter(r->entryBlock())) {
                 submitRegion(std::move(*spec));
                 // Re-resolve: in a bounded cache the insert may
                 // have evicted (or flushed) the region we were
                 // about to enter.
-                r = cache_.lookup(ev.block->startAddr());
+                r = cache_.lookupEntry(ev.block->id());
             }
             if (r != nullptr) {
                 enterRegion(*r, *ev.block);
-                return true;
+                return;
             }
             // Evicted under us: fall through to the interpreter.
         }
@@ -361,7 +362,164 @@ DynOptSystem::onEvent(const ExecEvent &ev)
         lastStep_.cacheExit = wasCacheExit;
         metrics_.onInterpretedBlock(*ev.block);
     }
+}
+
+bool
+DynOptSystem::onEvent(const ExecEvent &ev)
+{
+    RSEL_ASSERT(!finished_, "events delivered after finish()");
+    RSEL_ASSERT(selector_ != nullptr, "no selector attached");
+    if (injector_)
+        processEvent<true>(ev);
+    else
+        processEvent<false>(ev);
     return true;
+}
+
+std::size_t
+DynOptSystem::consumeTraceRun(const EventBatch &batch, std::size_t i)
+{
+    const std::size_t n = batch.size();
+    const BasicBlock *const progBlocks = prog_.blocks().data();
+
+    // Current-region context, reloaded on every region switch.
+    const Region *r = curRegionPtr_;
+    const BlockId *rb = r->blockIds().data();
+    std::size_t rn = r->blockIds().size();
+    Addr top = r->entryAddr();
+
+    std::size_t pos = regionPos_;
+    const BasicBlock *prev = prevBlock_;
+    std::uint64_t insts = 0;
+    std::uint64_t restarts = 0;
+    std::size_t runStart = i;
+    bool lastWasEntry = false;
+    bool any = false;
+
+    const auto flushRun = [&](std::size_t upto) {
+        metrics_.addEvents(upto - runStart);
+        metrics_.addCachedRun(curRegion_, insts, restarts);
+        insts = 0;
+        restarts = 0;
+        runStart = upto;
+    };
+
+    for (; i < n; ++i) {
+        const BasicBlock &b = progBlocks[batch.blockIds[i]];
+        // The same decision Region::step makes, checked before any
+        // effect so an unconsumed event is left wholly to
+        // processEvent.
+        if (batch.takenFlags[i] != 0 && b.startAddr() == top) {
+            pos = 0;
+            ++restarts;
+            lastWasEntry = true;
+        } else if (pos + 1 < rn && b.id() == rb[pos + 1]) {
+            ++pos;
+            lastWasEntry = false;
+        } else {
+            // Exit. If it lands on another cached region's entry the
+            // per-event path would chain straight into it (the
+            // selector is not consulted on the exit-stub path), so
+            // the run can continue under the new region.
+            const Region *s = cache_.lookupEntry(b.id());
+            if (s == nullptr)
+                break;
+            flushRun(i);
+            metrics_.onRegionExecutionEnd(curRegion_, false);
+            if (s->id() != curRegion_)
+                metrics_.onRegionTransition(curRegion_, s->id());
+            // The effects of enterRegion(), with the run-local
+            // context rebound to the new region.
+            curRegion_ = s->id();
+            curRegionPtr_ = s;
+            const RegionLayout &layout = layouts_[curRegion_];
+            curBase_ = layout.base;
+            curOffsets_ = layout.blockOffsets.data();
+            metrics_.onRegionEntered(curRegion_);
+            r = s;
+            rb = r->blockIds().data();
+            rn = r->blockIds().size();
+            top = r->entryAddr();
+            pos = 0;
+            lastWasEntry = true;
+            if (r->kind() != Region::Kind::Trace) {
+                // Entered a multi-path region: account this entry
+                // event here, then let processEvent own the rest.
+                metrics_.onEvent();
+                metrics_.onCachedBlock(b, curRegion_);
+                fetchCachedCur(0, b);
+                if (prev != nullptr)
+                    metrics_.onEdge(prev->id(), b.id());
+                prev = &b;
+                ++i;
+                ++runStart;
+                any = true;
+                break;
+            }
+        }
+        if (prev != nullptr)
+            metrics_.onEdge(prev->id(), b.id());
+        prev = &b;
+        insts += b.instCount();
+        fetchCachedCur(pos, b);
+        any = true;
+    }
+
+    if (any) {
+        flushRun(i);
+        regionPos_ = pos;
+        prevBlock_ = prev;
+        if (i == n) {
+            // The batch ended mid-run: leave the same step-trace
+            // probe state the per-event path would have.
+            lastStep_ = StepTrace{};
+            lastStep_.where = StepTrace::Where::Cached;
+            lastStep_.region = curRegion_;
+            lastStep_.pos = pos;
+            lastStep_.enteredRegion = lastWasEntry;
+        }
+    }
+    return i;
+}
+
+std::size_t
+DynOptSystem::onBatch(const EventBatch &batch)
+{
+    RSEL_ASSERT(!finished_, "events delivered after finish()");
+    RSEL_ASSERT(selector_ != nullptr, "no selector attached");
+    const std::vector<BasicBlock> &blocks = prog_.blocks();
+    const std::size_t n = batch.size();
+    // The armed/disarmed decision is per batch, not per event: the
+    // two loops run the same state machine, but the disarmed one is
+    // instantiated without any injector code on its fast path.
+    if (injector_) {
+        // Armed: the injector must tick on every event (faults can
+        // flush the region under us), so no run consumption here.
+        for (std::size_t i = 0; i < n; ++i) {
+            ExecEvent ev;
+            ev.block = &blocks[batch.blockIds[i]];
+            ev.takenBranch = batch.takenFlags[i] != 0;
+            ev.branchAddr = batch.branchAddrs[i];
+            processEvent<true>(ev);
+        }
+    } else {
+        std::size_t i = 0;
+        while (i < n) {
+            if (inRegion_ &&
+                curRegionPtr_->kind() == Region::Kind::Trace) {
+                i = consumeTraceRun(batch, i);
+                if (i == n)
+                    break;
+            }
+            ExecEvent ev;
+            ev.block = &blocks[batch.blockIds[i]];
+            ev.takenBranch = batch.takenFlags[i] != 0;
+            ev.branchAddr = batch.branchAddrs[i];
+            processEvent<false>(ev);
+            ++i;
+        }
+    }
+    return n;
 }
 
 SimResult
@@ -467,7 +625,10 @@ simulate(const Program &prog, Algorithm algo, const SimOptions &opts)
     system.armFaults(opts.faults, opts.faultSeed);
 
     Executor exec(prog, opts.seed);
-    exec.run(opts.maxEvents, system);
+    if (opts.dispatch == Dispatch::Batched)
+        exec.runBatched(opts.maxEvents, system, opts.batchSize);
+    else
+        exec.run(opts.maxEvents, system);
     return system.finish();
 }
 

@@ -63,8 +63,14 @@ struct StepTrace
     bool cacheExit = false;
 };
 
-/** The Section 2.1 simulator, driven as an ExecutionSink. */
-class DynOptSystem : public ExecutionSink
+/**
+ * The Section 2.1 simulator, driven as an ExecutionSink (one virtual
+ * call per block) or — the fast path — as a BatchSink (one virtual
+ * call per EventBatch, with the fault-injection disarm check hoisted
+ * to batch granularity). Both paths run the identical per-event
+ * state machine, so their SimResults are byte-identical.
+ */
+class DynOptSystem : public ExecutionSink, public BatchSink
 {
   public:
     /**
@@ -168,6 +174,15 @@ class DynOptSystem : public ExecutionSink
     bool onEvent(const ExecEvent &event) override;
 
     /**
+     * BatchSink: consume a whole batch of events. Whether fault
+     * injection is armed is decided once per batch (the disarmed
+     * loop carries no per-event injector branch); when armed, faults
+     * still fire at exactly the same event indices as the per-event
+     * path. Always consumes the full batch.
+     */
+    std::size_t onBatch(const EventBatch &batch) override;
+
+    /**
      * Close the run and compute all metrics. May be called once,
      * after the executor finishes.
      */
@@ -181,6 +196,9 @@ class DynOptSystem : public ExecutionSink
 
     /** Disposition of the most recent onEvent() (testing probe). */
     const StepTrace &lastStep() const { return lastStep_; }
+
+    /** The live metrics collector (testing probe). */
+    const MetricsCollector &metrics() const { return metrics_; }
 
   private:
     /** Code-cache placement of one region's blocks. */
@@ -219,8 +237,42 @@ class DynOptSystem : public ExecutionSink
     /** Enter a region: bookkeeping common to all entry paths. */
     void enterRegion(const Region &region, const BasicBlock &block);
 
-    /** Feed one cached block's fetch through the I-cache model. */
-    void fetchCached(RegionId region, std::size_t pos);
+    /**
+     * The per-event state machine shared by onEvent and onBatch.
+     * `Armed` hoists the fault-injection check out of the event
+     * path: the disarmed instantiation contains no injector code at
+     * all, keeping the in-region fast path branch-predictable.
+     */
+    template <bool Armed> void processEvent(const ExecEvent &ev);
+
+    /**
+     * Batch fast path: consume a run of events that stay inside the
+     * current Trace region (Internal steps and CycleRestarts),
+     * starting at batch index `i`. Stops at the first event the run
+     * cannot prove in-region (left for processEvent) or at the end
+     * of the batch. Metrics for the run are accumulated locally and
+     * folded in with two bulk calls; every per-event architectural
+     * effect (edge profile, I-cache accesses, predecessor tracking)
+     * is applied exactly as the per-event path would.
+     * @return the index of the first unconsumed event.
+     * @pre inRegion_ && curRegionPtr_->kind() == Trace; disarmed
+     *      (an armed system must tick the injector every event).
+     */
+    std::size_t consumeTraceRun(const EventBatch &batch,
+                                std::size_t i);
+
+    /**
+     * Feed one cached block's fetch through the I-cache model, using
+     * the current-region layout cached by enterRegion() — no deque
+     * or layout-table indexing on the in-region fast path.
+     */
+    void
+    fetchCachedCur(std::size_t pos, const BasicBlock &block)
+    {
+        icache_.fetchRange(curBase_ + curOffsets_[pos],
+                           static_cast<std::uint32_t>(
+                               block.sizeBytes()));
+    }
 
     const Program &prog_;
     CodeCache cache_;
@@ -254,7 +306,19 @@ class DynOptSystem : public ExecutionSink
 
     bool inRegion_ = false;
     RegionId curRegion_ = invalidRegion;
+    /** The region curRegion_ names (Region objects outlive eviction
+     *  and live in a deque, so the pointer is stable); cached to
+     *  keep the in-region fast path free of deque indexing. */
+    const Region *curRegionPtr_ = nullptr;
     std::size_t regionPos_ = 0;
+    /**
+     * The current region's layout, flattened: code-cache base and
+     * the per-block offset stripe. Set by enterRegion(); the offset
+     * buffer outlives outer-vector reallocation (vector moves keep
+     * heap storage), and every region entry re-caches both.
+     */
+    std::uint64_t curBase_ = 0;
+    const std::uint32_t *curOffsets_ = nullptr;
     /** Set when execution just left the cache to the interpreter. */
     bool pendingCacheExit_ = false;
     const BasicBlock *prevBlock_ = nullptr;
@@ -284,11 +348,24 @@ constexpr Algorithm allSelectors[] = {
 /** Human-readable algorithm name. */
 std::string algorithmName(Algorithm algo);
 
+/** How the executor delivers events to the system. */
+enum class Dispatch : std::uint8_t {
+    /** One virtual sink call per block (the reference path). */
+    PerEvent,
+    /** SoA batches via DynOptSystem::onBatch — byte-identical
+     *  results, several times the throughput. */
+    Batched,
+};
+
 /** Options for the one-call simulation harness. */
 struct SimOptions
 {
     /** Maximum dynamic block events to execute. */
     std::uint64_t maxEvents = 2'000'000;
+    /** Event-delivery mechanism; results are identical either way. */
+    Dispatch dispatch = Dispatch::Batched;
+    /** Events per batch when dispatch == Batched. */
+    std::size_t batchSize = defaultBatchSize;
     /** Executor seed (branch-behaviour randomness). */
     std::uint64_t seed = 1;
     /** NET thresholds (used by Net / NetCombined / Mojo). */

@@ -10,54 +10,16 @@
 namespace rsel {
 
 void
-MetricsCollector::onEdge(BlockId src, BlockId dst)
+MetricsCollector::recordEdge(BlockId src, BlockId dst)
 {
     preds_[dst].insert(src);
 }
 
-void
-MetricsCollector::onInterpretedBlock(const BasicBlock &block)
+bool
+MetricsCollector::sawEdge(BlockId src, BlockId dst) const
 {
-    interpInsts_ += block.instCount();
-}
-
-MetricsCollector::PerRegion &
-MetricsCollector::perRegion(RegionId region)
-{
-    if (region >= regions_.size())
-        regions_.resize(region + 1);
-    return regions_[region];
-}
-
-void
-MetricsCollector::onCachedBlock(const BasicBlock &block, RegionId region)
-{
-    cachedInsts_ += block.instCount();
-    perRegion(region).insts += block.instCount();
-}
-
-void
-MetricsCollector::onRegionEntered(RegionId region)
-{
-    ++entries_;
-    ++perRegion(region).entries;
-}
-
-void
-MetricsCollector::onRegionExecutionEnd(RegionId region, bool byCycle)
-{
-    ++terminations_;
-    if (byCycle) {
-        ++cycleTerminations_;
-        ++perRegion(region).cycleEnds;
-    }
-}
-
-void
-MetricsCollector::onRegionTransition(RegionId from, RegionId to)
-{
-    ++transitions_;
-    linkPairs_.insert((static_cast<std::uint64_t>(from) << 32) | to);
+    const auto it = preds_.find(dst);
+    return it != preds_.end() && it->second.count(src) != 0;
 }
 
 bool

@@ -34,26 +34,116 @@ class CodeCache;
 class MetricsCollector
 {
   public:
-    /** Record an executed control-flow edge (any kind). */
-    void onEdge(BlockId src, BlockId dst);
+    /**
+     * Record an executed control-flow edge (any kind). The profile
+     * is a *set* per destination, so recording is idempotent; a
+     * small direct-mapped filter of recently recorded edges skips
+     * the hash-set insert for the overwhelmingly common repeated
+     * edge without changing the recorded profile.
+     */
+    void
+    onEdge(BlockId src, BlockId dst)
+    {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(src) << 32) | dst;
+        std::uint64_t &slot =
+            edgeSeen_[(key * 0x9E3779B97F4A7C15ull) >> edgeSeenShift];
+        if (slot == key + 1)
+            return; // already recorded (insert would be a no-op)
+        slot = key + 1; // +1 keeps key 0 distinct from "empty"
+        recordEdge(src, dst);
+    }
+
+    // The per-block and region-lifecycle notifications below run
+    // once per dynamic event on the simulation's hottest path, so
+    // they are defined inline: DynOptSystem's batch loop folds them
+    // into plain counter updates instead of cross-library calls.
 
     /** A block executed in the interpreter. */
-    void onInterpretedBlock(const BasicBlock &block);
+    void
+    onInterpretedBlock(const BasicBlock &block)
+    {
+        interpInsts_ += block.instCount();
+    }
 
     /** A block executed from the code cache. */
-    void onCachedBlock(const BasicBlock &block, RegionId region);
+    void
+    onCachedBlock(const BasicBlock &block, RegionId region)
+    {
+        cachedInsts_ += block.instCount();
+        perRegion(region).insts += block.instCount();
+    }
 
     /** A region execution began (entry or cycle restart). */
-    void onRegionEntered(RegionId region);
+    void
+    onRegionEntered(RegionId region)
+    {
+        ++entries_;
+        ++perRegion(region).entries;
+    }
 
     /** A region execution ended. @param byCycle branch-to-top end. */
-    void onRegionExecutionEnd(RegionId region, bool byCycle);
+    void
+    onRegionExecutionEnd(RegionId region, bool byCycle)
+    {
+        ++terminations_;
+        if (byCycle) {
+            ++cycleTerminations_;
+            ++perRegion(region).cycleEnds;
+        }
+    }
 
     /** A direct jump between two distinct cached regions. */
-    void onRegionTransition(RegionId from, RegionId to);
+    void
+    onRegionTransition(RegionId from, RegionId to)
+    {
+        ++transitions_;
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(from) << 32) | to;
+        // Same trick as onEdge: linkPairs_ is a set, so a repeated
+        // pair's insert is a no-op — a direct-mapped filter of
+        // recent pairs skips the hash insert for the common case of
+        // control bouncing between the same two regions.
+        std::uint64_t &slot =
+            linkSeen_[(key * 0x9E3779B97F4A7C15ull) >>
+                      edgeSeenShift];
+        if (slot == key + 1)
+            return;
+        slot = key + 1;
+        linkPairs_.insert(key);
+    }
 
     /** One dynamic block event was consumed. */
     void onEvent() { ++events_; }
+
+    /** `n` dynamic block events were consumed (batch bulk form). */
+    void addEvents(std::uint64_t n) { events_ += n; }
+
+    /**
+     * Bulk form of a run of cached trace execution: `insts` guest
+     * instructions executed inside `region`, with `restarts`
+     * cycle-restarts (each ends one region execution by cycle and
+     * immediately begins the next). Equivalent to the matching
+     * sequence of onCachedBlock/onRegionExecutionEnd/onRegionEntered
+     * calls — the batch dispatch path accumulates locally and folds
+     * the run in with one call.
+     */
+    void
+    addCachedRun(RegionId region, std::uint64_t insts,
+                 std::uint64_t restarts)
+    {
+        cachedInsts_ += insts;
+        entries_ += restarts;
+        terminations_ += restarts;
+        cycleTerminations_ += restarts;
+        PerRegion &pr = perRegion(region);
+        pr.insts += insts;
+        pr.entries += restarts;
+        pr.cycleEnds += restarts;
+    }
+
+    /** Testing probe: true if onEdge(src, dst) was ever recorded. */
+    bool sawEdge(BlockId src, BlockId dst) const;
 
     /**
      * Produce the final result.
@@ -72,7 +162,13 @@ class MetricsCollector
         std::uint64_t cycleEnds = 0;
     };
 
-    PerRegion &perRegion(RegionId region);
+    PerRegion &
+    perRegion(RegionId region)
+    {
+        if (region >= regions_.size())
+            regions_.resize(region + 1);
+        return regions_[region];
+    }
 
     /**
      * Exit-domination analysis. For each region S: S is
@@ -89,6 +185,20 @@ class MetricsCollector
     static bool isInternalTransfer(const Region &r,
                                    const BasicBlock &from,
                                    const BasicBlock &to);
+
+    /** Slow path of onEdge(): the authoritative set insert. */
+    void recordEdge(BlockId src, BlockId dst);
+
+    static constexpr std::size_t edgeSeenSlots = 4096;
+    static constexpr unsigned edgeSeenShift = 52; // 64 - log2(slots)
+
+    /** Direct-mapped recently-recorded-edge filter: key+1 or 0. */
+    std::vector<std::uint64_t> edgeSeen_ =
+        std::vector<std::uint64_t>(edgeSeenSlots, 0);
+
+    /** Direct-mapped recently-seen region-link filter: key+1 or 0. */
+    std::vector<std::uint64_t> linkSeen_ =
+        std::vector<std::uint64_t>(edgeSeenSlots, 0);
 
     std::uint64_t events_ = 0;
     std::uint64_t interpInsts_ = 0;

@@ -1,5 +1,7 @@
 #include "program/executor.hpp"
 
+#include <algorithm>
+
 #include "support/error.hpp"
 
 namespace rsel {
@@ -7,8 +9,38 @@ namespace rsel {
 Executor::Executor(const Program &prog, std::uint64_t seed)
     : prog_(prog), rng_(seed),
       loopRemaining_(prog.blocks().size(), loopUnarmed),
+      takenPtr_(prog.blocks().size(), nullptr),
+      fallPtr_(prog.blocks().size(), nullptr),
+      condPtr_(prog.blocks().size(), nullptr),
+      indirectPtr_(prog.blocks().size(), nullptr),
+      curProb_(prog.blocks().size(), 0.0),
+      curWeights_(prog.blocks().size(), nullptr),
       current_(&prog.block(prog.entry()))
-{}
+{
+    // Resolve the static successor addresses to block pointers and
+    // the behaviour annotations to id-indexed arrays once, so the
+    // per-event path never touches an address or behaviour hash.
+    for (const BasicBlock &b : prog_.blocks()) {
+        if (b.takenTarget() != invalidAddr)
+            takenPtr_[b.id()] = prog_.blockAtAddr(b.takenTarget());
+        if (b.fallThroughAddr() != invalidAddr)
+            fallPtr_[b.id()] = prog_.blockAtAddr(b.fallThroughAddr());
+        if (b.terminator() == BranchKind::CondDirect &&
+            prog_.hasCondBehavior(b.id())) {
+            condPtr_[b.id()] = &prog_.condBehavior(b.id());
+            condBlocks_.push_back(b.id());
+        }
+        if ((b.terminator() == BranchKind::IndirectCall ||
+             b.terminator() == BranchKind::IndirectJump) &&
+            prog_.hasIndirectBehavior(b.id())) {
+            indirectPtr_[b.id()] = &prog_.indirectBehavior(b.id());
+            indirectBlocks_.push_back(b.id());
+        }
+    }
+    hasPhases_ = !prog_.phaseLengths().empty();
+    phaseLenCur_ = hasPhases_ ? prog_.phaseLengths()[0] : 0;
+    rebindPhase();
+}
 
 void
 Executor::reset(std::uint64_t seed)
@@ -23,24 +55,38 @@ Executor::reset(std::uint64_t seed)
     executedBlocks_ = 0;
     phaseIdx_ = 0;
     phaseCounter_ = 0;
+    phaseLenCur_ = hasPhases_ ? prog_.phaseLengths()[0] : 0;
+    rebindPhase();
 }
 
-double
-Executor::takenProb(const CondBehavior &cb) const
+void
+Executor::rebindPhase()
 {
-    const auto &probs = cb.takenProbByPhase;
-    return probs[phaseIdx_ % probs.size()];
+    for (const BlockId id : condBlocks_) {
+        const CondBehavior &cb = *condPtr_[id];
+        if (cb.kind == CondBehavior::Kind::Bernoulli) {
+            const auto &probs = cb.takenProbByPhase;
+            curProb_[id] = probs[phaseIdx_ % probs.size()];
+        }
+    }
+    for (const BlockId id : indirectBlocks_) {
+        const IndirectBehavior &ib = *indirectPtr_[id];
+        curWeights_[id] =
+            &ib.weightsByPhase[phaseIdx_ % ib.weightsByPhase.size()];
+    }
 }
 
 void
 Executor::advancePhase()
 {
-    const auto &lengths = prog_.phaseLengths();
-    if (lengths.empty())
+    if (!hasPhases_)
         return;
-    if (++phaseCounter_ >= lengths[phaseIdx_ % lengths.size()]) {
+    if (++phaseCounter_ >= phaseLenCur_) {
         phaseCounter_ = 0;
-        phaseIdx_ = (phaseIdx_ + 1) % lengths.size();
+        const auto &lengths = prog_.phaseLengths();
+        phaseIdx_ = phaseIdx_ + 1 == lengths.size() ? 0 : phaseIdx_ + 1;
+        phaseLenCur_ = lengths[phaseIdx_];
+        rebindPhase();
     }
 }
 
@@ -51,13 +97,15 @@ Executor::nextBlock(const BasicBlock &b, bool &taken)
     switch (b.terminator()) {
       case BranchKind::None: {
         taken = false;
-        return prog_.blockAtAddr(b.fallThroughAddr());
+        return fallPtr_[b.id()];
       }
       case BranchKind::CondDirect: {
-        const CondBehavior &cb = prog_.condBehavior(b.id());
+        RSEL_ASSERT(condPtr_[b.id()] != nullptr,
+                    "conditional block executed without a behaviour");
+        const CondBehavior &cb = *condPtr_[b.id()];
         bool takeBranch;
         if (cb.kind == CondBehavior::Kind::Bernoulli) {
-            takeBranch = rng_.nextBool(takenProb(cb));
+            takeBranch = rng_.nextBool(curProb_[b.id()]);
         } else {
             // Loop latch: arm with a fresh trip count when entered
             // from outside; count down back-edge executions.
@@ -72,38 +120,37 @@ Executor::nextBlock(const BasicBlock &b, bool &taken)
             takeBranch = cb.takenIsBackEdge ? backEdge : !backEdge;
         }
         if (takeBranch)
-            return prog_.blockAtAddr(b.takenTarget());
+            return takenPtr_[b.id()];
         taken = false;
-        return prog_.blockAtAddr(b.fallThroughAddr());
+        return fallPtr_[b.id()];
       }
       case BranchKind::Jump:
-        return prog_.blockAtAddr(b.takenTarget());
+        return takenPtr_[b.id()];
       case BranchKind::Call:
       case BranchKind::IndirectCall: {
         RSEL_ASSERT(callStack_.size() < maxCallDepth,
                     "guest call stack overflow");
-        callStack_.push_back(b.fallThroughAddr());
+        callStack_.push_back(fallPtr_[b.id()]);
         if (b.terminator() == BranchKind::Call)
-            return prog_.blockAtAddr(b.takenTarget());
-        const IndirectBehavior &ib = prog_.indirectBehavior(b.id());
-        const auto &weights =
-            ib.weightsByPhase[phaseIdx_ % ib.weightsByPhase.size()];
-        const std::size_t idx = rng_.nextWeighted(weights);
+            return takenPtr_[b.id()];
+        RSEL_ASSERT(indirectPtr_[b.id()] != nullptr,
+                    "indirect block executed without a behaviour");
+        const IndirectBehavior &ib = *indirectPtr_[b.id()];
+        const std::size_t idx = rng_.nextWeighted(*curWeights_[b.id()]);
         return &prog_.block(ib.targets[idx]);
       }
       case BranchKind::IndirectJump: {
-        const IndirectBehavior &ib = prog_.indirectBehavior(b.id());
-        const auto &weights =
-            ib.weightsByPhase[phaseIdx_ % ib.weightsByPhase.size()];
-        const std::size_t idx = rng_.nextWeighted(weights);
+        RSEL_ASSERT(indirectPtr_[b.id()] != nullptr,
+                    "indirect block executed without a behaviour");
+        const IndirectBehavior &ib = *indirectPtr_[b.id()];
+        const std::size_t idx = rng_.nextWeighted(*curWeights_[b.id()]);
         return &prog_.block(ib.targets[idx]);
       }
       case BranchKind::Return: {
         if (callStack_.empty())
             return nullptr; // returned past the entry frame: done
-        const Addr retAddr = callStack_.back();
+        const BasicBlock *ret = callStack_.back();
         callStack_.pop_back();
-        const BasicBlock *ret = prog_.blockAtAddr(retAddr);
         RSEL_ASSERT(ret != nullptr, "return address is not a block");
         return ret;
       }
@@ -145,6 +192,75 @@ Executor::run(std::uint64_t maxEvents, ExecutionSink &sink)
             break;
     }
     return delivered;
+}
+
+std::uint64_t
+Executor::fillBatch(EventBatch &batch, std::size_t maxEvents)
+{
+    batch.clear();
+    if (finished_ || maxEvents == 0)
+        return 0;
+    // Pre-size the stripes once and fill through raw pointers: the
+    // loop then writes each event with three plain stores instead of
+    // three push_backs (capacity check + size bump apiece).
+    batch.blockIds.resize(maxEvents);
+    batch.takenFlags.resize(maxEvents);
+    batch.branchAddrs.resize(maxEvents);
+    BlockId *const ids = batch.blockIds.data();
+    std::uint8_t *const flags = batch.takenFlags.data();
+    Addr *const addrs = batch.branchAddrs.data();
+
+    std::size_t count = 0;
+    while (count < maxEvents) {
+        // The same per-event sequence as run(): record the event,
+        // advance the phase, then resolve the successor. Only the
+        // delivery differs, so the RNG is consumed identically and
+        // the two paths produce byte-identical streams.
+        ids[count] = current_->id();
+        flags[count] = pendingTaken_ ? 1 : 0;
+        addrs[count] = pendingBranchAddr_;
+        ++count;
+        ++executedBlocks_;
+        advancePhase();
+
+        bool taken = false;
+        const BasicBlock *next = nextBlock(*current_, taken);
+        if (next == nullptr) {
+            finished_ = true;
+            break;
+        }
+        pendingTaken_ = taken;
+        pendingBranchAddr_ = taken ? current_->lastInstAddr()
+                                   : invalidAddr;
+        current_ = next;
+    }
+    batch.blockIds.resize(count);
+    batch.takenFlags.resize(count);
+    batch.branchAddrs.resize(count);
+    return count;
+}
+
+std::uint64_t
+Executor::runBatched(std::uint64_t maxEvents, BatchSink &sink,
+                     std::size_t batchSize)
+{
+    RSEL_ASSERT(batchSize > 0, "batch size must be at least 1");
+    EventBatch batch;
+    batch.reserve(batchSize);
+    std::uint64_t consumed = 0;
+    while (consumed < maxEvents) {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(batchSize, maxEvents - consumed));
+        if (fillBatch(batch, want) == 0)
+            break;
+        const std::size_t took = sink.onBatch(batch);
+        RSEL_ASSERT(took <= batch.size(),
+                    "sink consumed more events than the batch holds");
+        consumed += took;
+        if (took < batch.size())
+            break;
+    }
+    return consumed;
 }
 
 } // namespace rsel

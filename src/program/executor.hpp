@@ -46,6 +46,80 @@ class ExecutionSink
 };
 
 /**
+ * A batch of dynamic block events in structure-of-arrays layout:
+ * one densely packed stripe per field, so a consumer loop touches
+ * only the stripes it needs and the producer never materializes
+ * ExecEvent objects. The three stripes are parallel; entry i of each
+ * describes the i-th event of the batch.
+ */
+struct EventBatch
+{
+    /** Id of the block beginning execution. */
+    std::vector<BlockId> blockIds;
+    /** 1 if the block was entered via a taken transfer, else 0. */
+    std::vector<std::uint8_t> takenFlags;
+    /** Transferring branch address; valid iff takenFlags[i]. */
+    std::vector<Addr> branchAddrs;
+
+    /** Events currently in the batch. */
+    std::size_t size() const { return blockIds.size(); }
+
+    /** True when the batch holds no events. */
+    bool empty() const { return blockIds.empty(); }
+
+    /** Drop all events, keeping the stripes' capacity. */
+    void
+    clear()
+    {
+        blockIds.clear();
+        takenFlags.clear();
+        branchAddrs.clear();
+    }
+
+    /** Pre-size every stripe for `n` events. */
+    void
+    reserve(std::size_t n)
+    {
+        blockIds.reserve(n);
+        takenFlags.reserve(n);
+        branchAddrs.reserve(n);
+    }
+
+    /** Append one event. */
+    void
+    push(BlockId id, bool taken, Addr branchAddr)
+    {
+        blockIds.push_back(id);
+        takenFlags.push_back(taken ? 1 : 0);
+        branchAddrs.push_back(branchAddr);
+    }
+};
+
+/** Default batch granularity: big enough to amortize the virtual
+ *  dispatch, small enough that a batch's stripes stay in L1. */
+constexpr std::size_t defaultBatchSize = 4096;
+
+/**
+ * Consumer of batched dynamic block streams. The batched counterpart
+ * of ExecutionSink: one virtual call per EventBatch instead of one
+ * per block.
+ */
+class BatchSink
+{
+  public:
+    virtual ~BatchSink() = default;
+
+    /**
+     * Consume a batch. @return the number of events consumed;
+     * returning fewer than batch.size() stops the run. The producer
+     * has already advanced past the whole batch, so — unlike
+     * ExecutionSink::onEvent — the unconsumed tail is not replayed
+     * by a later call.
+     */
+    virtual std::size_t onBatch(const EventBatch &batch) = 0;
+};
+
+/**
  * Interprets a Program, resolving branch behaviours with a seeded
  * RNG, and streams ExecEvents to a sink. Maintains loop trip
  * counters, the call stack, and the phase schedule across run()
@@ -68,6 +142,28 @@ class Executor
      */
     std::uint64_t run(std::uint64_t maxEvents, ExecutionSink &sink);
 
+    /**
+     * Execute up to `maxEvents` further blocks into `batch`
+     * (cleared first). The produced event stream is identical to
+     * what run() would deliver: both paths share the successor
+     * resolution and consume the RNG in the same order.
+     * @return the number of events filled; fewer than requested
+     *         means the program halted or returned past its entry
+     *         frame.
+     */
+    std::uint64_t fillBatch(EventBatch &batch, std::size_t maxEvents);
+
+    /**
+     * Execute up to `maxEvents` blocks, delivering them to `sink` in
+     * batches of at most `batchSize` events (one internal buffer is
+     * reused across batches). @return events consumed by the sink.
+     * If the sink stops mid-batch, events past the stop point were
+     * already produced and are dropped (see BatchSink::onBatch);
+     * executedBlocks() counts produced events.
+     */
+    std::uint64_t runBatched(std::uint64_t maxEvents, BatchSink &sink,
+                             std::size_t batchSize = defaultBatchSize);
+
     /** True once the program has halted (run() will deliver 0). */
     bool finished() const { return finished_; }
 
@@ -87,8 +183,13 @@ class Executor
     /** Advance the phase schedule by one executed block. */
     void advancePhase();
 
-    /** Phase-indexed probability lookup. */
-    double takenProb(const CondBehavior &cb) const;
+    /**
+     * Re-resolve the phase-dependent behaviour tables for the
+     * current phaseIdx_. Runs once per phase switch (and at
+     * construction/reset), so the per-event path never computes a
+     * phase modulus or touches the behaviour hash maps.
+     */
+    void rebindPhase();
 
     static constexpr std::uint64_t loopUnarmed =
         std::numeric_limits<std::uint64_t>::max();
@@ -97,7 +198,34 @@ class Executor
     const Program &prog_;
     Rng rng_;
     std::vector<std::uint64_t> loopRemaining_;
-    std::vector<Addr> callStack_;
+    /**
+     * Successor blocks resolved once per static block at
+     * construction, replacing the per-event address-hash lookups:
+     * takenPtr_[id] is the block at the taken target, fallPtr_[id]
+     * the block at the fall-through address (nullptr where the
+     * address is invalid or not a block start).
+     */
+    std::vector<const BasicBlock *> takenPtr_;
+    std::vector<const BasicBlock *> fallPtr_;
+    /**
+     * Behaviour annotations re-homed from the Program's hash maps
+     * into id-indexed arrays (nullptr where absent), plus the ids
+     * that carry each kind — the worklists rebindPhase() walks.
+     */
+    std::vector<const CondBehavior *> condPtr_;
+    std::vector<const IndirectBehavior *> indirectPtr_;
+    std::vector<BlockId> condBlocks_;
+    std::vector<BlockId> indirectBlocks_;
+    /** Phase-resolved Bernoulli taken probability per block. */
+    std::vector<double> curProb_;
+    /** Phase-resolved indirect weight row per block. */
+    std::vector<const std::vector<double> *> curWeights_;
+    /** Length of the current phase; meaningless without phases. */
+    std::uint64_t phaseLenCur_ = 0;
+    /** False when the program has a single unbounded phase. */
+    bool hasPhases_ = false;
+    /** Return targets as block pointers (resolved at call time). */
+    std::vector<const BasicBlock *> callStack_;
     const BasicBlock *current_;
     bool pendingTaken_ = false;
     Addr pendingBranchAddr_ = invalidAddr;

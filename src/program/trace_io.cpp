@@ -1,5 +1,6 @@
 #include "program/trace_io.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -441,6 +442,69 @@ TraceReplayer::run(std::uint64_t maxEvents, ExecutionSink &sink)
             break;
     }
     return delivered;
+}
+
+std::uint64_t
+TraceReplayer::fillBatch(EventBatch &batch, std::size_t maxEvents)
+{
+    batch.clear();
+    while (!done_ && batch.size() < maxEvents) {
+        std::uint64_t id = 0;
+        if (!readValue(id)) {
+            fatal("trace file truncated (no end-of-trace marker) at "
+                  "byte offset " +
+                  std::to_string(byteOffset_) + " (after " +
+                  std::to_string(eventsRead_) + " events)");
+        }
+        if (id == prog_.blocks().size()) {
+            done_ = true; // end-of-trace marker
+            break;
+        }
+        if (id > prog_.blocks().size())
+            fatal("trace references unknown block id " +
+                  std::to_string(id));
+        const BasicBlock &block =
+            prog_.block(static_cast<BlockId>(id));
+
+        // Same annotation reconstruction as run(), decoded straight
+        // into the SoA stripes.
+        bool taken = false;
+        Addr branchAddr = invalidAddr;
+        if (prev_ != nullptr) {
+            const bool fell =
+                canFallThrough(prev_->terminator()) &&
+                block.startAddr() == prev_->fallThroughAddr();
+            taken = !fell;
+            branchAddr = fell ? invalidAddr : prev_->lastInstAddr();
+        }
+        batch.push(block.id(), taken, branchAddr);
+        prev_ = &block;
+        ++eventsRead_;
+    }
+    return batch.size();
+}
+
+std::uint64_t
+TraceReplayer::runBatched(std::uint64_t maxEvents, BatchSink &sink,
+                          std::size_t batchSize)
+{
+    RSEL_ASSERT(batchSize > 0, "batch size must be at least 1");
+    EventBatch batch;
+    batch.reserve(batchSize);
+    std::uint64_t consumed = 0;
+    while (consumed < maxEvents) {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(batchSize, maxEvents - consumed));
+        if (fillBatch(batch, want) == 0)
+            break;
+        const std::size_t took = sink.onBatch(batch);
+        RSEL_ASSERT(took <= batch.size(),
+                    "sink consumed more events than the batch holds");
+        consumed += took;
+        if (took < batch.size())
+            break;
+    }
+    return consumed;
 }
 
 } // namespace rsel

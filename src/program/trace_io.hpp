@@ -120,6 +120,27 @@ class TraceReplayer
      */
     std::uint64_t run(std::uint64_t maxEvents, ExecutionSink &sink);
 
+    /**
+     * Decode up to `maxEvents` further events straight into `batch`
+     * (cleared first) — the zero-copy replay path: LEB128 ids land
+     * in the batch's id stripe and the taken/branch-address
+     * annotations are synthesized alongside, with no per-event
+     * ExecEvent materialization or sink call. The produced stream is
+     * identical to what run() would deliver.
+     * @return events filled; fewer than requested means the
+     *         end-of-trace marker was reached.
+     * @throws FatalError as run() does on corrupt/truncated streams.
+     */
+    std::uint64_t fillBatch(EventBatch &batch, std::size_t maxEvents);
+
+    /**
+     * Replay up to `maxEvents` events into a batch sink, at most
+     * `batchSize` events per onBatch() call.
+     * @return events consumed by the sink.
+     */
+    std::uint64_t runBatched(std::uint64_t maxEvents, BatchSink &sink,
+                             std::size_t batchSize = defaultBatchSize);
+
     /** True once the end-of-trace marker has been consumed. */
     bool atEnd() const { return done_; }
 

@@ -17,6 +17,14 @@
  *
  * The injector decides *that* and *where* a fault fires; the
  * DynOptSystem owns the recovery policy (retry, backoff, blacklist).
+ *
+ * Armed-ness is immutable: an injector exists only for armed plans,
+ * and arming happens strictly before the first event
+ * (DynOptSystem::armFaults asserts this). Batch consumers exploit
+ * that contract by hoisting the disarmed check to once per
+ * EventBatch — a disarmed system's event loop carries no injector
+ * code at all, while an armed one still calls onEvent() exactly
+ * once per dynamic block event, preserving fault indices.
  */
 
 #ifndef RSEL_RESILIENCE_FAULT_INJECTOR_HPP

@@ -18,6 +18,7 @@ CodeCache::removeLive(RegionId id)
     const Region &r = regions_[id];
     live_.erase(id);
     byEntry_.erase(r.entryAddr());
+    entryIndex_[r.entryBlock().id()] = invalidRegion;
     liveBytes_ -= estimateOf(r);
 }
 
@@ -116,6 +117,10 @@ CodeCache::insert(Region region)
     if (invalidatedEntries_.erase(region.entryAddr()) != 0)
         ++retranslations_; // re-translating self-modified code
     byEntry_.emplace(region.entryAddr(), id);
+    const BlockId entryBlock = region.entryBlock().id();
+    if (entryBlock >= entryIndex_.size())
+        entryIndex_.resize(entryBlock + 1, invalidRegion);
+    entryIndex_[entryBlock] = id;
     live_.insert(id);
     fifo_.push_back(id);
     regions_.push_back(std::move(region));

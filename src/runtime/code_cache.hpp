@@ -76,6 +76,22 @@ class CodeCache
     const Region *lookup(Addr addr) const;
 
     /**
+     * The live region whose entry block is exactly `block`, or
+     * nullptr. Equivalent to lookup(blockStartAddr) — a region's
+     * entry address is its entry block's start address — but served
+     * from a dense block-id-indexed table, so the hot dispatch loop
+     * pays one bounds check and one load instead of an address hash.
+     */
+    const Region *
+    lookupEntry(BlockId block) const
+    {
+        if (block >= entryIndex_.size())
+            return nullptr;
+        const RegionId id = entryIndex_[block];
+        return id == invalidRegion ? nullptr : &regions_[id];
+    }
+
+    /**
      * A region by id — including evicted ones, whose objects stay
      * alive so in-flight execution and post-run statistics keep
      * working. Check isLive() to distinguish.
@@ -197,6 +213,10 @@ class CodeCache
     CacheLimits limits_;
     std::deque<Region> regions_;
     std::unordered_map<Addr, RegionId> byEntry_;
+    /** Live region id per entry-block id (dense lookupEntry probe);
+     *  invalidRegion = no live region enters at that block. Grown on
+     *  demand and kept exactly in sync with byEntry_. */
+    std::vector<RegionId> entryIndex_;
     std::unordered_set<RegionId> live_;
     /** Live region ids in insertion order (FIFO eviction). */
     std::deque<RegionId> fifo_;

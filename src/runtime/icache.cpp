@@ -1,5 +1,6 @@
 #include "runtime/icache.hpp"
 
+#include <bit>
 #include <limits>
 
 #include "support/error.hpp"
@@ -30,48 +31,12 @@ ICacheModel::ICacheModel(ICacheConfig cfg)
     sets_ = cfg_.sizeBytes / (cfg_.lineBytes * cfg_.ways);
     RSEL_ASSERT(isPowerOfTwo(sets_),
                 "set count must be a power of two");
+    lineShift_ =
+        static_cast<std::uint32_t>(std::countr_zero(cfg_.lineBytes));
+    setShift_ = static_cast<std::uint32_t>(std::countr_zero(sets_));
     tags_.assign(static_cast<std::size_t>(sets_) * cfg_.ways,
                  invalidTag);
     stamps_.assign(tags_.size(), 0);
-}
-
-bool
-ICacheModel::accessLine(std::uint64_t lineAddr)
-{
-    ++accesses_;
-    ++clock_;
-    const std::uint32_t set =
-        static_cast<std::uint32_t>(lineAddr & (sets_ - 1));
-    const std::uint64_t tag = lineAddr / sets_;
-    const std::size_t base =
-        static_cast<std::size_t>(set) * cfg_.ways;
-
-    std::size_t victim = base;
-    for (std::size_t w = base; w < base + cfg_.ways; ++w) {
-        if (tags_[w] == tag) {
-            stamps_[w] = clock_;
-            return false; // hit
-        }
-        if (stamps_[w] < stamps_[victim])
-            victim = w;
-    }
-    ++misses_;
-    tags_[victim] = tag;
-    stamps_[victim] = clock_;
-    return true;
-}
-
-std::uint32_t
-ICacheModel::fetchRange(Addr addr, std::uint32_t bytes)
-{
-    if (bytes == 0)
-        return 0;
-    const std::uint64_t first = addr / cfg_.lineBytes;
-    const std::uint64_t last = (addr + bytes - 1) / cfg_.lineBytes;
-    std::uint32_t missCount = 0;
-    for (std::uint64_t line = first; line <= last; ++line)
-        missCount += accessLine(line) ? 1 : 0;
-    return missCount;
 }
 
 double

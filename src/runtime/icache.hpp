@@ -46,9 +46,22 @@ class ICacheModel
 
     /**
      * Fetch `bytes` bytes starting at `addr`: one access per line
-     * touched. @return the number of misses incurred.
+     * touched. @return the number of misses incurred. Defined inline
+     * — it runs once per cached-block event, and the line/set math
+     * reduces to shifts (geometry is asserted power-of-two).
      */
-    std::uint32_t fetchRange(Addr addr, std::uint32_t bytes);
+    std::uint32_t
+    fetchRange(Addr addr, std::uint32_t bytes)
+    {
+        if (bytes == 0)
+            return 0;
+        const std::uint64_t first = addr >> lineShift_;
+        const std::uint64_t last = (addr + bytes - 1) >> lineShift_;
+        std::uint32_t missCount = 0;
+        for (std::uint64_t line = first; line <= last; ++line)
+            missCount += accessLine(line) ? 1 : 0;
+        return missCount;
+    }
 
     /** Line accesses so far. */
     std::uint64_t accesses() const { return accesses_; }
@@ -64,14 +77,62 @@ class ICacheModel
 
   private:
     /** One line access. @return true on miss. */
-    bool accessLine(std::uint64_t lineAddr);
+    bool
+    accessLine(std::uint64_t lineAddr)
+    {
+        ++accesses_;
+        ++clock_;
+        if (lineAddr == lastLine_) {
+            // Same line as the previous access: it still sits where
+            // we left it (only accesses mutate the arrays, and the
+            // previous one stamped this way most-recently-used, so no
+            // later eviction could have picked it). Refresh the stamp
+            // exactly as the scan below would.
+            stamps_[lastWay_] = clock_;
+            return false;
+        }
+        const std::uint32_t set =
+            static_cast<std::uint32_t>(lineAddr & (sets_ - 1));
+        const std::uint64_t tag = lineAddr >> setShift_;
+        const std::size_t base =
+            static_cast<std::size_t>(set) * cfg_.ways;
+
+        std::size_t victim = base;
+        for (std::size_t w = base; w < base + cfg_.ways; ++w) {
+            if (tags_[w] == tag) {
+                stamps_[w] = clock_;
+                lastLine_ = lineAddr;
+                lastWay_ = w;
+                return false; // hit
+            }
+            if (stamps_[w] < stamps_[victim])
+                victim = w;
+        }
+        ++misses_;
+        tags_[victim] = tag;
+        stamps_[victim] = clock_;
+        lastLine_ = lineAddr;
+        lastWay_ = victim;
+        return true;
+    }
 
     ICacheConfig cfg_;
     std::uint32_t sets_;
+    /** log2(lineBytes) / log2(sets_): the divisions as shifts. */
+    std::uint32_t lineShift_ = 0;
+    std::uint32_t setShift_ = 0;
     /** tags_[set * ways + way]; ~0 = invalid. */
     std::vector<std::uint64_t> tags_;
     /** LRU stamps parallel to tags_. */
     std::vector<std::uint64_t> stamps_;
+    /**
+     * MRU shortcut: the line of the previous access and the way it
+     * occupies. An access repeating the previous line is a
+     * guaranteed hit (nothing was evicted in between) and only
+     * refreshes the LRU stamp — identical counters to the full scan.
+     */
+    std::uint64_t lastLine_ = ~std::uint64_t{0};
+    std::size_t lastWay_ = 0;
     std::uint64_t clock_ = 0;
     std::uint64_t accesses_ = 0;
     std::uint64_t misses_ = 0;

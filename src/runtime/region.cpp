@@ -9,8 +9,11 @@ Region::Region(Kind kind, RegionId id,
     : kind_(kind), id_(id), blocks_(std::move(blocks))
 {
     RSEL_ASSERT(!blocks_.empty(), "a region needs at least one block");
+    entryAddr_ = blocks_.front()->startAddr();
+    blockIds_.reserve(blocks_.size());
     for (std::size_t i = 0; i < blocks_.size(); ++i) {
         const BasicBlock *b = blocks_[i];
+        blockIds_.push_back(b->id());
         const bool inserted =
             memberIndex_.emplace(b->id(), i).second;
         RSEL_ASSERT(inserted, "duplicate block in region");
@@ -145,38 +148,6 @@ Region::computeMultiPathStubs()
             break;
         }
     }
-}
-
-RegionStep
-Region::step(std::size_t &pos, const BasicBlock &next, bool taken) const
-{
-    RSEL_ASSERT(pos < blocks_.size(), "region position out of range");
-
-    if (kind_ == Kind::Trace) {
-        // Branch back to the top: the spanned-cycle link.
-        if (taken && next.startAddr() == entryAddr()) {
-            pos = 0;
-            return RegionStep::CycleRestart;
-        }
-        // The recorded path, laid out consecutively.
-        if (pos + 1 < blocks_.size() &&
-            next.id() == blocks_[pos + 1]->id()) {
-            ++pos;
-            return RegionStep::Internal;
-        }
-        return RegionStep::Exit;
-    }
-
-    // MultiPath: any transfer to a member block stays inside.
-    auto it = memberIndex_.find(next.id());
-    if (it == memberIndex_.end())
-        return RegionStep::Exit;
-    if (next.startAddr() == entryAddr()) {
-        pos = 0;
-        return RegionStep::CycleRestart;
-    }
-    pos = it->second;
-    return RegionStep::Internal;
 }
 
 } // namespace rsel

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "isa/basic_block.hpp"
+#include "support/error.hpp"
 
 namespace rsel {
 
@@ -76,8 +77,8 @@ class Region
     /** Region id (selection order). */
     RegionId id() const { return id_; }
 
-    /** Guest address of the region entry. */
-    Addr entryAddr() const { return blocks_.front()->startAddr(); }
+    /** Guest address of the region entry (cached at build time). */
+    Addr entryAddr() const { return entryAddr_; }
 
     /** The entry block. */
     const BasicBlock &entryBlock() const { return *blocks_.front(); }
@@ -97,6 +98,13 @@ class Region
         return memberIndex_.count(id) != 0;
     }
 
+    /**
+     * Member block ids, parallel to blocks(): a contiguous stripe so
+     * the execution fast path compares ids without chasing the
+     * per-block pointers.
+     */
+    const std::vector<BlockId> &blockIds() const { return blockIds_; }
+
     /** True if a block starting at `addr` is a member. */
     bool containsBlockAddr(Addr addr) const;
 
@@ -108,8 +116,41 @@ class Region
      * @param next  the block that executed next in the real stream.
      * @param taken whether it was reached by a taken branch.
      */
-    RegionStep step(std::size_t &pos, const BasicBlock &next,
-                    bool taken) const;
+    RegionStep
+    step(std::size_t &pos, const BasicBlock &next, bool taken) const
+    {
+        // Defined inline: this is the once-per-cached-block decision
+        // of the simulation's hottest loop, and the trace fast path
+        // is two compares against precomputed values.
+        RSEL_ASSERT(pos < blocks_.size(),
+                    "region position out of range");
+
+        if (kind_ == Kind::Trace) {
+            // Branch back to the top: the spanned-cycle link.
+            if (taken && next.startAddr() == entryAddr_) {
+                pos = 0;
+                return RegionStep::CycleRestart;
+            }
+            // The recorded path, laid out consecutively.
+            if (pos + 1 < blockIds_.size() &&
+                next.id() == blockIds_[pos + 1]) {
+                ++pos;
+                return RegionStep::Internal;
+            }
+            return RegionStep::Exit;
+        }
+
+        // MultiPath: any transfer to a member block stays inside.
+        auto it = memberIndex_.find(next.id());
+        if (it == memberIndex_.end())
+            return RegionStep::Exit;
+        if (next.startAddr() == entryAddr_) {
+            pos = 0;
+            return RegionStep::CycleRestart;
+        }
+        pos = it->second;
+        return RegionStep::Internal;
+    }
 
     /** Number of guest instructions copied into this region. */
     std::uint64_t instCount() const { return instCount_; }
@@ -137,9 +178,12 @@ class Region
     Kind kind_;
     RegionId id_;
     std::vector<const BasicBlock *> blocks_;
+    /** Ids of blocks_, same order (fast-path compare stripe). */
+    std::vector<BlockId> blockIds_;
     /** block id -> index into blocks_. */
     std::unordered_map<BlockId, std::size_t> memberIndex_;
     std::unordered_map<Addr, std::size_t> addrIndex_;
+    Addr entryAddr_ = invalidAddr;
     std::uint64_t instCount_ = 0;
     std::uint64_t byteSize_ = 0;
     std::uint32_t exitStubs_ = 0;

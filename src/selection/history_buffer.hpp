@@ -8,8 +8,17 @@
  * O(1) per branch. Entries are addressed by a monotonically
  * increasing sequence number; wrapping and the truncation performed
  * after trace formation (Figure 5, line 13) are expressed by
- * shrinking the valid window, with stale hash entries rejected
- * lazily.
+ * shrinking the valid window.
+ *
+ * The target hash is a fixed open-addressed table (linear probing,
+ * backward-shift deletion) preallocated at twice the buffer
+ * capacity: insert+find touch one cache line in the common case and
+ * never rehash. Hash entries are purged eagerly — when eviction
+ * overwrites the entry they point at, when truncateAfter() drops it,
+ * and when find() rejects one as stale — so the table holds at most
+ * one entry per live buffer slot (hashedTargets() <= capacity()).
+ * Earlier revisions rejected stale entries lazily and never erased
+ * them, which leaked without bound on truncate-heavy workloads.
  */
 
 #ifndef RSEL_SELECTION_HISTORY_BUFFER_HPP
@@ -17,7 +26,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "isa/types.hpp"
@@ -69,8 +77,9 @@ class HistoryBuffer
 
     /**
      * Drop all entries strictly after `seq` (Figure 5, line 13).
-     * Hash entries pointing past the cut become stale and are
-     * rejected lazily by find().
+     * Hash entries pointing past the cut are purged now — the
+     * dropped sequence numbers will be reused by future inserts, so
+     * leaving them would both leak and demand content re-checks.
      */
     void truncateAfter(std::uint64_t seq);
 
@@ -79,9 +88,9 @@ class HistoryBuffer
      *  Sequence numbers keep increasing across clears. */
     void clear();
 
-    /** Live target-hash entries (exposed so tests can assert clear()
-     *  actually releases the map instead of leaking it). */
-    std::size_t hashedTargets() const { return hash_.size(); }
+    /** Live target-hash entries (exposed so tests can assert the
+     *  purge discipline: always <= capacity()). */
+    std::size_t hashedTargets() const { return hashCount_; }
 
     /** Number of live entries. */
     std::size_t size() const { return count_; }
@@ -93,8 +102,35 @@ class HistoryBuffer
     std::size_t capacity() const { return storage_.size(); }
 
   private:
+    /** One open-addressed table slot; invalidAddr key = empty. */
+    struct HashSlot
+    {
+        Addr key = invalidAddr;
+        std::uint64_t seq = 0;
+    };
+
+    /** Home slot of a key (Fibonacci hash into the table). */
+    std::size_t idealSlot(Addr key) const
+    {
+        return static_cast<std::size_t>(
+            (key * 0x9E3779B97F4A7C15ull) >> tableShift_);
+    }
+
+    /** Index of `key`'s slot, or npos when absent. */
+    std::size_t findSlot(Addr key) const;
+
+    /** Remove slot `i`, backward-shifting the probe chain. */
+    void eraseSlot(std::size_t i) const;
+
+    /** Purge the hash entry for `tgt` iff it points at `seq`. */
+    void eraseHashIfAt(Addr tgt, std::uint64_t seq);
+
     std::vector<Entry> storage_;
-    std::unordered_map<Addr, std::uint64_t> hash_;
+    /** Mutable so find() (const) can purge entries it rejects. */
+    mutable std::vector<HashSlot> table_;
+    std::size_t tableMask_ = 0;
+    unsigned tableShift_ = 0;
+    mutable std::size_t hashCount_ = 0;
     /** Sequence number the next insert will get. */
     std::uint64_t nextSeq_ = 0;
     /** Live entries: sequence numbers [nextSeq_-count_, nextSeq_). */

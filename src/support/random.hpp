@@ -28,8 +28,28 @@ class Rng
     /** Construct a generator from a 64-bit seed. */
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
 
+    // next/nextDouble/nextBool are defined inline: the executor
+    // draws once per conditional branch event, making these the
+    // hottest leaf calls of the whole simulation. The computation is
+    // identical to the previous out-of-line definitions, so streams
+    // are unchanged.
+
     /** Next raw 64-bit value. */
-    std::uint64_t next();
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+
+        return result;
+    }
 
     /** Uniform integer in [0, bound). @pre bound > 0. */
     std::uint64_t nextBelow(std::uint64_t bound);
@@ -38,10 +58,22 @@ class Rng
     std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
 
     /** Uniform double in [0, 1). */
-    double nextDouble();
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Bernoulli trial: true with probability p (clamped to [0,1]). */
-    bool nextBool(double p);
+    bool
+    nextBool(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return nextDouble() < p;
+    }
 
     /**
      * Pick an index according to a discrete weight vector.
@@ -51,6 +83,12 @@ class Rng
     std::size_t nextWeighted(const std::vector<double> &weights);
 
   private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t s_[4];
 };
 

@@ -493,6 +493,58 @@ runDifferential(const GenSpec &rawSpec, BrokenMode broken, bool verify,
                     firstDiff(fpLive, fpReplay);
                 return report;
             }
+
+            // Batched dispatch legs: the same simulation driven
+            // through EventBatch deliveries must be byte-identical to
+            // the per-event run. A prime batch size guarantees batch
+            // boundaries land mid-region and mid-trace-formation.
+            constexpr std::size_t batchedLegSize = 509;
+            SimResult batchedLive;
+            try {
+                Executor exec(prog, spec.execSeed);
+                DynOptSystem sys(prog, opts.cache, opts.icache);
+                attachAlgorithm(sys, algo, opts);
+                if (verify)
+                    sys.enableVerifyOnSubmit();
+                sys.armFaults(faults);
+                exec.runBatched(spec.events, sys, batchedLegSize);
+                batchedLive = sys.finish();
+            } catch (const std::exception &e) {
+                report.error = name + " batched live run: " + e.what();
+                return report;
+            }
+            if (const std::string fp = resultFingerprint(batchedLive);
+                fp != fpLive) {
+                report.error =
+                    name + ": batched dispatch diverged from the "
+                           "per-event run: " + firstDiff(fpLive, fp);
+                return report;
+            }
+
+            SimResult batchedReplay;
+            try {
+                std::istringstream is(trace);
+                TraceReplayer replayer(prog, is);
+                DynOptSystem sys(prog, opts.cache, opts.icache);
+                attachAlgorithm(sys, algo, opts);
+                if (verify)
+                    sys.enableVerifyOnSubmit();
+                sys.armFaults(faults);
+                replayer.runBatched(spec.events, sys, batchedLegSize);
+                batchedReplay = sys.finish();
+            } catch (const std::exception &e) {
+                report.error =
+                    name + " batched replay run: " + e.what();
+                return report;
+            }
+            if (const std::string fp =
+                    resultFingerprint(batchedReplay);
+                fp != fpLive) {
+                report.error =
+                    name + ": batched replay diverged from the "
+                           "per-event run: " + firstDiff(fpLive, fp);
+                return report;
+            }
             if (!haveCross) {
                 haveCross = true;
                 crossInsts = live.totalInsts;

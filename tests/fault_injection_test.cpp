@@ -430,6 +430,95 @@ TEST(GracefulDegradationTest, FaultSeedOverrideChangesInjection)
     EXPECT_EQ(a.events, b.events);
 }
 
+TEST(GracefulDegradationTest, EdgeAccountingSpansDisruptions)
+{
+    // Regression guard for the execution-edge accounting across
+    // cache disruptions: prevBlock_ must survive flush storms and
+    // selector resets, because faults change cache state, not guest
+    // control flow — the architectural edge into the next block is
+    // real either way. Clearing it would under-count predecessors
+    // and skew the exit-domination analysis.
+    //
+    // Collect the architectural block stream once, then run the same
+    // execution under a plan that fires a flush storm AND a selector
+    // reset at every single event. Every consecutive pair of the
+    // stream must still be recorded as an edge.
+    const WorkloadInfo *w = findWorkload("gzip");
+    const Program prog = w->build(42);
+    constexpr std::uint64_t events = 20'000;
+
+    struct IdSink : ExecutionSink
+    {
+        bool onEvent(const ExecEvent &ev) override
+        {
+            ids.push_back(ev.block->id());
+            return true;
+        }
+        std::vector<BlockId> ids;
+    } ref;
+    {
+        Executor exec(prog, 7);
+        exec.run(events, ref);
+    }
+    ASSERT_GT(ref.ids.size(), 1u);
+
+    FaultPlan plan;
+    plan.flushRate = 100'000; // every event
+    plan.resetRate = 100'000; // every event
+    plan.seed = 13;
+    Executor exec(prog, 7);
+    DynOptSystem sys(prog);
+    sys.useNet(NetConfig{});
+    sys.armFaults(plan);
+    exec.run(events, sys);
+    const SimResult r = sys.finish();
+    EXPECT_GT(r.recovery.flushStorms, 0u);
+    EXPECT_GT(r.recovery.selectorResets, 0u);
+
+    for (std::size_t i = 1; i < ref.ids.size(); ++i) {
+        ASSERT_TRUE(sys.metrics().sawEdge(ref.ids[i - 1], ref.ids[i]))
+            << "edge " << ref.ids[i - 1] << "->" << ref.ids[i]
+            << " at event " << i << " lost across a disruption";
+    }
+}
+
+TEST(FaultTransparencyTest, BatchedDispatchMatchesPerEventUnderFaults)
+{
+    // The per-batch disarm-check hoist must not shift fault indices:
+    // batched and per-event dispatch agree byte-for-byte under an
+    // armed plan, for every selector and across batch sizes that
+    // split regions at awkward points.
+    const WorkloadInfo *w = findWorkload("gzip");
+    const Program prog = w->build(42);
+    FaultPlan plan;
+    plan.pTranslationFail = 25;
+    plan.invalidateRate = 300;
+    plan.flushRate = 100;
+    plan.resetRate = 50;
+    plan.retryBudget = 4;
+    plan.seed = 21;
+    for (const Algorithm algo : allSelectors) {
+        SCOPED_TRACE(algorithmName(algo));
+        SimOptions opts;
+        opts.maxEvents = 60'000;
+        opts.seed = 7;
+        opts.faults = plan;
+        opts.dispatch = Dispatch::PerEvent;
+        const SimResult perEvent = simulate(prog, algo, opts);
+        const std::string fp = testing::resultFingerprint(perEvent);
+        EXPECT_GT(perEvent.recovery.faultsInjected, 0u);
+        opts.dispatch = Dispatch::Batched;
+        for (const std::size_t bs : {std::size_t{1},
+                                     std::size_t{257},
+                                     defaultBatchSize}) {
+            opts.batchSize = bs;
+            const SimResult batched = simulate(prog, algo, opts);
+            EXPECT_EQ(testing::resultFingerprint(batched), fp)
+                << "batch size " << bs;
+        }
+    }
+}
+
 // ---------------------------------------------------------------
 // Transparency and replay under faults (the oracle matrix).
 // ---------------------------------------------------------------

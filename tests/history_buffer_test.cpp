@@ -139,6 +139,53 @@ TEST(HistoryBufferTest, ClearEmptiesBufferAndTargetHash)
     }
 }
 
+TEST(HistoryBufferTest, TruncationDoesNotLeakHashEntries)
+{
+    // Regression: truncateAfter() rewinds the sequence counter but
+    // used to leave the dropped entries' target-hash pointers in
+    // place. Each truncate-heavy cycle with fresh target addresses
+    // then grew the hash by a few entries, without bound. The purge
+    // discipline keeps the live hash bounded by the buffer capacity.
+    constexpr std::size_t cap = 16;
+    HistoryBuffer buf(cap);
+    Addr nextTgt = 0x1000;
+    for (int round = 0; round < 10000; ++round) {
+        // Grow a few entries with never-before-seen targets...
+        const auto anchor = buf.insert(entry(0x10, nextTgt));
+        buf.setHashLocation(nextTgt, anchor);
+        nextTgt += 8;
+        for (int k = 0; k < 3; ++k) {
+            const auto s = buf.insert(entry(0x20, nextTgt));
+            buf.setHashLocation(nextTgt, s);
+            nextTgt += 8;
+        }
+        // ...then cut back to the anchor, as LEI does after forming
+        // a trace (Figure 5, line 13).
+        buf.truncateAfter(anchor);
+        ASSERT_LE(buf.hashedTargets(), cap)
+            << "hash leaked after " << round << " truncations";
+    }
+    // The buffer itself stays fully functional.
+    const auto s = buf.insert(entry(0x30, 0x42));
+    buf.setHashLocation(0x42, s);
+    EXPECT_EQ(*buf.find(0x42), s);
+}
+
+TEST(HistoryBufferTest, EvictionBoundsHashOccupancy)
+{
+    // Same bound for the wrap-around path: evicting the oldest entry
+    // drops its hash pointer, so streaming distinct targets through
+    // the buffer never accumulates more than capacity() entries.
+    constexpr std::size_t cap = 8;
+    HistoryBuffer buf(cap);
+    for (Addr a = 0; a < 4096; ++a) {
+        const auto s = buf.insert(entry(0x10, 0x1000 + a * 8));
+        buf.setHashLocation(0x1000 + a * 8, s);
+        ASSERT_LE(buf.hashedTargets(), cap);
+    }
+    EXPECT_EQ(buf.size(), cap);
+}
+
 TEST(HistoryBufferTest, GuardsAgainstMisuse)
 {
     HistoryBuffer buf(4);
