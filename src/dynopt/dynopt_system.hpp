@@ -146,6 +146,43 @@ class DynOptSystem : public ExecutionSink, public BatchSink
     /** True if fault injection is armed. */
     bool faultsArmed() const { return injector_ != nullptr; }
 
+    /**
+     * Observe this system's code-cache structural mutations
+     * (insert / evict / invalidate / flush). The multi-tenant
+     * service uses this to mirror a tenant's logical cache into the
+     * shared sharded arena; notifications never fire on the
+     * per-event lookup path, so results are byte-identical with or
+     * without a listener. @return this.
+     */
+    DynOptSystem &
+    setCacheListener(CodeCache::Listener *listener)
+    {
+        cache_.setListener(listener);
+        return *this;
+    }
+
+    /**
+     * Tear the cache down through the PR-4 disruption machinery:
+     * every live region is flushed (the attached listener sees the
+     * drops) and the selector — if any — is told via
+     * onCacheDisruption(Flush), exactly as a capacity flush storm
+     * would. Safe before or after finish(): a post-finish shutdown
+     * only mutates cache state, never the already-finalized
+     * SimResult. Tenant teardown routes through here so dead
+     * regions can never resurrect into another tenant.
+     */
+    void
+    shutdownCache()
+    {
+        if (cache_.liveRegionCount() == 0)
+            return;
+        cache_.flushAll();
+        if (selector_ != nullptr)
+            selector_->onCacheDisruption(CacheDisruption::Flush);
+        inRegion_ = false;
+        curRegionPtr_ = nullptr;
+    }
+
     /** Fault/recovery counters so far (all zero when disarmed). */
     const resilience::RecoveryStats &recoveryStats() const
     {

@@ -12,21 +12,25 @@ CodeCache::CodeCache(CacheLimits limits)
 {}
 
 void
-CodeCache::removeLive(RegionId id)
+CodeCache::removeLive(RegionId id, DropReason reason)
 {
     RSEL_ASSERT(live_.count(id) != 0, "removing a non-live region");
     const Region &r = regions_[id];
+    const std::uint64_t bytes = estimateOf(r);
     live_.erase(id);
     byEntry_.erase(r.entryAddr());
     entryIndex_[r.entryBlock().id()] = invalidRegion;
-    liveBytes_ -= estimateOf(r);
+    liveBytes_ -= bytes;
+    if (listener_ != nullptr)
+        listener_->onRegionDropped(r, bytes, reason);
 }
 
 void
 CodeCache::evict(RegionId id)
 {
     const Addr entry = regions_[id].entryAddr();
-    removeLive(id);
+    removeLive(id, flushing_ ? DropReason::Flushed
+                             : DropReason::Evicted);
     ++evictions_;
     // The entry's stale translation is gone with it: a later
     // re-insert is a plain regeneration, not a re-translation.
@@ -39,7 +43,7 @@ CodeCache::invalidate(RegionId id)
     if (live_.count(id) == 0)
         return false; // already evicted or invalidated: no-op
     const Addr entry = regions_[id].entryAddr();
-    removeLive(id);
+    removeLive(id, DropReason::Invalidated);
     ++invalidations_;
     invalidatedEntries_.insert(entry);
     return true;
@@ -64,11 +68,13 @@ CodeCache::flushAll()
     if (live_.empty())
         return;
     ++flushes_;
+    flushing_ = true;
     while (!fifo_.empty()) {
         if (live_.count(fifo_.front()) != 0)
             evict(fifo_.front());
         fifo_.pop_front();
     }
+    flushing_ = false;
 }
 
 void
@@ -124,6 +130,9 @@ CodeCache::insert(Region region)
     live_.insert(id);
     fifo_.push_back(id);
     regions_.push_back(std::move(region));
+    if (listener_ != nullptr)
+        listener_->onRegionInserted(regions_.back(),
+                                    estimateOf(regions_.back()));
     return id;
 }
 

@@ -50,6 +50,48 @@ struct CacheLimits
 class CodeCache
 {
   public:
+    /** Why a live region left the lookup structures. */
+    enum class DropReason : std::uint8_t {
+        Evicted,     ///< capacity-pressure eviction (FIFO policy)
+        Invalidated, ///< invalidate()/invalidateBlock()
+        Flushed,     ///< part of a flushAll() (policy or explicit)
+    };
+
+    /**
+     * Observer of structural cache mutations. The multi-tenant
+     * service layers a shared physical arena under many logical
+     * caches by mirroring these notifications; they fire only on
+     * the rare structural events (insert / evict / invalidate /
+     * flush), never on the per-event lookup path, so an attached
+     * listener costs the hot loop nothing.
+     */
+    class Listener
+    {
+      public:
+        virtual ~Listener() = default;
+
+        /**
+         * A region became live. `bytes` is its estimated footprint
+         * under the configured byte model (code bytes + stub
+         * charge) — the same figure a later onRegionDropped for the
+         * region reports, so listener-side accounting closes.
+         */
+        virtual void onRegionInserted(const Region &region,
+                                      std::uint64_t bytes) = 0;
+
+        /** A live region was dropped from the lookup structures. */
+        virtual void onRegionDropped(const Region &region,
+                                     std::uint64_t bytes,
+                                     DropReason reason) = 0;
+    };
+
+    /**
+     * Attach (or detach, with nullptr) the structural-mutation
+     * observer. The listener must outlive the cache or be detached
+     * first. At most one listener is supported.
+     */
+    void setListener(Listener *listener) { listener_ = listener; }
+
     /** @param limits capacity/eviction config; default unbounded. */
     explicit CodeCache(CacheLimits limits = {});
     /**
@@ -205,12 +247,16 @@ class CodeCache
     void makeRoom(std::uint64_t incomingBytes);
 
     /** Drop a live region from the lookup structures. @pre live. */
-    void removeLive(RegionId id);
+    void removeLive(RegionId id, DropReason reason);
 
     /** Evict a specific live region. */
     void evict(RegionId id);
 
     CacheLimits limits_;
+    Listener *listener_ = nullptr;
+    /** True while flushAll() drains, so per-region evictions inside
+     *  a flush notify the listener as Flushed, not Evicted. */
+    bool flushing_ = false;
     std::deque<Region> regions_;
     std::unordered_map<Addr, RegionId> byEntry_;
     /** Live region id per entry-block id (dense lookupEntry probe);

@@ -1,0 +1,254 @@
+#include "service/selection_service.hpp"
+
+#include <chrono>
+#include <functional>
+#include <iomanip>
+#include <memory>
+#include <ostream>
+#include <sstream>
+
+#include "driver/thread_pool.hpp"
+#include "program/executor.hpp"
+#include "service/tenant_session.hpp"
+#include "support/error.hpp"
+#include "testing/differential.hpp"
+#include "testing/random_program.hpp"
+
+namespace rsel {
+namespace service {
+
+namespace {
+
+/** FNV-1a of a fingerprint, so 4096-tenant JSON stays small while
+ *  still diffing across runs. */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+std::string
+hex16(std::uint64_t v)
+{
+    std::ostringstream ss;
+    ss << std::hex << std::setw(16) << std::setfill('0') << v;
+    return ss.str();
+}
+
+const char *
+policyName(CacheLimits::Policy policy)
+{
+    return policy == CacheLimits::Policy::Fifo ? "fifo" : "flush";
+}
+
+} // namespace
+
+CacheLimits
+tenantLimitsFor(const ServiceConfig &config, const TenantSpec &spec)
+{
+    if (config.cacheKb > 0) {
+        // Bounded service: the arena's quota partition, computed by
+        // the one shared routine so this can never drift from what
+        // runService hands its sessions.
+        ArenaConfig cfg;
+        cfg.capacityBytes = config.cacheKb * 1024;
+        cfg.policy = config.policy;
+        return ShardedCodeCache::limitsFor(cfg,
+                                           config.tenants.size());
+    }
+    // Unbounded service: each tenant honours its own spec's cache
+    // bound, exactly as the differential oracle maps GenSpec to
+    // SimOptions (policy and stub model at their defaults).
+    CacheLimits limits;
+    limits.capacityBytes = spec.program.cacheKb * 1024;
+    return limits;
+}
+
+ServiceReport
+runService(const ServiceConfig &config)
+{
+    if (config.tenants.empty())
+        fatal("the service needs at least one tenant");
+    const std::size_t n = config.tenants.size();
+
+    ArenaConfig arenaCfg;
+    arenaCfg.capacityBytes = config.cacheKb * 1024;
+    arenaCfg.shardCount = config.shards;
+    arenaCfg.policy = config.policy;
+    ShardedCodeCache arena(arenaCfg);
+
+    std::vector<std::unique_ptr<TenantSession>> sessions;
+    sessions.reserve(n);
+    for (const TenantSpec &spec : config.tenants) {
+        const TenantId id = arena.registerTenant();
+        sessions.push_back(std::make_unique<TenantSession>(
+            id, spec, tenantLimitsFor(config, spec), arena,
+            config.eventsOverride));
+    }
+
+    const std::uint64_t slice =
+        config.sliceEvents != 0 ? config.sliceEvents
+                                : defaultBatchSize;
+    const std::size_t workers = config.jobs != 0
+                                    ? config.jobs
+                                    : ThreadPool::hardwareWorkers();
+
+    const auto start = std::chrono::steady_clock::now();
+    if (workers <= 1) {
+        // Serial round-robin through the same slice path the pool
+        // takes, so --jobs 1 exercises identical per-tenant code.
+        bool pending = true;
+        while (pending) {
+            pending = false;
+            for (auto &session : sessions)
+                if (!session->done()) {
+                    session->runSlice(slice);
+                    pending = pending || !session->done();
+                }
+        }
+    } else {
+        // Slice resubmission: each task runs one slice of one
+        // tenant and requeues itself while work remains, giving
+        // FIFO round-robin interleaving without ever running one
+        // session on two workers at once.
+        ThreadPool pool(workers);
+        std::function<void(std::size_t)> step =
+            [&](std::size_t i) {
+                if (sessions[i]->runSlice(slice))
+                    pool.submit([&step, i] { step(i); });
+            };
+        for (std::size_t i = 0; i < n; ++i)
+            pool.submit([&step, i] { step(i); });
+        pool.wait();
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+
+    ServiceReport report;
+    report.jobs = workers;
+    report.quotaBytes = arena.tenantQuotaBytes(n);
+    report.seconds = elapsed.count();
+    report.tenants.reserve(n);
+    for (auto &session : sessions) {
+        TenantReport tr;
+        tr.name = session->spec().name;
+        tr.selector = algorithmName(session->spec().algo);
+        tr.result = session->finish();
+        tr.fingerprint = testing::resultFingerprint(tr.result);
+        tr.cache = arena.tenantStats(session->tenantId());
+        report.totalEvents += tr.result.events;
+        report.totalInsts += tr.result.totalInsts;
+        report.cachedInsts += tr.result.cachedInsts;
+        report.tenants.push_back(std::move(tr));
+    }
+    // Arena snapshot while every tenant's residency is still live;
+    // teardown below drains it to zero.
+    report.arena = arena.stats();
+    if (report.seconds > 0)
+        report.eventsPerSec =
+            static_cast<double>(report.totalEvents) / report.seconds;
+    if (report.totalInsts > 0)
+        report.globalHitRate =
+            static_cast<double>(report.cachedInsts) /
+            static_cast<double>(report.totalInsts);
+
+    for (auto &session : sessions)
+        session->teardown();
+    RSEL_ASSERT(arena.stats().liveBytes == 0,
+                "tenant teardown left live bytes in the arena");
+    return report;
+}
+
+SimResult
+soloTenantRun(const TenantSpec &spec, CacheLimits limits,
+              std::uint64_t eventsOverride)
+{
+    // The reference leg the determinism contract compares against:
+    // no arena, no listener, no slicing — one system, one batched
+    // executor, the same spec and limits.
+    const Program prog = testing::generateProgram(spec.program);
+    DynOptSystem sys(prog, limits);
+    attachAlgorithm(sys, spec.algo, tenantSimOptions(spec));
+    sys.armFaults(spec.faults);
+    Executor exec(prog, spec.program.execSeed);
+    const std::uint64_t budget =
+        eventsOverride != 0 ? eventsOverride : spec.program.events;
+    exec.runBatched(budget, sys);
+    SimResult result = sys.finish();
+    result.workload = spec.name;
+    return result;
+}
+
+std::string
+verifyServiceDeterminism(const ServiceConfig &config)
+{
+    try {
+        const ServiceReport report = runService(config);
+        for (std::size_t i = 0; i < config.tenants.size(); ++i) {
+            const TenantSpec &spec = config.tenants[i];
+            const SimResult solo = soloTenantRun(
+                spec, tenantLimitsFor(config, spec),
+                config.eventsOverride);
+            const std::string fpSolo =
+                testing::resultFingerprint(solo);
+            if (report.tenants[i].fingerprint != fpSolo)
+                return "tenant " + spec.name + " (" +
+                       algorithmName(spec.algo) +
+                       "): service fingerprint diverged from the "
+                       "solo single-tenant run";
+        }
+    } catch (const std::exception &e) {
+        return std::string("service run failed: ") + e.what();
+    }
+    return "";
+}
+
+void
+writeServiceReportJson(std::ostream &os, const ServiceConfig &config,
+                       const ServiceReport &report)
+{
+    os << "{\n"
+       << "  \"tool\": \"rselect-serve\",\n"
+       << "  \"tenants\": " << report.tenants.size() << ",\n"
+       << "  \"jobs\": " << report.jobs << ",\n"
+       << "  \"cache_kb\": " << config.cacheKb << ",\n"
+       << "  \"policy\": \"" << policyName(config.policy) << "\",\n"
+       << "  \"shards\": " << report.arena.shardCount << ",\n"
+       << "  \"slice_events\": " << config.sliceEvents << ",\n"
+       << "  \"quota_bytes\": " << report.quotaBytes << ",\n"
+       << "  \"seconds\": " << report.seconds << ",\n"
+       << "  \"events_per_sec\": " << std::fixed
+       << std::setprecision(0) << report.eventsPerSec
+       << std::defaultfloat << ",\n"
+       << "  \"total_events\": " << report.totalEvents << ",\n"
+       << "  \"global_hit_rate\": " << report.globalHitRate << ",\n"
+       << "  \"arena\": {\"high_water_bytes\": "
+       << report.arena.highWaterBytes
+       << ", \"admissions\": " << report.arena.admissions
+       << ", \"releases\": " << report.arena.releases
+       << ", \"shard_contention\": " << report.arena.shardContention
+       << "},\n"
+       << "  \"tenant_reports\": [\n";
+    for (std::size_t i = 0; i < report.tenants.size(); ++i) {
+        const TenantReport &tr = report.tenants[i];
+        os << "    {\"name\": \"" << tr.name << "\", \"selector\": \""
+           << tr.selector << "\", \"events\": " << tr.result.events
+           << ", \"hit_rate\": " << tr.result.hitRate()
+           << ", \"regions\": " << tr.result.regionCount
+           << ", \"evictions\": " << tr.cache.evictionReleases
+           << ", \"invalidations\": " << tr.cache.invalidationReleases
+           << ", \"flushes\": " << tr.cache.flushReleases
+           << ", \"fingerprint_fnv1a\": \""
+           << hex16(fnv1a(tr.fingerprint)) << "\"}"
+           << (i + 1 < report.tenants.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+} // namespace service
+} // namespace rsel

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The multi-tenant selection service: N concurrent guest streams
+ * (tenants) multiplexed over one shared, bounded, sharded code
+ * cache by the PR-1 ThreadPool, driven through the PR-6 batched
+ * event path.
+ *
+ * The load-bearing contract: each tenant's SimResult fingerprint is
+ * byte-identical to a solo single-tenant run of the same spec and
+ * quota-derived limits, at any concurrency, for every selector,
+ * including under fault plans. soloTenantRun() is the reference
+ * leg; verifyServiceDeterminism() is the oracle the test battery
+ * and `rselect-fuzz --tenants` drive.
+ */
+
+#ifndef RSEL_SERVICE_SELECTION_SERVICE_HPP
+#define RSEL_SERVICE_SELECTION_SERVICE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "service/sharded_cache.hpp"
+#include "service/tenant_spec.hpp"
+
+namespace rsel {
+namespace service {
+
+/** Configuration of one service run. */
+struct ServiceConfig
+{
+    /** The tenant set (>= 1 tenant). */
+    std::vector<TenantSpec> tenants;
+    /** Pool workers: 0 = hardware concurrency, 1 = serial. */
+    std::size_t jobs = 0;
+    /**
+     * Global code-cache bound in KiB, partitioned into equal
+     * per-tenant quotas; 0 = unbounded arena, in which case each
+     * tenant honours its own spec's cacheKb (the differential
+     * oracle's mapping).
+     */
+    std::uint64_t cacheKb = 0;
+    /** Arena shard count. */
+    std::size_t shards = 16;
+    /** Eviction policy applied within each tenant's quota. */
+    CacheLimits::Policy policy = CacheLimits::Policy::FullFlush;
+    /** Events per scheduling slice (bounds tenant latency skew). */
+    std::uint64_t sliceEvents = 4096;
+    /** Non-zero overrides every tenant's event budget. */
+    std::uint64_t eventsOverride = 0;
+};
+
+/** One tenant's outcome. */
+struct TenantReport
+{
+    std::string name;
+    std::string selector;
+    SimResult result;
+    /** testing::resultFingerprint of the result — the determinism
+     *  contract's unit of comparison. */
+    std::string fingerprint;
+    /** Physical-arena accounting at finish time (before
+     *  teardown). */
+    TenantCacheStats cache;
+};
+
+/** Outcome of one service run. */
+struct ServiceReport
+{
+    std::vector<TenantReport> tenants;
+    /** Arena accounting after all tenants finished, before
+     *  teardown (liveBytes = Σ per-tenant residency). */
+    ArenaStats arena;
+    /** Per-tenant quota in effect (0 = unbounded / per-spec). */
+    std::uint64_t quotaBytes = 0;
+    std::size_t jobs = 0;
+    double seconds = 0;
+    /** Sustained dynamic events per second across the whole run. */
+    double eventsPerSec = 0;
+    /** Global hit rate: Σ cached insts / Σ total insts. */
+    double globalHitRate = 0;
+    std::uint64_t totalEvents = 0;
+    std::uint64_t totalInsts = 0;
+    std::uint64_t cachedInsts = 0;
+};
+
+/**
+ * The logical-cache limits tenant `spec` runs with under `config`:
+ * the arena quota partition when the service is bounded, the spec's
+ * own cacheKb otherwise. The solo reference leg must use the same
+ * limits — that IS the determinism contract's definition of "the
+ * corresponding solo run".
+ */
+CacheLimits tenantLimitsFor(const ServiceConfig &config,
+                            const TenantSpec &spec);
+
+/**
+ * Run the whole tenant set to completion and report. Tenants are
+ * interleaved slice-by-slice over the worker pool (FIFO
+ * round-robin); per-tenant results are independent of worker count
+ * and interleaving by construction. A throwing tenant fail-fasts
+ * the run (ThreadPool's first-exception contract).
+ * @throws FatalError on an empty tenant set.
+ */
+ServiceReport runService(const ServiceConfig &config);
+
+/**
+ * The solo reference leg: run one tenant alone — no arena, plain
+ * DynOptSystem + batched Executor — under `limits`. The service's
+ * per-tenant results must match this byte-for-byte.
+ */
+SimResult soloTenantRun(const TenantSpec &spec, CacheLimits limits,
+                        std::uint64_t eventsOverride = 0);
+
+/**
+ * The multi-tenant determinism oracle: run `config` through the
+ * service, then each tenant solo, and compare fingerprints.
+ * @return empty on success, else a description of the first
+ * mismatch (never throws; failures from any layer are captured).
+ */
+std::string verifyServiceDeterminism(const ServiceConfig &config);
+
+/**
+ * Write the report as JSON (rselect-serve --json): run-level
+ * aggregates plus one compact record per tenant (fingerprints are
+ * folded to an FNV-1a hash so 4096-tenant reports stay small).
+ */
+void writeServiceReportJson(std::ostream &os,
+                            const ServiceConfig &config,
+                            const ServiceReport &report);
+
+} // namespace service
+} // namespace rsel
+
+#endif // RSEL_SERVICE_SELECTION_SERVICE_HPP

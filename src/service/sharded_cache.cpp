@@ -1,0 +1,253 @@
+#include "service/sharded_cache.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace rsel {
+namespace service {
+
+ShardedCodeCache::ShardedCodeCache(ArenaConfig cfg)
+    : cfg_(cfg), shards_(std::max<std::size_t>(cfg.shardCount, 1))
+{
+    cfg_.shardCount = shards_.size();
+}
+
+TenantId
+ShardedCodeCache::registerTenant()
+{
+    std::lock_guard<std::mutex> lock(registry_);
+    accounts_.emplace_back();
+    // Publish only after the Account is fully constructed: readers
+    // go through accountCount_ (acquire) instead of the registry
+    // lock, so the per-admission path never serializes on it.
+    accountCount_.store(accounts_.size(), std::memory_order_release);
+    return static_cast<TenantId>(accounts_.size() - 1);
+}
+
+std::uint64_t
+ShardedCodeCache::tenantQuotaBytes(std::size_t tenantCount) const
+{
+    return limitsFor(cfg_, tenantCount).capacityBytes;
+}
+
+CacheLimits
+ShardedCodeCache::limitsFor(const ArenaConfig &cfg,
+                            std::size_t tenantCount)
+{
+    RSEL_ASSERT(tenantCount >= 1, "quota of an empty tenant set");
+    CacheLimits limits;
+    // Equal shares, floored; at least one byte so a bounded arena
+    // stays bounded (a 1-byte quota means "one region at a time",
+    // the same single-oversized-region semantics CodeCache has).
+    // An unbounded arena (capacity 0) grants unbounded tenants.
+    if (cfg.capacityBytes != 0)
+        limits.capacityBytes = std::max<std::uint64_t>(
+            cfg.capacityBytes / tenantCount, 1);
+    limits.policy = cfg.policy;
+    limits.stubBytes = cfg.stubBytes;
+    return limits;
+}
+
+ShardedCodeCache::Account &
+ShardedCodeCache::account(TenantId tenant)
+{
+    RSEL_ASSERT(tenant <
+                    accountCount_.load(std::memory_order_acquire),
+                "unregistered tenant id");
+    return accounts_[tenant];
+}
+
+const ShardedCodeCache::Account &
+ShardedCodeCache::account(TenantId tenant) const
+{
+    RSEL_ASSERT(tenant <
+                    accountCount_.load(std::memory_order_acquire),
+                "unregistered tenant id");
+    return accounts_[tenant];
+}
+
+std::unique_lock<std::mutex>
+ShardedCodeCache::lockShard(const Shard &shard) const
+{
+    std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+    if (!lock.owns_lock()) {
+        // Someone else holds this shard right now: that is the
+        // cross-tenant contention the shard count dilutes. Count
+        // it, then wait like everyone else.
+        contention_.fetch_add(1, std::memory_order_relaxed);
+        lock.lock();
+    }
+    return lock;
+}
+
+void
+ShardedCodeCache::raiseHighWater(std::atomic<std::uint64_t> &mark,
+                                 std::uint64_t value)
+{
+    std::uint64_t seen = mark.load(std::memory_order_relaxed);
+    while (seen < value &&
+           !mark.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+void
+ShardedCodeCache::admit(TenantId tenant, Addr entry,
+                        std::uint64_t bytes)
+{
+    RSEL_ASSERT(entry < (1ULL << 40),
+                "entrance address exceeds the tenant-key range");
+    Account &acct = account(tenant);
+    RSEL_ASSERT(acct.active.load(std::memory_order_acquire),
+                "admission from a torn-down tenant");
+    Shard &shard = shards_[shardOf(entry)];
+    {
+        std::unique_lock<std::mutex> lock = lockShard(shard);
+        const bool inserted =
+            shard.entries.emplace(keyOf(tenant, entry), bytes)
+                .second;
+        RSEL_ASSERT(inserted,
+                    "tenant admitted a second region at a live "
+                    "entrance");
+    }
+    acct.admissions.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t tenantLive =
+        acct.liveBytes.fetch_add(bytes, std::memory_order_relaxed) +
+        bytes;
+    raiseHighWater(acct.highWaterBytes, tenantLive);
+    admissions_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t globalLive =
+        liveBytes_.fetch_add(bytes, std::memory_order_relaxed) +
+        bytes;
+    raiseHighWater(highWaterBytes_, globalLive);
+}
+
+void
+ShardedCodeCache::release(TenantId tenant, Addr entry,
+                          std::uint64_t bytes, ReleaseReason reason)
+{
+    Account &acct = account(tenant);
+    Shard &shard = shards_[shardOf(entry)];
+    {
+        std::unique_lock<std::mutex> lock = lockShard(shard);
+        auto it = shard.entries.find(keyOf(tenant, entry));
+        RSEL_ASSERT(it != shard.entries.end(),
+                    "releasing an entry the arena never admitted");
+        RSEL_ASSERT(it->second == bytes,
+                    "release byte figure disagrees with admission");
+        shard.entries.erase(it);
+    }
+    switch (reason) {
+      case ReleaseReason::Eviction:
+        acct.evictionReleases.fetch_add(1,
+                                        std::memory_order_relaxed);
+        break;
+      case ReleaseReason::Invalidation:
+        acct.invalidationReleases.fetch_add(
+            1, std::memory_order_relaxed);
+        break;
+      case ReleaseReason::Flush:
+        acct.flushReleases.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    acct.liveBytes.fetch_sub(bytes, std::memory_order_relaxed);
+    releases_.fetch_add(1, std::memory_order_relaxed);
+    liveBytes_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+std::uint64_t
+ShardedCodeCache::releaseAll(TenantId tenant)
+{
+    Account &acct = account(tenant);
+    // Deactivate first: a racing admission from a buggy concurrent
+    // use of the same session would be rejected rather than leak.
+    acct.active.store(false, std::memory_order_release);
+    std::uint64_t released = 0;
+    std::uint64_t count = 0;
+    for (Shard &shard : shards_) {
+        std::unique_lock<std::mutex> lock = lockShard(shard);
+        for (auto it = shard.entries.begin();
+             it != shard.entries.end();) {
+            // Recover the tenant from the key's high bits; the
+            // XOR folding keeps them intact for sub-2^40 entries.
+            if ((it->first >> 40) == tenant) {
+                released += it->second;
+                ++count;
+                it = shard.entries.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    acct.flushReleases.fetch_add(count, std::memory_order_relaxed);
+    acct.liveBytes.fetch_sub(released, std::memory_order_relaxed);
+    releases_.fetch_add(count, std::memory_order_relaxed);
+    liveBytes_.fetch_sub(released, std::memory_order_relaxed);
+    return released;
+}
+
+void
+ShardedCodeCache::unregisterTenant(TenantId tenant)
+{
+    Account &acct = account(tenant);
+    RSEL_ASSERT(acct.liveBytes.load(std::memory_order_acquire) == 0,
+                "unregistering a tenant with live physical bytes");
+    acct.active.store(false, std::memory_order_release);
+}
+
+TenantCacheStats
+ShardedCodeCache::tenantStats(TenantId tenant) const
+{
+    const Account &acct = account(tenant);
+    TenantCacheStats out;
+    out.liveBytes = acct.liveBytes.load(std::memory_order_relaxed);
+    out.highWaterBytes =
+        acct.highWaterBytes.load(std::memory_order_relaxed);
+    out.admissions =
+        acct.admissions.load(std::memory_order_relaxed);
+    out.evictionReleases =
+        acct.evictionReleases.load(std::memory_order_relaxed);
+    out.invalidationReleases =
+        acct.invalidationReleases.load(std::memory_order_relaxed);
+    out.flushReleases =
+        acct.flushReleases.load(std::memory_order_relaxed);
+    return out;
+}
+
+ArenaStats
+ShardedCodeCache::stats() const
+{
+    ArenaStats out;
+    out.liveBytes = liveBytes_.load(std::memory_order_relaxed);
+    out.highWaterBytes =
+        highWaterBytes_.load(std::memory_order_relaxed);
+    out.admissions = admissions_.load(std::memory_order_relaxed);
+    out.releases = releases_.load(std::memory_order_relaxed);
+    out.shardContention =
+        contention_.load(std::memory_order_relaxed);
+    out.shardCount = shards_.size();
+    const std::size_t count =
+        accountCount_.load(std::memory_order_acquire);
+    out.tenantsRegistered = count;
+    for (std::size_t i = 0; i < count; ++i)
+        if (accounts_[i].active.load(std::memory_order_relaxed))
+            ++out.tenantsActive;
+    return out;
+}
+
+std::size_t
+ShardedCodeCache::liveEntryCount(TenantId tenant) const
+{
+    std::size_t count = 0;
+    for (const Shard &shard : shards_) {
+        std::unique_lock<std::mutex> lock = lockShard(shard);
+        for (const auto &entry : shard.entries)
+            if ((entry.first >> 40) == tenant)
+                ++count;
+    }
+    return count;
+}
+
+} // namespace service
+} // namespace rsel

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * The sharded, bounded, concurrent code cache shared by every
+ * tenant of the selection service.
+ *
+ * Architecture (see docs/SERVICE.md): each tenant keeps its own
+ * *logical* CodeCache — region ids, counters and eviction decisions
+ * stay a pure function of that tenant's event stream and its
+ * quota-derived CacheLimits, which is what makes per-tenant
+ * SimResult fingerprints byte-identical to solo runs at any
+ * concurrency. This class is the *physical* substrate underneath:
+ * every logical insert / evict / invalidate / flush is mirrored
+ * here (via CodeCache::Listener), keyed by entrance address into a
+ * fixed set of shards, each guarded by its own mutex, with
+ * per-tenant and global byte accounting.
+ *
+ * The global eviction policy is quota partitioning: a global
+ * capacity C over N tenants grants each tenant C/N bytes, and the
+ * configured policy (FullFlush or Fifo) is applied *within* each
+ * tenant's quota by its logical cache. The arena never chooses
+ * cross-tenant victims — doing so would make one tenant's hit rate
+ * depend on its neighbours' schedules and break the determinism
+ * contract — so its job is admission bookkeeping, isolation
+ * enforcement (a tenant must be registered and alive to admit, and
+ * two tenants can never alias one physical entry), and the global
+ * occupancy bound Σ_t live_t ≤ C (+ the same single-oversized-
+ * region overshoot CodeCache itself permits per tenant).
+ *
+ * Shards are keyed by entrance-address *hash only* — deliberately
+ * not by tenant — so tenants whose guest programs share an address
+ * range (all generated programs do) genuinely contend on the same
+ * shard mutexes. The tsan stress battery hammers exactly that.
+ */
+
+#ifndef RSEL_SERVICE_SHARDED_CACHE_HPP
+#define RSEL_SERVICE_SHARDED_CACHE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/code_cache.hpp"
+
+namespace rsel {
+namespace service {
+
+/** Dense id of one registered tenant. */
+using TenantId = std::uint32_t;
+
+/** Configuration of the shared arena. */
+struct ArenaConfig
+{
+    /** Global capacity in estimated bytes; 0 = unbounded. */
+    std::uint64_t capacityBytes = 0;
+    /** Number of shards (clamped to >= 1). */
+    std::size_t shardCount = 16;
+    /** Eviction policy applied within each tenant's quota. */
+    CacheLimits::Policy policy = CacheLimits::Policy::FullFlush;
+    /** Bytes charged per exit stub (the CodeCache byte model). */
+    std::uint64_t stubBytes = 10;
+};
+
+/** Why a physical entry was released (mirrors CodeCache drops). */
+enum class ReleaseReason : std::uint8_t {
+    Eviction,     ///< capacity eviction in the tenant's logical cache
+    Invalidation, ///< self-modifying-code invalidation
+    Flush,        ///< tenant-local flush (policy storm or teardown)
+};
+
+/** Per-tenant accounting snapshot (disjoint by release kind). */
+struct TenantCacheStats
+{
+    std::uint64_t liveBytes = 0;      ///< current physical residency
+    std::uint64_t highWaterBytes = 0; ///< peak physical residency
+    std::uint64_t admissions = 0;     ///< regions admitted
+    std::uint64_t evictionReleases = 0;
+    std::uint64_t invalidationReleases = 0;
+    std::uint64_t flushReleases = 0;
+};
+
+/** Global accounting snapshot. */
+struct ArenaStats
+{
+    std::uint64_t liveBytes = 0;
+    std::uint64_t highWaterBytes = 0;
+    std::uint64_t admissions = 0;
+    std::uint64_t releases = 0;
+    /** Admissions/releases that found their shard mutex held — the
+     *  cross-tenant contention the sharding exists to dilute. */
+    std::uint64_t shardContention = 0;
+    std::size_t shardCount = 0;
+    std::size_t tenantsRegistered = 0;
+    std::size_t tenantsActive = 0;
+};
+
+/**
+ * The shared physical code cache. All methods are thread-safe; a
+ * single tenant's calls must be serialized by its session (they
+ * are — a session runs one slice at a time), but different tenants
+ * call concurrently from any pool worker.
+ */
+class ShardedCodeCache
+{
+  public:
+    explicit ShardedCodeCache(ArenaConfig cfg);
+
+    ShardedCodeCache(const ShardedCodeCache &) = delete;
+    ShardedCodeCache &operator=(const ShardedCodeCache &) = delete;
+
+    /**
+     * Register a tenant and return its fresh dense id. Ids are
+     * never reused: a torn-down tenant's id stays dead forever,
+     * which is one half of the no-resurrection guarantee (the
+     * other half is that releaseAll() empties its shard entries).
+     *
+     * Must not run concurrently with admit()/release() traffic
+     * (the service registers its whole tenant set before the pool
+     * starts): the per-admission path reads the account table
+     * without the registry lock, so growing the table mid-traffic
+     * would race. Teardown (releaseAll/unregisterTenant) only
+     * mutates existing accounts and IS safe during traffic.
+     */
+    TenantId registerTenant();
+
+    /**
+     * Per-tenant quota under the global policy: capacityBytes / N
+     * (0 = unbounded when the arena is unbounded). @pre N >= 1.
+     */
+    std::uint64_t tenantQuotaBytes(std::size_t tenantCount) const;
+
+    /** The CacheLimits a tenant's logical cache must run with so
+     *  the quota partition holds (policy and stub model ride
+     *  along). */
+    CacheLimits tenantLimits(std::size_t tenantCount) const
+    {
+        return limitsFor(cfg_, tenantCount);
+    }
+
+    /** tenantLimits() without an arena: the one place the quota
+     *  partition is computed, shared with the solo reference leg so
+     *  service and solo limits cannot drift apart. */
+    static CacheLimits limitsFor(const ArenaConfig &cfg,
+                                 std::size_t tenantCount);
+
+    /**
+     * Admit one region of `bytes` estimated bytes entering at
+     * `entry`. @pre the tenant is registered and active, and holds
+     * no live entry at `entry` (its logical cache guarantees both).
+     */
+    void admit(TenantId tenant, Addr entry, std::uint64_t bytes);
+
+    /**
+     * Release the entry admitted at `entry`. The byte figure must
+     * match the admission (CodeCache reports the same estimate on
+     * both sides, so listener-driven mirrors always do).
+     */
+    void release(TenantId tenant, Addr entry, std::uint64_t bytes,
+                 ReleaseReason reason);
+
+    /**
+     * Drop every live entry of `tenant` (teardown sweep), then
+     * deactivate the id: further admissions from it are rejected
+     * loudly, so a dead tenant's regions can never resurrect.
+     * @return bytes released.
+     */
+    std::uint64_t releaseAll(TenantId tenant);
+
+    /**
+     * Final teardown check: @pre releaseAll() ran (or the tenant
+     * emptied its cache through the flush machinery) — a tenant
+     * with residual live bytes is a service bug and panics.
+     */
+    void unregisterTenant(TenantId tenant);
+
+    /** Shard index serving `entry` (test probe). */
+    std::size_t
+    shardOf(Addr entry) const
+    {
+        // splitmix64-style finalizer: entrance addresses are
+        // sequential and small, so raw modulo would put every
+        // tenant of a program family in shard 0.
+        std::uint64_t h = entry;
+        h ^= h >> 33;
+        h *= 0xff51afd7ed558ccdULL;
+        h ^= h >> 33;
+        return static_cast<std::size_t>(h % shards_.size());
+    }
+
+    /** Accounting snapshot of one tenant. */
+    TenantCacheStats tenantStats(TenantId tenant) const;
+
+    /** Global accounting snapshot. */
+    ArenaStats stats() const;
+
+    /** Live physical entries of one tenant (test probe; O(shards +
+     *  entries)). */
+    std::size_t liveEntryCount(TenantId tenant) const;
+
+    /** The configured arena parameters. */
+    const ArenaConfig &config() const { return cfg_; }
+
+  private:
+    /** One shard: a mutex plus the (tenant, entry) -> bytes map. */
+    struct Shard
+    {
+        mutable std::mutex mu;
+        /** Key = tenant-qualified entrance address (see keyOf). */
+        std::unordered_map<std::uint64_t, std::uint64_t> entries;
+    };
+
+    /** Per-tenant account; atomics because a tenant's entries span
+     *  shards and snapshots race with other tenants' traffic. */
+    struct Account
+    {
+        std::atomic<std::uint64_t> liveBytes{0};
+        std::atomic<std::uint64_t> highWaterBytes{0};
+        std::atomic<std::uint64_t> admissions{0};
+        std::atomic<std::uint64_t> evictionReleases{0};
+        std::atomic<std::uint64_t> invalidationReleases{0};
+        std::atomic<std::uint64_t> flushReleases{0};
+        std::atomic<bool> active{true};
+    };
+
+    /**
+     * Tenant-qualified map key: two tenants' guest programs live
+     * in the same synthetic address range, so the physical map
+     * must never let one tenant's entry satisfy (or collide with)
+     * another's. Entrance addresses in generated programs stay
+     * well below 2^40; the assert in admit() enforces it.
+     */
+    static std::uint64_t
+    keyOf(TenantId tenant, Addr entry)
+    {
+        return (static_cast<std::uint64_t>(tenant) << 40) ^ entry;
+    }
+
+    /** Lock a shard, counting contention on the slow path. */
+    std::unique_lock<std::mutex> lockShard(const Shard &shard) const;
+
+    Account &account(TenantId tenant);
+    const Account &account(TenantId tenant) const;
+
+    /** Raise the high-water mark to at least `value`. */
+    static void raiseHighWater(std::atomic<std::uint64_t> &mark,
+                               std::uint64_t value);
+
+    ArenaConfig cfg_;
+    std::vector<Shard> shards_;
+    /** Deque so Account references stay stable across registers. */
+    std::deque<Account> accounts_;
+    /** Accounts published so far (acquire-loaded by the lock-free
+     *  account() accessor; see registerTenant's precondition). */
+    std::atomic<std::size_t> accountCount_{0};
+    /** Serializes registerTenant calls with each other. */
+    mutable std::mutex registry_;
+    std::atomic<std::uint64_t> liveBytes_{0};
+    std::atomic<std::uint64_t> highWaterBytes_{0};
+    std::atomic<std::uint64_t> admissions_{0};
+    std::atomic<std::uint64_t> releases_{0};
+    mutable std::atomic<std::uint64_t> contention_{0};
+};
+
+} // namespace service
+} // namespace rsel
+
+#endif // RSEL_SERVICE_SHARDED_CACHE_HPP

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * One tenant of the selection service: a guest program, an
+ * Executor, and a DynOptSystem, driven in bounded slices so a small
+ * worker pool can multiplex thousands of tenants.
+ *
+ * The session is the bridge between the tenant's *logical* cache
+ * (its DynOptSystem's CodeCache, whose behaviour is a pure function
+ * of the tenant spec and quota-derived limits) and the *physical*
+ * ShardedCodeCache: it implements CodeCache::Listener and mirrors
+ * every structural mutation into the arena under the tenant's id.
+ *
+ * Threading contract: at most one thread runs a given session at a
+ * time (the service's slice scheduler guarantees it by only
+ * resubmitting a session after its current slice returns); distinct
+ * sessions run concurrently and meet only inside the arena.
+ * requestStop() may be called from any thread.
+ */
+
+#ifndef RSEL_SERVICE_TENANT_SESSION_HPP
+#define RSEL_SERVICE_TENANT_SESSION_HPP
+
+#include <atomic>
+#include <cstdint>
+
+#include "dynopt/dynopt_system.hpp"
+#include "service/sharded_cache.hpp"
+#include "service/tenant_spec.hpp"
+
+namespace rsel {
+namespace service {
+
+/** One tenant's live state inside the service. */
+class TenantSession : public CodeCache::Listener
+{
+  public:
+    /**
+     * @param id       arena id from ShardedCodeCache::registerTenant.
+     * @param spec     the tenant's spec (copied).
+     * @param limits   quota-derived logical-cache limits (must come
+     *                 from the arena's tenantLimits so the global
+     *                 partition holds).
+     * @param arena    shared physical cache; must outlive the
+     *                 session.
+     * @param eventsOverride non-zero replaces the spec's own event
+     *                 budget.
+     */
+    TenantSession(TenantId id, const TenantSpec &spec,
+                  CacheLimits limits, ShardedCodeCache &arena,
+                  std::uint64_t eventsOverride = 0);
+
+    ~TenantSession() override;
+
+    TenantSession(const TenantSession &) = delete;
+    TenantSession &operator=(const TenantSession &) = delete;
+
+    /**
+     * Run up to `maxEvents` further events through the system.
+     * @return true while the tenant has work left; false once the
+     * budget is exhausted, the guest halted, or a stop was
+     * requested. Never call concurrently on the same session.
+     */
+    bool runSlice(std::uint64_t maxEvents);
+
+    /** Ask the session to stop at the next slice boundary (safe
+     *  from any thread; used by concurrent-teardown paths). */
+    void requestStop() { stop_.store(true, std::memory_order_release); }
+
+    /** True once runSlice() reported completion (or never had
+     *  events to run). */
+    bool done() const { return done_; }
+
+    /**
+     * Close the run and return its metrics (workload field set to
+     * the tenant name). May be called once, after runSlice()
+     * reported completion. The result is byte-identical to a solo
+     * single-tenant run of the same spec and limits — the service's
+     * determinism contract.
+     */
+    SimResult finish();
+
+    /**
+     * Tear the tenant down: flush its logical cache through the
+     * disruption machinery (the listener mirrors the drops out of
+     * the arena), sweep any residue, and retire the arena id for
+     * good. Idempotent. Works on finished and aborted sessions
+     * alike; an aborted session simply never produces a SimResult.
+     */
+    void teardown();
+
+    /** The arena id. */
+    TenantId tenantId() const { return id_; }
+
+    /** The spec this session runs. */
+    const TenantSpec &spec() const { return spec_; }
+
+    /** Events consumed so far. */
+    std::uint64_t eventsRun() const { return eventsRun_; }
+
+    /** The tenant's logical cache (test probe). */
+    const CodeCache &cache() const { return sys_.cache(); }
+
+    // CodeCache::Listener — the logical->physical mirror.
+    void onRegionInserted(const Region &region,
+                          std::uint64_t bytes) override;
+    void onRegionDropped(const Region &region, std::uint64_t bytes,
+                         CodeCache::DropReason reason) override;
+
+  private:
+    TenantId id_;
+    TenantSpec spec_;
+    ShardedCodeCache &arena_;
+    Program prog_;
+    DynOptSystem sys_;
+    Executor exec_;
+    EventBatch batch_;
+    std::uint64_t remaining_;
+    std::uint64_t eventsRun_ = 0;
+    std::atomic<bool> stop_{false};
+    bool done_ = false;
+    bool finished_ = false;
+    bool tornDown_ = false;
+};
+
+} // namespace service
+} // namespace rsel
+
+#endif // RSEL_SERVICE_TENANT_SESSION_HPP

@@ -1,0 +1,129 @@
+#include "service/tenant_spec.hpp"
+
+#include <istream>
+#include <iterator>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace rsel {
+namespace service {
+
+namespace {
+
+/** Parse "alg=NET" etc.; @return algorithm matching `name`. */
+Algorithm
+parseAlgorithm(const std::string &name)
+{
+    for (const Algorithm a : allSelectors)
+        if (algorithmName(a) == name)
+            return a;
+    fatal("unknown tenant algorithm '" + name +
+          "' (try NET, LEI, NET+comb, LEI+comb, Mojo, BOA, WRS)");
+}
+
+} // namespace
+
+std::string
+TenantSpec::toString() const
+{
+    std::string out = "name=" + name + "|alg=" + algorithmName(algo) +
+                      "|spec=" + program.toString();
+    if (faults.armed())
+        out += "|faults=" + faults.toString();
+    return out;
+}
+
+TenantSpec
+TenantSpec::parse(const std::string &text)
+{
+    TenantSpec spec;
+    bool sawAlg = false;
+    bool sawSpec = false;
+    std::stringstream ss(text);
+    std::string field;
+    while (std::getline(ss, field, '|')) {
+        const std::size_t eq = field.find('=');
+        if (eq == std::string::npos)
+            fatal("malformed tenant field '" + field +
+                  "' (expected key=value)");
+        const std::string key = field.substr(0, eq);
+        const std::string value = field.substr(eq + 1);
+        if (key == "name") {
+            if (value.empty())
+                fatal("tenant name must not be empty");
+            spec.name = value;
+        } else if (key == "alg") {
+            spec.algo = parseAlgorithm(value);
+            sawAlg = true;
+        } else if (key == "spec") {
+            spec.program = testing::GenSpec::parse(value);
+            sawSpec = true;
+        } else if (key == "faults") {
+            spec.faults = resilience::FaultPlan::parse(value);
+        } else {
+            fatal("unknown tenant field '" + key +
+                  "' (expected name, alg, spec or faults)");
+        }
+    }
+    if (!sawAlg || !sawSpec)
+        fatal("tenant spec '" + text +
+              "' must carry at least alg= and spec=");
+    return spec;
+}
+
+TenantSpec
+TenantSpec::fromSeed(std::uint64_t seed)
+{
+    TenantSpec spec;
+    spec.name = "t" + std::to_string(seed);
+    spec.algo = allSelectors[seed % std::size(allSelectors)];
+    spec.program = testing::GenSpec::fromSeed(seed);
+    return spec;
+}
+
+bool
+TenantSpec::operator==(const TenantSpec &other) const
+{
+    return name == other.name && algo == other.algo &&
+           program == other.program && faults == other.faults;
+}
+
+SimOptions
+tenantSimOptions(const TenantSpec &spec)
+{
+    SimOptions opts;
+    opts.maxEvents = spec.program.events;
+    opts.seed = spec.program.execSeed;
+    return opts;
+}
+
+std::vector<TenantSpec>
+loadTenantSpecs(std::istream &in)
+{
+    std::vector<TenantSpec> specs;
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        // Strip a trailing CR (files written on other platforms)
+        // and skip blanks / comments.
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        const std::size_t first = line.find_first_not_of(" \t");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+        try {
+            specs.push_back(TenantSpec::parse(line.substr(first)));
+        } catch (const FatalError &e) {
+            fatal("tenant spec file line " + std::to_string(lineNo) +
+                  ": " + e.what());
+        }
+    }
+    if (specs.empty())
+        fatal("tenant spec file holds no tenants");
+    return specs;
+}
+
+} // namespace service
+} // namespace rsel

@@ -202,6 +202,51 @@ TEST(ExitCodeTest, AnalyzeSignalsVerdicts)
               ExitUsageError);
 }
 
+TEST(ExitCodeTest, ServeHonoursTheContract)
+{
+    EXPECT_EQ(toolExit("rselect-serve", "--tenants 2 --events 2000"),
+              ExitOk);
+    EXPECT_EQ(toolExit("rselect-serve",
+                       "--tenants 2 --events 2000 --cache-kb 16 "
+                       "--verify-solo"),
+              ExitOk);
+    // Strict numeric parsing: non-numeric and trailing-garbage
+    // values must be usage errors, never silent zeros.
+    EXPECT_EQ(toolExit("rselect-serve", "--tenants abc"),
+              ExitUsageError);
+    EXPECT_EQ(toolExit("rselect-serve", "--tenants 2abc"),
+              ExitUsageError);
+    EXPECT_EQ(toolExit("rselect-serve", "--cache-kb 12x"),
+              ExitUsageError);
+    EXPECT_EQ(toolExit("rselect-serve", "--tenants 0"),
+              ExitUsageError);
+    EXPECT_EQ(toolExit("rselect-serve", "--shards 0"),
+              ExitUsageError);
+    EXPECT_EQ(toolExit("rselect-serve", "--definitely-not-a-flag"),
+              ExitUsageError);
+    EXPECT_EQ(toolExit("rselect-serve", "--policy bogus"),
+              ExitUsageError);
+    EXPECT_EQ(toolExit("rselect-serve",
+                       "--spec-file /nonexistent/tenants.txt"),
+              ExitUsageError);
+    EXPECT_EQ(toolExit("rselect-serve",
+                       "--tenants 2 --fault-fuzz --fault-spec "
+                       "f1,tfail=5"),
+              ExitUsageError);
+    EXPECT_EQ(toolExit("rselect-serve", "--self-test bogus"),
+              ExitUsageError);
+    // A bare --json (no path) must not silently write a report
+    // file literally named "true".
+    EXPECT_EQ(toolExit("rselect-serve", "--tenants 2 --json"),
+              ExitUsageError);
+    // The sabotaged oracle self-test must report a verification
+    // failure — not a crash, not success.
+    EXPECT_EQ(toolExit("rselect-serve",
+                       "--tenants 2 --events 2000 --self-test "
+                       "mismatch"),
+              ExitVerifyFailure);
+}
+
 #endif // RSEL_TOOL_DIR
 
 TEST(CliTest, UnknownOptionsAreRejectedWithUsage)

@@ -13,6 +13,7 @@
 #include "resilience/fault_injector.hpp"
 #include "resilience/fault_plan.hpp"
 #include "runtime/code_cache.hpp"
+#include "service/selection_service.hpp"
 #include "support/error.hpp"
 #include "testing/differential.hpp"
 #include "testing/fuzz_harness.hpp"
@@ -587,6 +588,66 @@ TEST(RecoveryStatsTest, MergeSumsEveryCounter)
     EXPECT_EQ(m.recovery.selectorResets, 1u);
     EXPECT_EQ(m.recovery.retries, 1u);
     EXPECT_EQ(m.recovery.blacklistedEntrances, 2u);
+}
+
+// ---------------------------------------------------------------
+// Faults under multi-tenancy: injected faults in one tenant of a
+// shared service must neither perturb that tenant's equivalence to
+// its solo faulted run, nor leak recovery work into its neighbours.
+// ---------------------------------------------------------------
+
+TEST(FaultMultiTenancyTest, FaultedTenantsMatchSoloFaultedRuns)
+{
+    service::ServiceConfig config;
+    for (std::size_t i = 0; i < 8; ++i) {
+        service::TenantSpec spec =
+            service::TenantSpec::fromSeed(1 + i);
+        spec.faults = FaultPlan::fromSeed(1 + i);
+        config.tenants.push_back(spec);
+    }
+    config.cacheKb = 32;
+    config.eventsOverride = 5000;
+    // verifyServiceDeterminism runs every tenant solo with the same
+    // armed plan and compares fingerprints byte for byte.
+    EXPECT_EQ(service::verifyServiceDeterminism(config), "");
+}
+
+TEST(FaultMultiTenancyTest, RecoveryStaysWithinTheFaultedTenant)
+{
+    service::ServiceConfig config;
+    for (std::size_t i = 0; i < 6; ++i)
+        config.tenants.push_back(
+            service::TenantSpec::fromSeed(21 + i));
+    // Only tenant 0 is faulted; its neighbours must see zero
+    // recovery work and zero invalidation releases.
+    config.tenants[0].faults =
+        FaultPlan::parse("f1,tfail=25,inval=60,seed=3");
+    config.cacheKb = 32;
+    config.eventsOverride = 6000;
+    const service::ServiceReport report =
+        service::runService(config);
+
+    EXPECT_GT(report.tenants[0].result.recovery.faultsInjected, 0u);
+    RecoveryStats summed;
+    for (std::size_t i = 0; i < report.tenants.size(); ++i) {
+        const service::TenantReport &tr = report.tenants[i];
+        EXPECT_EQ(tr.result.conservationError(), "") << tr.name;
+        EXPECT_EQ(tr.cache.invalidationReleases,
+                  tr.result.recovery.regionsInvalidated)
+            << tr.name;
+        if (i != 0) {
+            EXPECT_EQ(tr.result.recovery.faultsInjected, 0u)
+                << tr.name;
+            EXPECT_EQ(tr.cache.invalidationReleases, 0u) << tr.name;
+        }
+        summed.mergeFrom(tr.result.recovery);
+    }
+    // Global fault accounting is exactly the per-tenant sum — the
+    // arena adds no recovery work of its own.
+    EXPECT_EQ(summed.faultsInjected,
+              report.tenants[0].result.recovery.faultsInjected);
+    EXPECT_EQ(summed.regionsInvalidated,
+              report.tenants[0].result.recovery.regionsInvalidated);
 }
 
 TEST(RecoveryStatsTest, ConservationCatchesBrokenFaultAccounting)

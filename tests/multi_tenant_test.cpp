@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Multi-tenant selection-service tests: the determinism contract
+ * (every tenant's fingerprint byte-identical to a solo run at any
+ * concurrency, shard count and scheduling), cross-tenant accounting
+ * disjointness, per-tenant and global conservation, and the
+ * no-resurrection guarantee of tenant teardown.
+ */
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "metrics/sim_result.hpp"
+#include "service/selection_service.hpp"
+#include "service/tenant_session.hpp"
+#include "support/error.hpp"
+#include "testing/differential.hpp"
+
+namespace rsel {
+namespace service {
+namespace {
+
+/** A seed-derived tenant set: selectors cycle through all seven. */
+ServiceConfig
+seedConfig(std::size_t tenants, std::uint64_t cacheKb,
+           std::size_t jobs, std::uint64_t events = 3000)
+{
+    ServiceConfig config;
+    config.tenants.reserve(tenants);
+    for (std::size_t i = 0; i < tenants; ++i)
+        config.tenants.push_back(TenantSpec::fromSeed(1 + i));
+    config.cacheKb = cacheKb;
+    config.jobs = jobs;
+    config.eventsOverride = events;
+    return config;
+}
+
+std::vector<std::string>
+fingerprintsOf(const ServiceReport &report)
+{
+    std::vector<std::string> out;
+    out.reserve(report.tenants.size());
+    for (const TenantReport &tr : report.tenants)
+        out.push_back(tr.fingerprint);
+    return out;
+}
+
+// The load-bearing contract: at 1, 8 and 64 concurrent tenants,
+// every tenant's result is byte-identical to a solo single-tenant
+// run of the same spec and quota-derived limits.
+TEST(MultiTenantTest, PerTenantDeterminismAtScale)
+{
+    for (const std::size_t tenants : {1u, 8u, 64u}) {
+        const ServiceConfig config = seedConfig(tenants, 64, 0);
+        EXPECT_EQ(verifyServiceDeterminism(config), "")
+            << "at " << tenants << " tenants";
+    }
+}
+
+// Solo equivalence must hold for every shipped selector, not just
+// the ones a small seed range happens to draw.
+TEST(MultiTenantTest, EverySelectorMatchesItsSoloRun)
+{
+    ServiceConfig config;
+    for (std::size_t i = 0; i < std::size(allSelectors); ++i) {
+        TenantSpec spec = TenantSpec::fromSeed(11);
+        spec.name = "sel" + std::to_string(i);
+        spec.algo = allSelectors[i];
+        config.tenants.push_back(spec);
+    }
+    config.cacheKb = 32;
+    config.eventsOverride = 4000;
+    EXPECT_EQ(verifyServiceDeterminism(config), "");
+}
+
+// Worker count is pure scheduling: --jobs 1 and --jobs 8 must yield
+// identical per-tenant fingerprints (and identical arena traffic).
+TEST(MultiTenantTest, JobsParity)
+{
+    ServiceConfig serial = seedConfig(12, 48, 1);
+    ServiceConfig pooled = seedConfig(12, 48, 8);
+    const ServiceReport a = runService(serial);
+    const ServiceReport b = runService(pooled);
+    EXPECT_EQ(fingerprintsOf(a), fingerprintsOf(b));
+    EXPECT_EQ(a.arena.admissions, b.arena.admissions);
+    EXPECT_EQ(a.arena.releases, b.arena.releases);
+    EXPECT_EQ(a.arena.highWaterBytes, b.arena.highWaterBytes);
+    EXPECT_EQ(a.totalEvents, b.totalEvents);
+}
+
+// The shard count is a physical layout knob: 1, 4 and 64 shards
+// must produce identical tenant results and identical accounting
+// (only the contention counter may differ).
+TEST(MultiTenantTest, ShardCountInvariance)
+{
+    std::vector<std::vector<std::string>> fingerprints;
+    std::vector<ArenaStats> arenas;
+    for (const std::size_t shards : {1u, 4u, 64u}) {
+        ServiceConfig config = seedConfig(8, 48, 0);
+        config.shards = shards;
+        const ServiceReport report = runService(config);
+        EXPECT_EQ(report.arena.shardCount, shards);
+        fingerprints.push_back(fingerprintsOf(report));
+        arenas.push_back(report.arena);
+    }
+    for (std::size_t i = 1; i < fingerprints.size(); ++i) {
+        EXPECT_EQ(fingerprints[0], fingerprints[i]);
+        EXPECT_EQ(arenas[0].admissions, arenas[i].admissions);
+        EXPECT_EQ(arenas[0].releases, arenas[i].releases);
+        EXPECT_EQ(arenas[0].highWaterBytes, arenas[i].highWaterBytes);
+    }
+}
+
+// Physical accounting must mirror the logical caches exactly, with
+// the three release kinds disjoint: capacity evictions and policy
+// flushes sum to the logical eviction counter, invalidations match
+// the recovery counter, and residual bytes match final occupancy.
+TEST(MultiTenantTest, EvictionVsInvalidationDisjointAccounting)
+{
+    ServiceConfig config = seedConfig(8, 8, 0, 6000);
+    // Arm invalidation-heavy fault plans on half the tenants so
+    // both release kinds fire in the same run.
+    for (std::size_t i = 0; i < config.tenants.size(); i += 2)
+        config.tenants[i].faults =
+            resilience::FaultPlan::parse("f1,inval=60,seed=5");
+    const ServiceReport report = runService(config);
+
+    std::uint64_t evictionsSeen = 0;
+    std::uint64_t invalidationsSeen = 0;
+    for (const TenantReport &tr : report.tenants) {
+        EXPECT_EQ(tr.cache.evictionReleases + tr.cache.flushReleases,
+                  tr.result.cacheEvictions)
+            << tr.name;
+        EXPECT_EQ(tr.cache.invalidationReleases,
+                  tr.result.recovery.regionsInvalidated)
+            << tr.name;
+        EXPECT_EQ(tr.cache.liveBytes, tr.result.cacheLiveBytes)
+            << tr.name;
+        // Every admission leaves exactly once or is still live.
+        EXPECT_GE(tr.cache.admissions,
+                  tr.cache.evictionReleases +
+                      tr.cache.invalidationReleases +
+                      tr.cache.flushReleases)
+            << tr.name;
+        evictionsSeen += tr.cache.evictionReleases;
+        invalidationsSeen += tr.cache.invalidationReleases;
+    }
+    // The run must actually exercise both kinds, or the
+    // disjointness above is vacuous.
+    EXPECT_GT(evictionsSeen + invalidationsSeen, 0u);
+    EXPECT_GT(invalidationsSeen, 0u);
+}
+
+// Per-tenant conservation (the oracle identity of each SimResult)
+// and global conservation: counters summed across tenants equal the
+// mergeResults() fold, including RecoveryStats.
+TEST(MultiTenantTest, ConservationPerTenantAndGlobally)
+{
+    ServiceConfig config = seedConfig(6, 32, 0, 5000);
+    for (std::size_t i = 1; i < config.tenants.size(); i += 2)
+        config.tenants[i].faults =
+            resilience::FaultPlan::fromSeed(40 + i);
+    const ServiceReport report = runService(config);
+
+    std::vector<SimResult> parts;
+    std::uint64_t events = 0, totalInsts = 0, cachedInsts = 0;
+    std::uint64_t faults = 0, invalidated = 0;
+    for (const TenantReport &tr : report.tenants) {
+        EXPECT_EQ(tr.result.conservationError(), "") << tr.name;
+        parts.push_back(tr.result);
+        events += tr.result.events;
+        totalInsts += tr.result.totalInsts;
+        cachedInsts += tr.result.cachedInsts;
+        faults += tr.result.recovery.faultsInjected;
+        invalidated += tr.result.recovery.regionsInvalidated;
+    }
+    const SimResult merged = mergeResults(parts);
+    EXPECT_EQ(merged.events, events);
+    EXPECT_EQ(merged.totalInsts, totalInsts);
+    EXPECT_EQ(merged.cachedInsts, cachedInsts);
+    EXPECT_EQ(merged.recovery.faultsInjected, faults);
+    EXPECT_EQ(merged.recovery.regionsInvalidated, invalidated);
+    // The service's own aggregates are the same fold.
+    EXPECT_EQ(report.totalEvents, events);
+    EXPECT_EQ(report.totalInsts, totalInsts);
+    EXPECT_EQ(report.cachedInsts, cachedInsts);
+}
+
+// Teardown expresses through the disruption machinery and retires
+// the tenant id for good: no physical entry survives, and the dead
+// id can never admit again, so nothing can resurrect into a
+// later tenant.
+TEST(MultiTenantTest, TeardownNeverResurrects)
+{
+    ArenaConfig cfg;
+    cfg.shardCount = 4;
+    ShardedCodeCache arena(cfg);
+
+    const TenantId early = arena.registerTenant();
+    // Seed 1 reliably selects regions within this budget (seeds
+    // whose selector thresholds never trip would make the test
+    // vacuous).
+    TenantSpec spec = TenantSpec::fromSeed(1);
+    std::string fpEarly;
+    {
+        TenantSession session(early, spec, CacheLimits{}, arena,
+                              20000);
+        while (session.runSlice(512)) {
+        }
+        const SimResult result = session.finish();
+        EXPECT_GT(result.regionCount, 0u);
+        EXPECT_GT(arena.liveEntryCount(early), 0u);
+        fpEarly = testing::resultFingerprint(result);
+        session.teardown();
+    }
+    EXPECT_EQ(arena.liveEntryCount(early), 0u);
+    EXPECT_EQ(arena.tenantStats(early).liveBytes, 0u);
+    // A dead id is rejected loudly, not silently readmitted.
+    EXPECT_THROW(arena.admit(early, 0x100, 10), PanicError);
+
+    // Ids are never reused: a fresh tenant gets a fresh id and a
+    // clean account even though it runs the same guest program.
+    const TenantId fresh = arena.registerTenant();
+    EXPECT_NE(fresh, early);
+    TenantSession session(fresh, spec, CacheLimits{}, arena, 20000);
+    while (session.runSlice(512)) {
+    }
+    EXPECT_EQ(arena.tenantStats(fresh).evictionReleases, 0u);
+    const SimResult rerun = session.finish();
+    // The rerun is a pure function of the spec: identical to the
+    // torn-down tenant's run, untouched by the teardown history.
+    EXPECT_EQ(testing::resultFingerprint(rerun), fpEarly);
+    session.teardown();
+    EXPECT_EQ(arena.stats().liveBytes, 0u);
+}
+
+// Aborting a tenant mid-flight (requestStop) must still tear down
+// to zero residue even though the session never finished.
+TEST(MultiTenantTest, AbortedSessionLeavesNoResidue)
+{
+    ArenaConfig cfg;
+    cfg.capacityBytes = 8 * 1024;
+    ShardedCodeCache arena(cfg);
+    const TenantId id = arena.registerTenant();
+    TenantSession session(id, TenantSpec::fromSeed(5),
+                          arena.tenantLimits(1), arena, 100000);
+    session.runSlice(512);
+    session.runSlice(512);
+    session.requestStop();
+    EXPECT_FALSE(session.runSlice(512));
+    EXPECT_TRUE(session.done());
+    session.teardown();
+    EXPECT_EQ(arena.liveEntryCount(id), 0u);
+    EXPECT_EQ(arena.stats().liveBytes, 0u);
+}
+
+// The quota partition: equal shares, floored, at least one byte;
+// unbounded arenas grant unbounded tenants.
+TEST(MultiTenantTest, QuotaPartitioning)
+{
+    ArenaConfig bounded;
+    bounded.capacityBytes = 64 * 1024;
+    EXPECT_EQ(ShardedCodeCache::limitsFor(bounded, 16).capacityBytes,
+              4096u);
+    EXPECT_EQ(ShardedCodeCache::limitsFor(bounded, 3).capacityBytes,
+              21845u);
+    // More tenants than bytes: the floor is one byte, not zero
+    // (zero would mean "unbounded" and break the global bound).
+    ArenaConfig tiny;
+    tiny.capacityBytes = 10;
+    EXPECT_EQ(ShardedCodeCache::limitsFor(tiny, 100).capacityBytes,
+              1u);
+    ArenaConfig unbounded;
+    EXPECT_EQ(
+        ShardedCodeCache::limitsFor(unbounded, 16).capacityBytes,
+        0u);
+    // The policy and stub model ride along into tenant limits.
+    bounded.policy = CacheLimits::Policy::Fifo;
+    EXPECT_EQ(ShardedCodeCache::limitsFor(bounded, 2).policy,
+              CacheLimits::Policy::Fifo);
+}
+
+// The TenantSpec codec round-trips, including nested fault plans,
+// and the spec-file loader reports bad lines by number.
+TEST(MultiTenantTest, TenantSpecCodecRoundTrip)
+{
+    TenantSpec spec = TenantSpec::fromSeed(9);
+    spec.faults = resilience::FaultPlan::fromSeed(9);
+    const TenantSpec reparsed = TenantSpec::parse(spec.toString());
+    EXPECT_EQ(reparsed, spec);
+    EXPECT_THROW(TenantSpec::parse("name=x"), FatalError);
+    EXPECT_THROW(TenantSpec::parse("alg=BOGUS|spec=v1"), FatalError);
+
+    std::istringstream good("# comment\n\n" + spec.toString() + "\n");
+    EXPECT_EQ(loadTenantSpecs(good).size(), 1u);
+    std::istringstream bad("# fine\nnot-a-spec\n");
+    try {
+        loadTenantSpecs(bad);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos);
+    }
+    std::istringstream empty("# nothing\n");
+    EXPECT_THROW(loadTenantSpecs(empty), FatalError);
+}
+
+} // namespace
+} // namespace service
+} // namespace rsel

@@ -33,10 +33,12 @@
  */
 
 #include <cstdio>
+#include <iterator>
 #include <sstream>
 #include <string>
 
 #include "program/trace_io.hpp"
+#include "service/selection_service.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
 #include "support/exit_codes.hpp"
@@ -127,6 +129,78 @@ runSpecMode(const std::string &specText, BrokenMode broken,
     return ExitVerifyFailure;
 }
 
+/**
+ * Multi-tenant mode (--tenants N): replay each seed's spec through
+ * the selection service with N tenants — every tenant runs the SAME
+ * guest program, with the selector cycling through all shipped
+ * algorithms — and assert each tenant's fingerprint is byte-equal
+ * to the single-tenant path. Composes with --fault-fuzz (each
+ * seed's derived plan is armed on every tenant) and --fault-spec.
+ */
+int
+runTenantMode(const CliOptions &cli, BrokenMode broken,
+              const resilience::FaultPlan &fixedFaults,
+              bool faultFuzz)
+{
+    if (broken != BrokenMode::None)
+        fatal("--break-selector is not supported with --tenants");
+    const std::uint64_t tenants = cli.getUint("tenants");
+    const bool oneSpec = !cli.get("spec").empty();
+    const std::uint64_t seeds =
+        oneSpec ? 1 : cli.getUint("seeds");
+    const std::uint64_t startSeed = cli.getUint("start-seed");
+    std::uint64_t failures = 0;
+
+    for (std::uint64_t i = 0; i < seeds; ++i) {
+        const std::uint64_t seed = startSeed + i;
+        const GenSpec spec = oneSpec
+                                 ? GenSpec::parse(cli.get("spec"))
+                                 : GenSpec::fromSeed(seed);
+        resilience::FaultPlan faults = fixedFaults;
+        if (faultFuzz)
+            faults = resilience::FaultPlan::fromSeed(seed);
+
+        service::ServiceConfig config;
+        config.jobs =
+            static_cast<std::size_t>(cli.getUint("jobs"));
+        config.eventsOverride = cli.getUint("events");
+        config.tenants.reserve(tenants);
+        for (std::uint64_t t = 0; t < tenants; ++t) {
+            service::TenantSpec tenant;
+            tenant.name = "s" + std::to_string(seed) + "t" +
+                          std::to_string(t);
+            tenant.algo =
+                allSelectors[t % std::size(allSelectors)];
+            tenant.program = spec;
+            tenant.faults = faults;
+            config.tenants.push_back(tenant);
+        }
+
+        const std::string error =
+            service::verifyServiceDeterminism(config);
+        if (!error.empty()) {
+            ++failures;
+            std::printf("FAILURE seed=%llu (service mode, %llu "
+                        "tenants)\n",
+                        static_cast<unsigned long long>(seed),
+                        static_cast<unsigned long long>(tenants));
+            std::printf("  spec:  %s\n", spec.toString().c_str());
+            if (faults.armed())
+                std::printf("  faults: %s\n",
+                            faults.toString().c_str());
+            std::printf("  error: %s\n", error.c_str());
+        }
+    }
+    std::printf("fuzz (service mode): %llu seed%s x %llu tenants, "
+                "%llu failure%s\n",
+                static_cast<unsigned long long>(seeds),
+                seeds == 1 ? "" : "s",
+                static_cast<unsigned long long>(tenants),
+                static_cast<unsigned long long>(failures),
+                failures == 1 ? "" : "s");
+    return failures == 0 ? ExitOk : ExitVerifyFailure;
+}
+
 } // namespace
 
 int
@@ -157,6 +231,10 @@ main(int argc, char **argv)
     cli.define("fault-spec", "",
                "apply one fixed fault plan to every seed (e.g. "
                "'f1,tfail=20,inval=50,seed=9')");
+    cli.define("tenants", "0",
+               "replay each spec through the multi-tenant service "
+               "path with N tenants and assert fingerprint "
+               "equality against the single-tenant path (0 = off)");
 
     try {
         cli.parse(argc, argv);
@@ -179,6 +257,9 @@ main(int argc, char **argv)
             faults = resilience::FaultPlan::parse(
                 cli.get("fault-spec"));
         }
+
+        if (cli.getUint("tenants") != 0)
+            return runTenantMode(cli, broken, faults, faultFuzz);
 
         if (!cli.get("spec").empty())
             return runSpecMode(cli.get("spec"), broken, verify,
