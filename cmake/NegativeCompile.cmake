@@ -1,0 +1,77 @@
+# Configure-time negative-compile battery of the concurrency
+# contract (tests/negative_compile/, docs/ANALYSIS.md). Included
+# only under RSEL_ANALYZE on a Clang host: each case's legal variant
+# must compile under Thread Safety Analysis as errors, the violating
+# variant (-DRSEL_TSA_NEGATIVE) must NOT — and must fail with the
+# diagnostic text the case declares in its `// TSA-EXPECT:` line, so
+# a case failing for an unrelated reason (typo, missing include) is
+# itself a configure failure. rselect-tsa-gate drives the same files
+# from ctest; this copy makes the *configure* of the analyze preset
+# the gate, so `cmake --preset analyze` cannot succeed with a hole
+# in the contract.
+
+set(RSEL_TSA_FLAGS
+    "-Wthread-safety -Wthread-safety-beta -Werror=thread-safety -Werror=thread-safety-beta")
+
+file(GLOB RSEL_TSA_CASES
+    ${CMAKE_SOURCE_DIR}/tests/negative_compile/*.cpp)
+list(SORT RSEL_TSA_CASES)
+if(NOT RSEL_TSA_CASES)
+    message(FATAL_ERROR "analyze: no negative-compile cases found")
+endif()
+
+foreach(rsel_case_file IN LISTS RSEL_TSA_CASES)
+    get_filename_component(rsel_case ${rsel_case_file} NAME_WE)
+
+    file(STRINGS ${rsel_case_file} rsel_expect_lines
+        REGEX "// TSA-EXPECT:")
+    if(NOT rsel_expect_lines)
+        message(FATAL_ERROR
+            "analyze: case ${rsel_case} has no TSA-EXPECT line")
+    endif()
+    list(GET rsel_expect_lines 0 rsel_expect)
+    string(REGEX REPLACE ".*// TSA-EXPECT:[ \t]*" "" rsel_expect
+        "${rsel_expect}")
+
+    # Positive leg: the legal variant is gate-clean.
+    try_compile(rsel_pos_${rsel_case}
+        ${CMAKE_BINARY_DIR}/tsa_battery/${rsel_case}_pos
+        SOURCES ${rsel_case_file}
+        CMAKE_FLAGS
+            "-DCMAKE_CXX_FLAGS=${RSEL_TSA_FLAGS}"
+            "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src;${CMAKE_SOURCE_DIR}/tests/negative_compile"
+        CXX_STANDARD 20
+        CXX_STANDARD_REQUIRED ON
+        OUTPUT_VARIABLE rsel_pos_out)
+    if(NOT rsel_pos_${rsel_case})
+        message(FATAL_ERROR
+            "analyze: positive leg of ${rsel_case} did not compile:\n"
+            "${rsel_pos_out}")
+    endif()
+
+    # Negative leg: the violation must be rejected, for the declared
+    # reason.
+    try_compile(rsel_neg_${rsel_case}
+        ${CMAKE_BINARY_DIR}/tsa_battery/${rsel_case}_neg
+        SOURCES ${rsel_case_file}
+        CMAKE_FLAGS
+            "-DCMAKE_CXX_FLAGS=${RSEL_TSA_FLAGS} -DRSEL_TSA_NEGATIVE"
+            "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src;${CMAKE_SOURCE_DIR}/tests/negative_compile"
+        CXX_STANDARD 20
+        CXX_STANDARD_REQUIRED ON
+        OUTPUT_VARIABLE rsel_neg_out)
+    if(rsel_neg_${rsel_case})
+        message(FATAL_ERROR
+            "analyze: negative leg of ${rsel_case} COMPILED — the "
+            "gate does not reject this violation class")
+    endif()
+    string(FIND "${rsel_neg_out}" "${rsel_expect}" rsel_found)
+    if(rsel_found EQUAL -1)
+        message(FATAL_ERROR
+            "analyze: negative leg of ${rsel_case} failed, but not "
+            "for the declared reason (missing \"${rsel_expect}\"):\n"
+            "${rsel_neg_out}")
+    endif()
+    message(STATUS
+        "analyze: ${rsel_case} rejected (\"${rsel_expect}\")")
+endforeach()

@@ -79,6 +79,14 @@ SweepRunner::run(const std::vector<SweepCell> &cells) const
     // Fail fast on a broken cell: the pool captures the first
     // exception, cancels every cell still queued, and wait()
     // rethrows it here on the submitting thread.
+    //
+    // Concurrency contract: cells share no mutable state — each
+    // task writes only results[i] for its own i, and the slots are
+    // distinct objects, so no lock (and no capability annotation)
+    // is needed here; pool.wait() is the happens-before edge that
+    // publishes every slot to this thread. That disjoint-index
+    // pattern is the sanctioned lock-free idiom (docs/ANALYSIS.md);
+    // anything fancier belongs behind rsel::Mutex.
     ThreadPool pool(std::min(jobs_, cells.size()));
     for (std::size_t i = 0; i < cells.size(); ++i) {
         pool.submit([&cells, &results, i] {

@@ -15,10 +15,10 @@ ThreadPool::ThreadPool(std::size_t workers)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stop_ = true;
     }
-    workReady_.notify_all();
+    workReady_.notifyAll();
     for (std::thread &t : threads_)
         t.join();
 }
@@ -27,19 +27,19 @@ void
 ThreadPool::submit(std::function<void()> task)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         RSEL_ASSERT(!stop_, "submit on a stopping thread pool");
         queue_.push_back(std::move(task));
     }
-    workReady_.notify_one();
+    workReady_.notifyOne();
 }
 
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_.wait(lock,
-               [this] { return queue_.empty() && running_ == 0; });
+    MutexLock lock(mutex_);
+    while (!idleLocked())
+        idle_.wait(mutex_);
     if (firstError_) {
         // Hand the captured failure to the submitting thread and
         // reset, so the pool can be reused for another batch.
@@ -52,37 +52,42 @@ ThreadPool::wait()
 void
 ThreadPool::workerLoop()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
-        workReady_.wait(
-            lock, [this] { return stop_ || !queue_.empty(); });
-        if (queue_.empty()) {
-            // stop_ is set and no work is left; drain-and-join
-            // semantics: stop only takes effect on an empty queue.
-            return;
+        std::function<void()> task;
+        {
+            MutexLock lock(mutex_);
+            while (!wakeWorkerLocked())
+                workReady_.wait(mutex_);
+            if (queue_.empty()) {
+                // stop_ is set and no work is left; drain-and-join
+                // semantics: stop only takes effect on an empty
+                // queue.
+                return;
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++running_;
         }
-        std::function<void()> task = std::move(queue_.front());
-        queue_.pop_front();
-        ++running_;
-        lock.unlock();
         std::exception_ptr error;
         try {
             task();
         } catch (...) {
             error = std::current_exception();
         }
-        lock.lock();
-        if (error) {
-            // Keep only the first failure and cancel everything
-            // still pending — later tasks of the batch likely
-            // depend on state the failed one did not produce.
-            if (!firstError_)
-                firstError_ = std::move(error);
-            queue_.clear();
+        {
+            MutexLock lock(mutex_);
+            if (error) {
+                // Keep only the first failure and cancel everything
+                // still pending — later tasks of the batch likely
+                // depend on state the failed one did not produce.
+                if (!firstError_)
+                    firstError_ = std::move(error);
+                queue_.clear();
+            }
+            --running_;
+            if (idleLocked())
+                idle_.notifyAll();
         }
-        --running_;
-        if (queue_.empty() && running_ == 0)
-            idle_.notify_all();
     }
 }
 

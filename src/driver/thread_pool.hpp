@@ -9,19 +9,27 @@
  * not take the process down: the first exception is captured, the
  * pending queue is cancelled, and wait() rethrows it on the
  * submitting thread.
+ *
+ * Concurrency contract (checked by the `analyze` preset, see
+ * docs/ANALYSIS.md): `mutex_` is the single capability; it guards
+ * the queue, the running-task count, the captured exception and the
+ * stop flag. Both condition variables wait under it, and their wait
+ * predicates are stated as `RSEL_REQUIRES(mutex_)` methods so a
+ * predicate evaluated without the lock is a compile error, not a
+ * latent lost-wakeup.
  */
 
 #ifndef RSEL_DRIVER_THREAD_POOL_HPP
 #define RSEL_DRIVER_THREAD_POOL_HPP
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/sync.hpp"
 
 namespace rsel {
 
@@ -53,7 +61,7 @@ class ThreadPool
      * rethrown from the next wait(). Tasks already running on other
      * workers complete normally.
      */
-    void submit(std::function<void()> task);
+    void submit(std::function<void()> task) RSEL_EXCLUDES(mutex_);
 
     /**
      * Block until every task submitted so far has finished or been
@@ -62,7 +70,7 @@ class ThreadPool
      * threw since the last wait(), rethrows the first captured
      * exception (and clears it, so the pool is reusable).
      */
-    void wait();
+    void wait() RSEL_EXCLUDES(mutex_);
 
     /** Number of worker threads. */
     std::size_t workerCount() const { return threads_.size(); }
@@ -74,20 +82,36 @@ class ThreadPool
     static std::size_t hardwareWorkers();
 
   private:
-    void workerLoop();
+    friend struct TsaTestProbe; // negative-compile battery only
+
+    void workerLoop() RSEL_EXCLUDES(mutex_);
+
+    /** workReady_ wait predicate: a task to run, or shutting down. */
+    bool
+    wakeWorkerLocked() const RSEL_REQUIRES(mutex_)
+    {
+        return stop_ || !queue_.empty();
+    }
+
+    /** idle_ wait predicate: nothing queued and nothing running. */
+    bool
+    idleLocked() const RSEL_REQUIRES(mutex_)
+    {
+        return queue_.empty() && running_ == 0;
+    }
 
     std::vector<std::thread> threads_;
-    std::deque<std::function<void()>> queue_;
-    std::mutex mutex_;
+    Mutex mutex_;
+    std::deque<std::function<void()>> queue_ RSEL_GUARDED_BY(mutex_);
     /** Signalled when a task is queued or the pool shuts down. */
-    std::condition_variable workReady_;
+    CondVar workReady_;
     /** Signalled when the pool may have become idle. */
-    std::condition_variable idle_;
+    CondVar idle_;
     /** Tasks currently executing in a worker. */
-    std::size_t running_ = 0;
+    std::size_t running_ RSEL_GUARDED_BY(mutex_) = 0;
     /** First exception thrown by a task since the last wait(). */
-    std::exception_ptr firstError_;
-    bool stop_ = false;
+    std::exception_ptr firstError_ RSEL_GUARDED_BY(mutex_);
+    bool stop_ RSEL_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace rsel

@@ -21,8 +21,13 @@ CodeCache::removeLive(RegionId id, DropReason reason)
     byEntry_.erase(r.entryAddr());
     entryIndex_[r.entryBlock().id()] = invalidRegion;
     liveBytes_ -= bytes;
-    if (listener_ != nullptr)
+    if (listener_ != nullptr) {
+        // The re-entrancy sentinel brackets the callback; the
+        // mutating entry points assert it is clear.
+        notifying_ = true;
         listener_->onRegionDropped(r, bytes, reason);
+        notifying_ = false;
+    }
 }
 
 void
@@ -40,6 +45,8 @@ CodeCache::evict(RegionId id)
 bool
 CodeCache::invalidate(RegionId id)
 {
+    RSEL_ASSERT(!notifying_,
+                "listener re-entered invalidate() mid-mutation");
     if (live_.count(id) == 0)
         return false; // already evicted or invalidated: no-op
     const Addr entry = regions_[id].entryAddr();
@@ -52,6 +59,8 @@ CodeCache::invalidate(RegionId id)
 std::size_t
 CodeCache::invalidateBlock(BlockId block)
 {
+    RSEL_ASSERT(!notifying_,
+                "listener re-entered invalidateBlock() mid-mutation");
     std::vector<RegionId> victims;
     for (const RegionId id : live_)
         if (regions_[id].containsBlock(block))
@@ -65,6 +74,8 @@ CodeCache::invalidateBlock(BlockId block)
 void
 CodeCache::flushAll()
 {
+    RSEL_ASSERT(!notifying_,
+                "listener re-entered flushAll() mid-mutation");
     if (live_.empty())
         return;
     ++flushes_;
@@ -106,6 +117,8 @@ CodeCache::makeRoom(std::uint64_t incomingBytes)
 RegionId
 CodeCache::insert(Region region)
 {
+    RSEL_ASSERT(!notifying_,
+                "listener re-entered insert() mid-mutation");
     RSEL_ASSERT(region.id() == regions_.size(),
                 "region id must come from nextRegionId()");
     RSEL_ASSERT(byEntry_.count(region.entryAddr()) == 0,
@@ -130,9 +143,12 @@ CodeCache::insert(Region region)
     live_.insert(id);
     fifo_.push_back(id);
     regions_.push_back(std::move(region));
-    if (listener_ != nullptr)
+    if (listener_ != nullptr) {
+        notifying_ = true;
         listener_->onRegionInserted(regions_.back(),
                                     estimateOf(regions_.back()));
+        notifying_ = false;
+    }
     return id;
 }
 

@@ -64,6 +64,19 @@ class CodeCache
      * the rare structural events (insert / evict / invalidate /
      * flush), never on the per-event lookup path, so an attached
      * listener costs the hot loop nothing.
+     *
+     * Re-entrancy contract: a callback runs *inside* a cache
+     * mutation, with the cache's internal structures mid-update.
+     * It must not call back into any mutating CodeCache method on
+     * the same cache (insert / invalidate / invalidateBlock /
+     * flushAll) — the cache asserts against it at runtime. It MAY
+     * call into other locked subsystems; that is exactly what the
+     * service's mirror does, which is why the arena methods it
+     * reaches (`ShardedCodeCache::admit`/`release`) are annotated
+     * `RSEL_EXCLUDES(registry_)`: a listener fires with the
+     * tenant's session capability held, so anything it calls must
+     * be lower in the lock hierarchy than the locks already held
+     * (see docs/ANALYSIS.md).
      */
     class Listener
     {
@@ -257,6 +270,11 @@ class CodeCache
     /** True while flushAll() drains, so per-region evictions inside
      *  a flush notify the listener as Flushed, not Evicted. */
     bool flushing_ = false;
+    /** True while a listener callback is on the stack; the mutating
+     *  entry points assert it is clear, turning a re-entrant
+     *  listener (contract violation above) into an immediate panic
+     *  instead of silent structure corruption. */
+    bool notifying_ = false;
     std::deque<Region> regions_;
     std::unordered_map<Addr, RegionId> byEntry_;
     /** Live region id per entry-block id (dense lookupEntry probe);

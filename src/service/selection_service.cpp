@@ -82,6 +82,11 @@ runService(const ServiceConfig &config)
     arenaCfg.policy = config.policy;
     ShardedCodeCache arena(arenaCfg);
 
+    // The whole tenant set registers before the pool spins up:
+    // registerTenant grows the account table under registry_, and
+    // the lock-free admit/release path depends on that table never
+    // growing once slice traffic starts (the accountCount_
+    // publication covers construction, not concurrent growth).
     std::vector<std::unique_ptr<TenantSession>> sessions;
     sessions.reserve(n);
     for (const TenantSpec &spec : config.tenants) {
@@ -115,7 +120,10 @@ runService(const ServiceConfig &config)
         // Slice resubmission: each task runs one slice of one
         // tenant and requeues itself while work remains, giving
         // FIFO round-robin interleaving without ever running one
-        // session on two workers at once.
+        // session on two workers at once. That "never two workers"
+        // property is the session capability (sessionMu_) the
+        // analyze preset checks — and MutexSoleLock panics at
+        // runtime if this scheduler ever breaks it.
         ThreadPool pool(workers);
         std::function<void(std::size_t)> step =
             [&](std::size_t i) {

@@ -7,16 +7,21 @@
 namespace rsel {
 namespace service {
 
-ShardedCodeCache::ShardedCodeCache(ArenaConfig cfg)
-    : cfg_(cfg), shards_(std::max<std::size_t>(cfg.shardCount, 1))
+ShardedCodeCache::ShardedCodeCache(ArenaConfig cfg) : cfg_(cfg)
 {
+    const std::size_t count = std::max<std::size_t>(cfg.shardCount, 1);
+    // Deque, not vector: Shard is immovable (mutex + the registry
+    // reference that names the lock order), so the container must
+    // construct in place and never relocate.
+    for (std::size_t i = 0; i < count; ++i)
+        shards_.emplace_back(registry_);
     cfg_.shardCount = shards_.size();
 }
 
 TenantId
 ShardedCodeCache::registerTenant()
 {
-    std::lock_guard<std::mutex> lock(registry_);
+    MutexLock lock(registry_);
     accounts_.emplace_back();
     // Publish only after the Account is fully constructed: readers
     // go through accountCount_ (acquire) instead of the registry
@@ -67,20 +72,6 @@ ShardedCodeCache::account(TenantId tenant) const
     return accounts_[tenant];
 }
 
-std::unique_lock<std::mutex>
-ShardedCodeCache::lockShard(const Shard &shard) const
-{
-    std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
-    if (!lock.owns_lock()) {
-        // Someone else holds this shard right now: that is the
-        // cross-tenant contention the shard count dilutes. Count
-        // it, then wait like everyone else.
-        contention_.fetch_add(1, std::memory_order_relaxed);
-        lock.lock();
-    }
-    return lock;
-}
-
 void
 ShardedCodeCache::raiseHighWater(std::atomic<std::uint64_t> &mark,
                                  std::uint64_t value)
@@ -103,7 +94,7 @@ ShardedCodeCache::admit(TenantId tenant, Addr entry,
                 "admission from a torn-down tenant");
     Shard &shard = shards_[shardOf(entry)];
     {
-        std::unique_lock<std::mutex> lock = lockShard(shard);
+        MutexLock lock(shard.mu, contention_);
         const bool inserted =
             shard.entries.emplace(keyOf(tenant, entry), bytes)
                 .second;
@@ -130,7 +121,7 @@ ShardedCodeCache::release(TenantId tenant, Addr entry,
     Account &acct = account(tenant);
     Shard &shard = shards_[shardOf(entry)];
     {
-        std::unique_lock<std::mutex> lock = lockShard(shard);
+        MutexLock lock(shard.mu, contention_);
         auto it = shard.entries.find(keyOf(tenant, entry));
         RSEL_ASSERT(it != shard.entries.end(),
                     "releasing an entry the arena never admitted");
@@ -166,7 +157,7 @@ ShardedCodeCache::releaseAll(TenantId tenant)
     std::uint64_t released = 0;
     std::uint64_t count = 0;
     for (Shard &shard : shards_) {
-        std::unique_lock<std::mutex> lock = lockShard(shard);
+        MutexLock lock(shard.mu, contention_);
         for (auto it = shard.entries.begin();
              it != shard.entries.end();) {
             // Recover the tenant from the key's high bits; the
@@ -191,7 +182,11 @@ void
 ShardedCodeCache::unregisterTenant(TenantId tenant)
 {
     Account &acct = account(tenant);
-    RSEL_ASSERT(acct.liveBytes.load(std::memory_order_acquire) == 0,
+    // Relaxed is enough (gauge role): the zero being asserted was
+    // produced either on this thread (teardown calls releaseAll
+    // first) or before the teardown task was handed to this worker,
+    // and the pool's queue transfer is the happens-before edge.
+    RSEL_ASSERT(acct.liveBytes.load(std::memory_order_relaxed) == 0,
                 "unregistering a tenant with live physical bytes");
     acct.active.store(false, std::memory_order_release);
 }
@@ -230,8 +225,12 @@ ShardedCodeCache::stats() const
     const std::size_t count =
         accountCount_.load(std::memory_order_acquire);
     out.tenantsRegistered = count;
+    // Route the element reads through account(): it owns the
+    // publication-protocol escape hatch for lock-free access to
+    // accounts_ (the acquire above covers construction of [0..n)).
     for (std::size_t i = 0; i < count; ++i)
-        if (accounts_[i].active.load(std::memory_order_relaxed))
+        if (account(static_cast<TenantId>(i))
+                .active.load(std::memory_order_relaxed))
             ++out.tenantsActive;
     return out;
 }
@@ -241,7 +240,7 @@ ShardedCodeCache::liveEntryCount(TenantId tenant) const
 {
     std::size_t count = 0;
     for (const Shard &shard : shards_) {
-        std::unique_lock<std::mutex> lock = lockShard(shard);
+        MutexLock lock(shard.mu, contention_);
         for (const auto &entry : shard.entries)
             if ((entry.first >> 40) == tenant)
                 ++count;

@@ -30,6 +30,24 @@
  * not by tenant — so tenants whose guest programs share an address
  * range (all generated programs do) genuinely contend on the same
  * shard mutexes. The tsan stress battery hammers exactly that.
+ *
+ * Concurrency contract (checked by the `analyze` preset, see
+ * docs/ANALYSIS.md for the full capability map):
+ *
+ *  - `registry_` guards the account table's *growth*
+ *    (registerTenant); established accounts are then read lock-free
+ *    through the `accountCount_` publication count.
+ *  - `Shard::mu` guards that shard's entry map, and nothing else.
+ *  - Lock hierarchy: `registry_` ≺ `shard.mu`, encoded with
+ *    `RSEL_ACQUIRED_AFTER` on every shard mutex — acquiring the
+ *    registry while holding a shard is a compile error under the
+ *    analyze gate (the inversion TSan could only hope to trip).
+ *    Methods on the admit/release path additionally carry
+ *    `RSEL_EXCLUDES(registry_)`: they are callable from under a
+ *    tenant's logical-cache mutation (the CodeCache::Listener
+ *    mirror), so they must never wait on the registry.
+ *  - All cross-shard accounting is atomic with a declared role tag
+ *    (see support/sync.hpp's atomics discipline).
  */
 
 #ifndef RSEL_SERVICE_SHARDED_CACHE_HPP
@@ -38,11 +56,10 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <unordered_map>
-#include <vector>
 
 #include "runtime/code_cache.hpp"
+#include "support/sync.hpp"
 
 namespace rsel {
 namespace service {
@@ -99,8 +116,9 @@ struct ArenaStats
 /**
  * The shared physical code cache. All methods are thread-safe; a
  * single tenant's calls must be serialized by its session (they
- * are — a session runs one slice at a time), but different tenants
- * call concurrently from any pool worker.
+ * are — a session runs one slice at a time, and TenantSession's
+ * session capability enforces it), but different tenants call
+ * concurrently from any pool worker.
  */
 class ShardedCodeCache
 {
@@ -123,7 +141,7 @@ class ShardedCodeCache
      * would race. Teardown (releaseAll/unregisterTenant) only
      * mutates existing accounts and IS safe during traffic.
      */
-    TenantId registerTenant();
+    TenantId registerTenant() RSEL_EXCLUDES(registry_);
 
     /**
      * Per-tenant quota under the global policy: capacityBytes / N
@@ -149,16 +167,20 @@ class ShardedCodeCache
      * Admit one region of `bytes` estimated bytes entering at
      * `entry`. @pre the tenant is registered and active, and holds
      * no live entry at `entry` (its logical cache guarantees both).
+     * Callable from under a tenant's logical-cache mutation (the
+     * Listener mirror), hence must never touch the registry.
      */
-    void admit(TenantId tenant, Addr entry, std::uint64_t bytes);
+    void admit(TenantId tenant, Addr entry, std::uint64_t bytes)
+        RSEL_EXCLUDES(registry_);
 
     /**
      * Release the entry admitted at `entry`. The byte figure must
      * match the admission (CodeCache reports the same estimate on
-     * both sides, so listener-driven mirrors always do).
+     * both sides, so listener-driven mirrors always do). Same
+     * re-entrancy contract as admit().
      */
     void release(TenantId tenant, Addr entry, std::uint64_t bytes,
-                 ReleaseReason reason);
+                 ReleaseReason reason) RSEL_EXCLUDES(registry_);
 
     /**
      * Drop every live entry of `tenant` (teardown sweep), then
@@ -166,7 +188,7 @@ class ShardedCodeCache
      * loudly, so a dead tenant's regions can never resurrect.
      * @return bytes released.
      */
-    std::uint64_t releaseAll(TenantId tenant);
+    std::uint64_t releaseAll(TenantId tenant) RSEL_EXCLUDES(registry_);
 
     /**
      * Final teardown check: @pre releaseAll() ran (or the tenant
@@ -202,25 +224,72 @@ class ShardedCodeCache
     /** The configured arena parameters. */
     const ArenaConfig &config() const { return cfg_; }
 
+    /**
+     * Lock-order probes for the negative-compile battery and the
+     * service_stress_test shim (tests/negative_compile/): the two
+     * capabilities of shard `shard` in their declared order. The
+     * first IS `registry_` (each shard re-names the registry lock so
+     * the `RSEL_ACQUIRED_AFTER` relation is expressible per shard);
+     * acquiring them through these probes in the inverted order is
+     * exactly the registry-vs-shard deadlock, and the analyze gate
+     * rejects it at compile time.
+     */
+    Mutex &
+    shardOrderFirst(std::size_t shard) const
+        RSEL_RETURN_CAPABILITY(shards_[shard].registry)
+    {
+        return shards_[shard].registry;
+    }
+
+    /** The shard's own mutex (second in the declared order). */
+    Mutex &
+    shardOrderSecond(std::size_t shard) const
+        RSEL_RETURN_CAPABILITY(shards_[shard].mu)
+    {
+        return shards_[shard].mu;
+    }
+
   private:
+    friend struct TsaTestProbe; // negative-compile battery only
+
     /** One shard: a mutex plus the (tenant, entry) -> bytes map. */
     struct Shard
     {
-        mutable std::mutex mu;
+        explicit Shard(Mutex &registryLock) : registry(registryLock) {}
+
+        /**
+         * The owning arena's `registry_`, re-named into shard scope
+         * so the lock order `registry_` ≺ `mu` is expressible as an
+         * attribute on `mu` (TSA resolves `acquired_after` against
+         * members of the same object).
+         */
+        Mutex &registry;
+        mutable Mutex mu RSEL_ACQUIRED_AFTER(registry);
         /** Key = tenant-qualified entrance address (see keyOf). */
-        std::unordered_map<std::uint64_t, std::uint64_t> entries;
+        std::unordered_map<std::uint64_t, std::uint64_t> entries
+            RSEL_GUARDED_BY(mu);
     };
 
     /** Per-tenant account; atomics because a tenant's entries span
-     *  shards and snapshots race with other tenants' traffic. */
+     *  shards and snapshots race with other tenants' traffic. Role
+     *  tags per the support/sync.hpp atomics discipline. */
     struct Account
     {
+        /** role: gauge (relaxed) — mirrors the shard maps, whose
+         *  consistency the shard mutexes already provide. */
         std::atomic<std::uint64_t> liveBytes{0};
+        /** role: high-water (relaxed CAS). */
         std::atomic<std::uint64_t> highWaterBytes{0};
+        /** role: counter (relaxed). */
         std::atomic<std::uint64_t> admissions{0};
+        /** role: counter (relaxed). */
         std::atomic<std::uint64_t> evictionReleases{0};
+        /** role: counter (relaxed). */
         std::atomic<std::uint64_t> invalidationReleases{0};
+        /** role: counter (relaxed). */
         std::atomic<std::uint64_t> flushReleases{0};
+        /** role: flag (release/acquire) — deactivation publishes the
+         *  teardown sweep that preceded it. */
         std::atomic<bool> active{true};
     };
 
@@ -237,29 +306,46 @@ class ShardedCodeCache
         return (static_cast<std::uint64_t>(tenant) << 40) ^ entry;
     }
 
-    /** Lock a shard, counting contention on the slow path. */
-    std::unique_lock<std::mutex> lockShard(const Shard &shard) const;
-
-    Account &account(TenantId tenant);
-    const Account &account(TenantId tenant) const;
+    /**
+     * Look up an established account without the registry lock.
+     * Sound by the accountCount_ publication protocol: the bound
+     * check loads accountCount_ with acquire, which synchronizes
+     * with registerTenant's release store made after the element
+     * was constructed — hence the escape hatch from the
+     * `RSEL_GUARDED_BY(registry_)` on accounts_.
+     */
+    Account &account(TenantId tenant) RSEL_NO_THREAD_SAFETY_ANALYSIS;
+    const Account &account(TenantId tenant) const
+        RSEL_NO_THREAD_SAFETY_ANALYSIS;
 
     /** Raise the high-water mark to at least `value`. */
     static void raiseHighWater(std::atomic<std::uint64_t> &mark,
                                std::uint64_t value);
 
     ArenaConfig cfg_;
-    std::vector<Shard> shards_;
-    /** Deque so Account references stay stable across registers. */
-    std::deque<Account> accounts_;
-    /** Accounts published so far (acquire-loaded by the lock-free
-     *  account() accessor; see registerTenant's precondition). */
+    /** Serializes registerTenant calls with each other and guards
+     *  the account table's growth. First in the lock hierarchy:
+     *  declared before shards_ so each Shard can bind it. */
+    mutable Mutex registry_;
+    /** Deque: Shard is immovable (mutex + reference member). */
+    std::deque<Shard> shards_;
+    /** Deque so Account references stay stable across registers.
+     *  Growth under registry_; established elements are read
+     *  lock-free via the accountCount_ publication protocol (see
+     *  account()). */
+    std::deque<Account> accounts_ RSEL_GUARDED_BY(registry_);
+    /** role: publication count (release/acquire) — publishes the
+     *  construction of accounts_[0..n) to lock-free readers. */
     std::atomic<std::size_t> accountCount_{0};
-    /** Serializes registerTenant calls with each other. */
-    mutable std::mutex registry_;
+    /** role: gauge (relaxed). */
     std::atomic<std::uint64_t> liveBytes_{0};
+    /** role: high-water (relaxed CAS). */
     std::atomic<std::uint64_t> highWaterBytes_{0};
+    /** role: counter (relaxed). */
     std::atomic<std::uint64_t> admissions_{0};
+    /** role: counter (relaxed). */
     std::atomic<std::uint64_t> releases_{0};
+    /** role: counter (relaxed). */
     mutable std::atomic<std::uint64_t> contention_{0};
 };
 

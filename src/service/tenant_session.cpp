@@ -33,7 +33,9 @@ TenantSession::~TenantSession()
 {
     // Detach before members die so no stale notification can fire
     // during destruction, then make sure the arena holds nothing of
-    // this tenant (idempotent if teardown() already ran).
+    // this tenant (idempotent if teardown() already ran). No lock:
+    // destruction is single-owner by the language, and TSA exempts
+    // destructors for the same reason.
     sys_.setCacheListener(nullptr);
     if (!tornDown_) {
         arena_.releaseAll(id_);
@@ -45,6 +47,10 @@ TenantSession::~TenantSession()
 bool
 TenantSession::runSlice(std::uint64_t maxEvents)
 {
+    // Sole-owner acquisition: a second thread slicing this session
+    // concurrently is a scheduler bug and panics here, before any
+    // slice state can interleave.
+    MutexSoleLock lock(sessionMu_);
     RSEL_ASSERT(!finished_, "slice after finish()");
     if (done_)
         return false;
@@ -71,6 +77,7 @@ TenantSession::runSlice(std::uint64_t maxEvents)
 SimResult
 TenantSession::finish()
 {
+    MutexSoleLock lock(sessionMu_);
     RSEL_ASSERT(done_, "finish() before the session completed");
     RSEL_ASSERT(!finished_, "finish() may be called once");
     finished_ = true;
@@ -82,6 +89,7 @@ TenantSession::finish()
 void
 TenantSession::teardown()
 {
+    MutexSoleLock lock(sessionMu_);
     if (tornDown_)
         return;
     tornDown_ = true;

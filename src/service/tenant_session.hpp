@@ -15,6 +15,17 @@
  * resubmitting a session after its current slice returns); distinct
  * sessions run concurrently and meet only inside the arena.
  * requestStop() may be called from any thread.
+ *
+ * That single-owner contract is now a capability, `sessionMu_`:
+ * every slice-state field is `RSEL_GUARDED_BY(sessionMu_)`, the
+ * mutating entry points acquire it through `MutexSoleLock` — which
+ * *panics* on contention, because a second concurrent owner is a
+ * scheduler bug, not a queueing situation — and the analyze preset
+ * rejects any new code path that touches slice state without it.
+ * Lock hierarchy: `sessionMu_` is held across the logical-cache
+ * mutations that re-enter the arena, so it sits strictly *before*
+ * `Shard::mu` (and never meets `registry_`, which only
+ * registerTenant takes); see docs/ANALYSIS.md.
  */
 
 #ifndef RSEL_SERVICE_TENANT_SESSION_HPP
@@ -26,6 +37,7 @@
 #include "dynopt/dynopt_system.hpp"
 #include "service/sharded_cache.hpp"
 #include "service/tenant_spec.hpp"
+#include "support/sync.hpp"
 
 namespace rsel {
 namespace service {
@@ -58,9 +70,10 @@ class TenantSession : public CodeCache::Listener
      * Run up to `maxEvents` further events through the system.
      * @return true while the tenant has work left; false once the
      * budget is exhausted, the guest halted, or a stop was
-     * requested. Never call concurrently on the same session.
+     * requested. Never call concurrently on the same session (the
+     * session capability panics if two threads try).
      */
-    bool runSlice(std::uint64_t maxEvents);
+    bool runSlice(std::uint64_t maxEvents) RSEL_EXCLUDES(sessionMu_);
 
     /** Ask the session to stop at the next slice boundary (safe
      *  from any thread; used by concurrent-teardown paths). */
@@ -68,7 +81,12 @@ class TenantSession : public CodeCache::Listener
 
     /** True once runSlice() reported completion (or never had
      *  events to run). */
-    bool done() const { return done_; }
+    bool
+    done() const RSEL_EXCLUDES(sessionMu_)
+    {
+        MutexLock lock(sessionMu_);
+        return done_;
+    }
 
     /**
      * Close the run and return its metrics (workload field set to
@@ -77,7 +95,7 @@ class TenantSession : public CodeCache::Listener
      * single-tenant run of the same spec and limits — the service's
      * determinism contract.
      */
-    SimResult finish();
+    SimResult finish() RSEL_EXCLUDES(sessionMu_);
 
     /**
      * Tear the tenant down: flush its logical cache through the
@@ -86,7 +104,7 @@ class TenantSession : public CodeCache::Listener
      * good. Idempotent. Works on finished and aborted sessions
      * alike; an aborted session simply never produces a SimResult.
      */
-    void teardown();
+    void teardown() RSEL_EXCLUDES(sessionMu_);
 
     /** The arena id. */
     TenantId tenantId() const { return id_; }
@@ -95,31 +113,55 @@ class TenantSession : public CodeCache::Listener
     const TenantSpec &spec() const { return spec_; }
 
     /** Events consumed so far. */
-    std::uint64_t eventsRun() const { return eventsRun_; }
+    std::uint64_t
+    eventsRun() const RSEL_EXCLUDES(sessionMu_)
+    {
+        MutexLock lock(sessionMu_);
+        return eventsRun_;
+    }
 
     /** The tenant's logical cache (test probe). */
     const CodeCache &cache() const { return sys_.cache(); }
 
-    // CodeCache::Listener — the logical->physical mirror.
+    // CodeCache::Listener — the logical->physical mirror. Fired
+    // from inside sys_ while the owning slice (or teardown) holds
+    // sessionMu_; they touch only id_/arena_, never slice state, so
+    // they carry no capability requirement of their own.
     void onRegionInserted(const Region &region,
                           std::uint64_t bytes) override;
     void onRegionDropped(const Region &region, std::uint64_t bytes,
                          CodeCache::DropReason reason) override;
 
   private:
+    friend struct TsaTestProbe; // negative-compile battery only
+
     TenantId id_;
     TenantSpec spec_;
     ShardedCodeCache &arena_;
     Program prog_;
+    /**
+     * The session capability: models "one thread owns this session
+     * at a time". Uncontended in a correct service; MutexSoleLock
+     * turns contention into a panic. mutable so const probes
+     * (done, eventsRun) can take it.
+     */
+    mutable Mutex sessionMu_;
+    /** The simulated system and its driver are slice state too —
+     *  sys_/exec_ are mutated by every slice — but stay unannotated
+     *  because the constructor must pass sys_ to attachAlgorithm
+     *  and the accessors expose them const; the guarded fields
+     *  below are the ones a scheduler could plausibly race on. */
     DynOptSystem sys_;
     Executor exec_;
-    EventBatch batch_;
-    std::uint64_t remaining_;
-    std::uint64_t eventsRun_ = 0;
+    EventBatch batch_ RSEL_GUARDED_BY(sessionMu_);
+    std::uint64_t remaining_ RSEL_GUARDED_BY(sessionMu_);
+    std::uint64_t eventsRun_ RSEL_GUARDED_BY(sessionMu_) = 0;
+    /** role: flag (release/acquire) — publishes "stop requested"
+     *  across threads; the only cross-thread member by design. */
     std::atomic<bool> stop_{false};
-    bool done_ = false;
-    bool finished_ = false;
-    bool tornDown_ = false;
+    bool done_ RSEL_GUARDED_BY(sessionMu_) = false;
+    bool finished_ RSEL_GUARDED_BY(sessionMu_) = false;
+    bool tornDown_ RSEL_GUARDED_BY(sessionMu_) = false;
 };
 
 } // namespace service

@@ -247,6 +247,28 @@ TEST(ExitCodeTest, ServeHonoursTheContract)
               ExitVerifyFailure);
 }
 
+TEST(ExitCodeTest, TsaGateHonoursTheContract)
+{
+    // Battery listing and the positive legs are clean on any
+    // toolchain; the full battery either passes (Clang host) or
+    // self-skips (non-Clang) — both are exit 0 by design, so the
+    // analyze preset can ride in CI everywhere.
+    EXPECT_EQ(toolExit("rselect-tsa-gate", "--list"), ExitOk);
+    EXPECT_EQ(toolExit("rselect-tsa-gate", ""), ExitOk);
+    // Gate self-test: a non-failing case must be flagged on every
+    // host (withholding the violation define makes all legs
+    // compile, and the gate must call each one out).
+    EXPECT_EQ(toolExit("rselect-tsa-gate", "--self-test"), ExitOk);
+    // Usage errors per the contract.
+    EXPECT_EQ(toolExit("rselect-tsa-gate", "--definitely-not-a-flag"),
+              ExitUsageError);
+    EXPECT_EQ(toolExit("rselect-tsa-gate",
+                       "--cases /nonexistent/tsa-cases"),
+              ExitUsageError);
+    EXPECT_EQ(toolExit("rselect-tsa-gate", "stray-positional"),
+              ExitUsageError);
+}
+
 #endif // RSEL_TOOL_DIR
 
 TEST(CliTest, UnknownOptionsAreRejectedWithUsage)

@@ -155,6 +155,64 @@ TEST(MultiTenantTest, EvictionVsInvalidationDisjointAccounting)
     EXPECT_GT(invalidationsSeen, 0u);
 }
 
+// The memory-order audit's witness (ISSUE 8): after the arena's
+// atomics were pinned to the weakest orders their role tags permit
+// (counters/gauges relaxed, flags and the publication count
+// release/acquire — see support/sync.hpp), the disjoint-accounting
+// identities must still close under the stress trio's conditions:
+// a single shard (maximum cross-tenant contention on one mutex),
+// a pooled scheduler, and invalidation-heavy fault plans, so every
+// relaxed counter is hammered from eight workers while being
+// snapshotted. A wrong relaxation shows up here (and in the tsan
+// preset, which runs this test) as a broken identity.
+TEST(MultiTenantTest, DisjointAccountingUnderContention)
+{
+    ServiceConfig config = seedConfig(16, 1, 8, 4000);
+    config.shards = 1;
+    // inval is per 100k block events; the squeezed 64-byte quotas
+    // leave the caches nearly empty, so most ticks find nothing to
+    // invalidate — a high rate keeps the identities non-vacuous.
+    for (std::size_t i = 0; i < config.tenants.size(); i += 2)
+        config.tenants[i].faults =
+            resilience::FaultPlan::parse("f1,inval=2500,seed=5");
+    const ServiceReport report = runService(config);
+
+    std::uint64_t admissions = 0, releases = 0, live = 0;
+    std::uint64_t invalidationsSeen = 0;
+    for (const TenantReport &tr : report.tenants) {
+        EXPECT_EQ(tr.cache.evictionReleases + tr.cache.flushReleases,
+                  tr.result.cacheEvictions)
+            << tr.name;
+        EXPECT_EQ(tr.cache.invalidationReleases,
+                  tr.result.recovery.regionsInvalidated)
+            << tr.name;
+        EXPECT_EQ(tr.cache.liveBytes, tr.result.cacheLiveBytes)
+            << tr.name;
+        const std::uint64_t released =
+            tr.cache.evictionReleases +
+            tr.cache.invalidationReleases + tr.cache.flushReleases;
+        // Every admission leaves exactly once or is still live —
+        // and a tenant with no residual bytes has released all.
+        EXPECT_GE(tr.cache.admissions, released) << tr.name;
+        if (tr.cache.liveBytes == 0)
+            EXPECT_EQ(tr.cache.admissions, released) << tr.name;
+        admissions += tr.cache.admissions;
+        releases += released;
+        live += tr.cache.liveBytes;
+        invalidationsSeen += tr.cache.invalidationReleases;
+    }
+    // Global identities: the arena's own counters (relaxed
+    // throughout) fold to the per-tenant sums, and global occupancy
+    // is exactly the tenants' residual live bytes.
+    EXPECT_EQ(report.arena.admissions, admissions);
+    EXPECT_EQ(report.arena.releases, releases);
+    EXPECT_EQ(report.arena.liveBytes, live);
+    EXPECT_EQ(report.arena.shardCount, 1u);
+    // Both release kinds must fire, or the identities are vacuous.
+    EXPECT_GT(invalidationsSeen, 0u);
+    EXPECT_GT(releases, 0u);
+}
+
 // Per-tenant conservation (the oracle identity of each SimResult)
 // and global conservation: counters summed across tenants equal the
 // mergeResults() fold, including RecoveryStats.

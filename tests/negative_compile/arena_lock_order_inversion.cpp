@@ -1,0 +1,17 @@
+// TSA-EXPECT: must be acquired before
+// Violation class: the real registry ≺ shard.mu hierarchy of the
+// sharded arena, inverted through the lock_order_shim the stress
+// test runs legally. Companion to lock_order_inversion.cpp (the
+// self-contained two-member shape); this one pins the order on the
+// production capabilities via the shardOrderFirst/Second probes.
+
+#include "lock_order_shim.hpp"
+
+int
+main()
+{
+    // The shim is an inline definition in this TU, so TSA analyzes
+    // its body whether or not anything calls it — and nothing does:
+    // cases compile standalone, without the library.
+    return 0;
+}

@@ -1,0 +1,47 @@
+// TSA-EXPECT: requires holding mutex
+// Violation class: waiting on a condition variable without holding
+// the mutex its predicate is a function of — the classic lost-wakeup
+// / UB shape. CondVar::wait demands the capability in its signature,
+// and the predicate method pins which mutex that is.
+
+#include "support/sync.hpp"
+
+namespace {
+
+struct Waiter
+{
+    rsel::Mutex mu;
+    rsel::CondVar cv;
+    bool ready RSEL_GUARDED_BY(mu) = false;
+
+    bool
+    readyLocked() const RSEL_REQUIRES(mu)
+    {
+        return ready;
+    }
+
+    void
+    block()
+    {
+#ifdef RSEL_TSA_NEGATIVE
+        while (!readyLocked()) // predicate without the lock
+            cv.wait(mu);       // wait without the lock
+#else
+        rsel::MutexLock lock(mu);
+        while (!readyLocked())
+            cv.wait(mu);
+#endif
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    // Never call block(): the battery compiles cases, it does not
+    // run them, and an un-notified wait would hang forever.
+    Waiter w;
+    (void)w;
+    return 0;
+}

@@ -1,0 +1,34 @@
+// TSA-EXPECT: that is already held
+// Violation class: re-acquiring a capability the scope already
+// holds (std::mutex makes this undefined behaviour at runtime).
+
+#include "support/sync.hpp"
+
+namespace {
+
+struct Box
+{
+    rsel::Mutex mu;
+    int value RSEL_GUARDED_BY(mu) = 0;
+
+    void
+    touch()
+    {
+        mu.lock();
+#ifdef RSEL_TSA_NEGATIVE
+        mu.lock(); // second acquisition: gate must reject
+#endif
+        value = 1;
+        mu.unlock();
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    Box b;
+    b.touch();
+    return 0;
+}

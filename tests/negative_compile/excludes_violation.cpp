@@ -1,0 +1,43 @@
+// TSA-EXPECT: while mutex
+// Violation class: calling a function annotated RSEL_EXCLUDES(mu)
+// while holding mu — self-deadlock on a non-recursive mutex. This is
+// the contract on the arena's admit/release path (callable from
+// under a tenant's logical-cache mutation, so it must never wait on
+// the registry).
+
+#include "support/sync.hpp"
+
+namespace {
+
+struct Service
+{
+    rsel::Mutex mu;
+    int value RSEL_GUARDED_BY(mu) = 0;
+
+    void
+    reenter() RSEL_EXCLUDES(mu)
+    {
+        rsel::MutexLock lock(mu);
+        value = 2;
+    }
+
+    void
+    outer()
+    {
+        rsel::MutexLock lock(mu);
+        value = 1;
+#ifdef RSEL_TSA_NEGATIVE
+        reenter(); // would self-deadlock: gate must reject
+#endif
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    Service s;
+    s.outer();
+    return 0;
+}

@@ -1,0 +1,39 @@
+// TSA-EXPECT: must be acquired before
+// Violation class: acquiring two capabilities against their declared
+// RSEL_ACQUIRED_AFTER order — the deadlock cycle TSan can only hope
+// to trip at runtime, rejected here on every interleaving. (Checked
+// under -Wthread-safety-beta; the self-contained two-member shape is
+// the canonical one, arena_lock_order_inversion.cpp exercises the
+// real registry/shard pair.)
+
+#include "support/sync.hpp"
+
+namespace {
+
+struct Hierarchy
+{
+    rsel::Mutex outer;
+    rsel::Mutex inner RSEL_ACQUIRED_AFTER(outer);
+
+    void
+    takeBoth()
+    {
+#ifdef RSEL_TSA_NEGATIVE
+        rsel::MutexLock second(inner);
+        rsel::MutexLock first(outer); // inverted: gate must reject
+#else
+        rsel::MutexLock first(outer);
+        rsel::MutexLock second(inner);
+#endif
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    Hierarchy h;
+    h.takeBoth();
+    return 0;
+}

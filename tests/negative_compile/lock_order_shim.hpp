@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The deliberate lock-order-inversion shim (ISSUE 8 satellite).
+ *
+ * Compiled two ways:
+ *  - by service_stress_test (no special defines): the LEGAL
+ *    acquisition order registry ≺ shard.mu, executed for real under
+ *    TSan, proving the shim exercises the genuine arena locks;
+ *  - by the negative-compile battery with -DRSEL_TSA_NEGATIVE: the
+ *    INVERTED order, which must fail to compile under the analyze
+ *    gate — demonstrating that the RSEL_ACQUIRED_AFTER annotation
+ *    (not scheduling luck) is what forbids the deadlock.
+ *
+ * The shim goes through ShardedCodeCache::shardOrderFirst/Second,
+ * whose RSEL_RETURN_CAPABILITY annotations resolve the references
+ * back to the same-object capability expressions TSA orders.
+ */
+
+#ifndef RSEL_TESTS_LOCK_ORDER_SHIM_HPP
+#define RSEL_TESTS_LOCK_ORDER_SHIM_HPP
+
+#include "service/sharded_cache.hpp"
+
+namespace rsel {
+namespace service {
+
+/** Acquire both capabilities of shard 0; order per the defines. */
+inline void
+lockOrderShim(ShardedCodeCache &arena)
+{
+#ifdef RSEL_TSA_NEGATIVE
+    MutexLock inner(arena.shardOrderSecond(0));
+    MutexLock outer(arena.shardOrderFirst(0)); // inverted: rejected
+#else
+    MutexLock outer(arena.shardOrderFirst(0));
+    MutexLock inner(arena.shardOrderSecond(0));
+#endif
+}
+
+} // namespace service
+} // namespace rsel
+
+#endif // RSEL_TESTS_LOCK_ORDER_SHIM_HPP

@@ -1,0 +1,36 @@
+// TSA-EXPECT: still held at the end of function
+// Violation class: a manually-acquired capability escaping its
+// function without a release (the leak MutexLock exists to prevent).
+
+#include "support/sync.hpp"
+
+namespace {
+
+struct Box
+{
+    rsel::Mutex mu;
+    int value RSEL_GUARDED_BY(mu) = 0;
+
+    void
+    touch()
+    {
+        mu.lock();
+        value = 1;
+#ifndef RSEL_TSA_NEGATIVE
+        mu.unlock();
+#endif
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    Box b;
+    b.touch();
+#ifdef RSEL_TSA_NEGATIVE
+    b.mu.unlock(); // keep the negative leg deadlock-free if it ran
+#endif
+    return 0;
+}

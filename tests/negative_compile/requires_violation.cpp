@@ -1,0 +1,41 @@
+// TSA-EXPECT: requires holding mutex
+// Violation class: calling a function annotated RSEL_REQUIRES(mu)
+// without the capability — the shape of every *Locked() predicate
+// and helper in the annotated tree (ThreadPool::idleLocked and
+// friends).
+
+#include "support/sync.hpp"
+
+namespace {
+
+struct Ledger
+{
+    mutable rsel::Mutex mu;
+    int balance RSEL_GUARDED_BY(mu) = 0;
+
+    int
+    balanceLocked() const RSEL_REQUIRES(mu)
+    {
+        return balance;
+    }
+
+    int
+    snapshot() const
+    {
+#ifdef RSEL_TSA_NEGATIVE
+        return balanceLocked(); // caller skipped the lock
+#else
+        rsel::MutexLock lock(mu);
+        return balanceLocked();
+#endif
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    Ledger l;
+    return l.snapshot();
+}

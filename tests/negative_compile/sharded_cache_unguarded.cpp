@@ -1,0 +1,34 @@
+// TSA-EXPECT: requires holding mutex
+// First-party case: a ShardedCodeCache shard's entry map is
+// RSEL_GUARDED_BY(shard.mu); a probe sizing it unlocked must be
+// rejected.
+
+#include "service/sharded_cache.hpp"
+
+namespace rsel {
+namespace service {
+
+struct TsaTestProbe
+{
+    static std::size_t
+    shardEntryCount(ShardedCodeCache &arena)
+    {
+        ShardedCodeCache::Shard &shard = arena.shards_[0];
+#ifdef RSEL_TSA_NEGATIVE
+        return shard.entries.size(); // unlocked: gate must reject
+#else
+        MutexLock lock(shard.mu);
+        return shard.entries.size();
+#endif
+    }
+};
+
+} // namespace service
+} // namespace rsel
+
+int
+main()
+{
+    // No arena instance: the constructor lives in the library.
+    return 0;
+}

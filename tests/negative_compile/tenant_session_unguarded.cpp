@@ -1,0 +1,33 @@
+// TSA-EXPECT: requires holding mutex
+// First-party case: TenantSession's slice state (remaining_ and
+// friends) is RSEL_GUARDED_BY(sessionMu_), the single-owner session
+// capability; a probe reading it unlocked must be rejected.
+
+#include "service/tenant_session.hpp"
+
+namespace rsel {
+namespace service {
+
+struct TsaTestProbe
+{
+    static std::uint64_t
+    remainingEvents(TenantSession &session)
+    {
+#ifdef RSEL_TSA_NEGATIVE
+        return session.remaining_; // unlocked: gate must reject
+#else
+        MutexLock lock(session.sessionMu_);
+        return session.remaining_;
+#endif
+    }
+};
+
+} // namespace service
+} // namespace rsel
+
+int
+main()
+{
+    // No session instance: the constructor lives in the library.
+    return 0;
+}

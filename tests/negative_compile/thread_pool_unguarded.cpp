@@ -1,0 +1,36 @@
+// TSA-EXPECT: requires holding mutex
+// First-party case: ThreadPool's task queue is RSEL_GUARDED_BY
+// (mutex_); a probe reading it unlocked must be rejected. Proves the
+// production annotation, not a toy replica, is what carries the
+// contract.
+
+#include "driver/thread_pool.hpp"
+
+namespace rsel {
+
+// The friend the annotated classes declare for exactly this battery.
+// Never called (and touches only inline code), so the case links
+// without the library.
+struct TsaTestProbe
+{
+    static bool
+    queueEmpty(ThreadPool &pool)
+    {
+#ifdef RSEL_TSA_NEGATIVE
+        return pool.queue_.empty(); // unlocked: gate must reject
+#else
+        MutexLock lock(pool.mutex_);
+        return pool.queue_.empty();
+#endif
+    }
+};
+
+} // namespace rsel
+
+int
+main()
+{
+    // Deliberately no ThreadPool instance: its constructor lives in
+    // the library, and the battery compiles cases standalone.
+    return 0;
+}

@@ -1,0 +1,40 @@
+// TSA-EXPECT: requires holding mutex
+// Violation class: calling tryLock() and touching guarded state
+// without branching on the result — the capability is only held on
+// the success path, and ignoring that is a racy fast-path in
+// disguise.
+
+#include "support/sync.hpp"
+
+namespace {
+
+struct Box
+{
+    rsel::Mutex mu;
+    int value RSEL_GUARDED_BY(mu) = 0;
+
+    void
+    opportunistic()
+    {
+#ifdef RSEL_TSA_NEGATIVE
+        (void)mu.tryLock(); // result discarded: may not own mu
+        value = 1;
+        mu.unlock();
+#else
+        if (mu.tryLock()) {
+            value = 1;
+            mu.unlock();
+        }
+#endif
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    Box b;
+    b.opportunistic();
+    return 0;
+}

@@ -1,0 +1,33 @@
+// TSA-EXPECT: requires holding mutex
+// Violation class: reading a field declared RSEL_GUARDED_BY without
+// holding the guarding capability.
+
+#include "support/sync.hpp"
+
+namespace {
+
+struct Counter
+{
+    mutable rsel::Mutex mu;
+    int value RSEL_GUARDED_BY(mu) = 0;
+
+    int
+    read() const
+    {
+#ifdef RSEL_TSA_NEGATIVE
+        return value; // no lock: the gate must reject this
+#else
+        rsel::MutexLock lock(mu);
+        return value;
+#endif
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter c;
+    return c.read();
+}

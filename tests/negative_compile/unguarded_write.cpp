@@ -1,0 +1,35 @@
+// TSA-EXPECT: requires holding mutex
+// Violation class: writing a field declared RSEL_GUARDED_BY without
+// holding the guarding capability (the write side of
+// unguarded_read.cpp; TSA reports writes distinctly).
+
+#include "support/sync.hpp"
+
+namespace {
+
+struct Counter
+{
+    rsel::Mutex mu;
+    int value RSEL_GUARDED_BY(mu) = 0;
+
+    void
+    bump()
+    {
+#ifdef RSEL_TSA_NEGATIVE
+        ++value; // no lock: the gate must reject this
+#else
+        rsel::MutexLock lock(mu);
+        ++value;
+#endif
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter c;
+    c.bump();
+    return 0;
+}

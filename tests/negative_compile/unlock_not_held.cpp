@@ -1,0 +1,33 @@
+// TSA-EXPECT: that was not held
+// Violation class: releasing a capability the scope does not hold
+// (undefined behaviour on std::mutex at runtime).
+
+#include "support/sync.hpp"
+
+namespace {
+
+struct Box
+{
+    rsel::Mutex mu;
+
+    void
+    sloppy()
+    {
+#ifdef RSEL_TSA_NEGATIVE
+        mu.unlock(); // never acquired: gate must reject
+#else
+        mu.lock();
+        mu.unlock();
+#endif
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    Box b;
+    b.sloppy();
+    return 0;
+}

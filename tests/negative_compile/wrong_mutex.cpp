@@ -1,0 +1,37 @@
+// TSA-EXPECT: requires holding mutex 'a'
+// Violation class: holding *a* mutex, just not the one the
+// annotation names — the bug class that "I took a lock" code review
+// reliably misses. The expected text pins the diagnostic to the
+// declared guard, not merely to some missing lock.
+
+#include "support/sync.hpp"
+
+namespace {
+
+struct TwoLocks
+{
+    rsel::Mutex a;
+    rsel::Mutex b;
+    int value RSEL_GUARDED_BY(a) = 0;
+
+    void
+    touch()
+    {
+#ifdef RSEL_TSA_NEGATIVE
+        rsel::MutexLock lock(b); // wrong capability entirely
+#else
+        rsel::MutexLock lock(a);
+#endif
+        value = 1;
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    TwoLocks t;
+    t.touch();
+    return 0;
+}

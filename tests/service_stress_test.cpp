@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "negative_compile/lock_order_shim.hpp"
 #include "service/selection_service.hpp"
 #include "service/tenant_session.hpp"
 #include "testing/differential.hpp"
@@ -161,6 +162,34 @@ TEST(ServiceStressTest, BoundedMemorySoak4096Tenants)
     // still registered and active at that point.
     EXPECT_EQ(report.arena.tenantsActive, tenantCount);
     EXPECT_EQ(report.arena.tenantsRegistered, tenantCount);
+}
+
+// The deliberate lock-order shim (tests/negative_compile/
+// lock_order_shim.hpp): its LEGAL acquisition order — registry
+// before shard.mu — runs here for real, hammered from eight threads
+// so the tsan preset watches genuine cross-thread acquisitions of
+// the production capabilities. The INVERTED order of the very same
+// shim is the arena_lock_order_inversion negative-compile case the
+// analyze gate must reject — together they prove the
+// RSEL_ACQUIRED_AFTER annotation, not scheduling luck, is what
+// forbids the deadlock.
+TEST(ServiceStressTest, LockOrderShimLegalOrder)
+{
+    ArenaConfig cfg;
+    cfg.shardCount = 4;
+    ShardedCodeCache arena(cfg);
+    std::vector<std::thread> threads;
+    threads.reserve(8);
+    for (int t = 0; t < 8; ++t)
+        threads.emplace_back([&arena] {
+            for (int i = 0; i < 500; ++i)
+                lockOrderShim(arena);
+        });
+    for (std::thread &th : threads)
+        th.join();
+    // Nothing to assert beyond "no deadlock, no sanitizer report":
+    // the shim takes and releases both capabilities in order.
+    EXPECT_EQ(arena.stats().shardCount, 4u);
 }
 
 } // namespace
