@@ -364,11 +364,27 @@ DynOptSystem::processEvent(const ExecEvent &ev)
     }
 }
 
+void
+DynOptSystem::interpretOnlyEvent(const ExecEvent &ev)
+{
+    metrics_.onEvent();
+    if (prevBlock_ != nullptr)
+        metrics_.onEdge(prevBlock_->id(), ev.block->id());
+    prevBlock_ = ev.block;
+    lastStep_ = StepTrace{};
+    ++interpEvents_;
+    metrics_.onInterpretedBlock(*ev.block);
+}
+
 bool
 DynOptSystem::onEvent(const ExecEvent &ev)
 {
     RSEL_ASSERT(!finished_, "events delivered after finish()");
     RSEL_ASSERT(selector_ != nullptr, "no selector attached");
+    if (interpretOnly_) {
+        interpretOnlyEvent(ev);
+        return true;
+    }
     if (injector_)
         processEvent<true>(ev);
     else
@@ -489,6 +505,18 @@ DynOptSystem::onBatch(const EventBatch &batch)
     RSEL_ASSERT(selector_ != nullptr, "no selector attached");
     const std::vector<BasicBlock> &blocks = prog_.blocks();
     const std::size_t n = batch.size();
+    if (interpretOnly_) {
+        // Terminal graceful degradation: the whole batch is
+        // interpreted, no selector/injector/cache involvement.
+        for (std::size_t i = 0; i < n; ++i) {
+            ExecEvent ev;
+            ev.block = &blocks[batch.blockIds[i]];
+            ev.takenBranch = batch.takenFlags[i] != 0;
+            ev.branchAddr = batch.branchAddrs[i];
+            interpretOnlyEvent(ev);
+        }
+        return n;
+    }
     // The armed/disarmed decision is per batch, not per event: the
     // two loops run the same state machine, but the disarmed one is
     // instantiated without any injector code on its fast path.

@@ -183,6 +183,38 @@ class DynOptSystem : public ExecutionSink, public BatchSink
         curRegionPtr_ = nullptr;
     }
 
+    /**
+     * Change the logical cache's capacity bound mid-run (the service
+     * layer's memory-pressure squeeze). Over-bound occupancy is
+     * evicted immediately under the configured policy, exactly as an
+     * insert-driven makeRoom would — selector-silent, listener
+     * mirrored. Deterministic: a pure function of when the call
+     * lands on the event stream.
+     */
+    void setCacheCapacity(std::uint64_t capacityBytes)
+    {
+        cache_.setCapacity(capacityBytes);
+    }
+
+    /**
+     * The overload controller's terminal graceful state: flush the
+     * cache through the disruption machinery (shutdownCache) and
+     * stop optimizing for good — every further event is interpreted,
+     * the selector and translator are never consulted again.
+     * Transparency holds (the guest stream still executes
+     * completely); only performance degrades. Irreversible.
+     */
+    void
+    degradeToInterpretation()
+    {
+        shutdownCache();
+        pendingCacheExit_ = false;
+        interpretOnly_ = true;
+    }
+
+    /** True once degradeToInterpretation() was called. */
+    bool interpretOnly() const { return interpretOnly_; }
+
     /** Fault/recovery counters so far (all zero when disarmed). */
     const resilience::RecoveryStats &recoveryStats() const
     {
@@ -283,6 +315,13 @@ class DynOptSystem : public ExecutionSink, public BatchSink
     template <bool Armed> void processEvent(const ExecEvent &ev);
 
     /**
+     * The interpret-only event path after degradeToInterpretation():
+     * metrics-exact (event, edge, interpreted-block) but no selector,
+     * no injector, no cache.
+     */
+    void interpretOnlyEvent(const ExecEvent &ev);
+
+    /**
      * Batch fast path: consume a run of events that stay inside the
      * current Trace region (Internal steps and CycleRestarts),
      * starting at batch index `i`. Stops at the first event the run
@@ -359,6 +398,8 @@ class DynOptSystem : public ExecutionSink, public BatchSink
     /** Set when execution just left the cache to the interpreter. */
     bool pendingCacheExit_ = false;
     const BasicBlock *prevBlock_ = nullptr;
+    /** Terminal graceful-degradation latch (service overload). */
+    bool interpretOnly_ = false;
     bool finished_ = false;
     StepTrace lastStep_;
 };

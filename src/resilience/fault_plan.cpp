@@ -1,9 +1,8 @@
 #include "resilience/fault_plan.hpp"
 
 #include <algorithm>
-#include <sstream>
 
-#include "support/error.hpp"
+#include "resilience/plan_codec.hpp"
 #include "support/random.hpp"
 
 namespace rsel {
@@ -11,15 +10,9 @@ namespace resilience {
 
 namespace {
 
-/** Field table: one row per knob, so toString/parse/== cannot drift. */
-struct FieldDef
-{
-    const char *key;
-    std::uint64_t FaultPlan::*wide;
-    std::uint32_t FaultPlan::*narrow;
-};
-
-const FieldDef fieldTable[] = {
+/** Field table: one row per knob, so toString/parse/== cannot drift
+ *  (shared codec machinery lives in plan_codec.hpp). */
+const PlanField<FaultPlan> fieldTable[] = {
     {"tfail", nullptr, &FaultPlan::pTranslationFail},
     {"inval", nullptr, &FaultPlan::invalidateRate},
     {"flush", nullptr, &FaultPlan::flushRate},
@@ -28,21 +21,6 @@ const FieldDef fieldTable[] = {
     {"backoff", &FaultPlan::backoffEvents, nullptr},
     {"seed", &FaultPlan::seed, nullptr},
 };
-
-std::uint64_t
-getField(const FaultPlan &p, const FieldDef &f)
-{
-    return f.wide ? p.*(f.wide) : p.*(f.narrow);
-}
-
-void
-setField(FaultPlan &p, const FieldDef &f, std::uint64_t v)
-{
-    if (f.wide)
-        p.*(f.wide) = v;
-    else
-        p.*(f.narrow) = static_cast<std::uint32_t>(v);
-}
 
 } // namespace
 
@@ -61,48 +39,13 @@ FaultPlan::clamp()
 std::string
 FaultPlan::toString() const
 {
-    std::ostringstream os;
-    os << "f1";
-    for (const FieldDef &f : fieldTable)
-        os << "," << f.key << "=" << getField(*this, f);
-    return os.str();
+    return planToString(*this, "f1", fieldTable);
 }
 
 FaultPlan
 FaultPlan::parse(const std::string &text)
 {
-    std::istringstream is(text);
-    std::string part;
-    if (!std::getline(is, part, ',') || part != "f1")
-        fatal("bad fault plan: expected leading \"f1\", got \"" +
-              text + "\"");
-
-    FaultPlan plan;
-    while (std::getline(is, part, ',')) {
-        const std::size_t eq = part.find('=');
-        if (eq == std::string::npos)
-            fatal("bad fault-plan field \"" + part +
-                  "\" (expected key=value)");
-        const std::string key = part.substr(0, eq);
-        const std::string val = part.substr(eq + 1);
-        const FieldDef *def = nullptr;
-        for (const FieldDef &f : fieldTable)
-            if (key == f.key)
-                def = &f;
-        if (!def)
-            fatal("unknown fault-plan field \"" + key + "\"");
-        std::uint64_t v = 0;
-        try {
-            std::size_t used = 0;
-            v = std::stoull(val, &used);
-            if (used != val.size())
-                throw std::invalid_argument(val);
-        } catch (const std::exception &) {
-            fatal("bad value \"" + val + "\" for fault-plan field \"" +
-                  key + "\"");
-        }
-        setField(plan, *def, v);
-    }
+    FaultPlan plan = planParse(text, "f1", "fault", fieldTable);
     plan.clamp();
     return plan;
 }
@@ -136,10 +79,7 @@ FaultPlan::fromSeed(std::uint64_t seed)
 bool
 FaultPlan::operator==(const FaultPlan &other) const
 {
-    for (const FieldDef &f : fieldTable)
-        if (getField(*this, f) != getField(other, f))
-            return false;
-    return true;
+    return planEquals(*this, other, fieldTable);
 }
 
 } // namespace resilience

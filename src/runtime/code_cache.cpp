@@ -89,6 +89,19 @@ CodeCache::flushAll()
 }
 
 void
+CodeCache::setCapacity(std::uint64_t capacityBytes)
+{
+    RSEL_ASSERT(!notifying_,
+                "listener re-entered setCapacity() mid-mutation");
+    limits_.capacityBytes = capacityBytes;
+    if (capacityBytes == 0 || liveBytes_ <= capacityBytes)
+        return;
+    // Over the new bound: make room now, exactly as an insert would
+    // (policy storm or oldest-first evictions, selector-silent).
+    makeRoom(0);
+}
+
+void
 CodeCache::makeRoom(std::uint64_t incomingBytes)
 {
     if (limits_.capacityBytes == 0)

@@ -249,6 +249,16 @@ class CodeCache
     /** The configured limits. */
     const CacheLimits &limits() const { return limits_; }
 
+    /**
+     * Change the capacity bound mid-run (the service layer's
+     * memory-pressure squeeze). If the cache is now over the new
+     * bound, room is made immediately under the configured policy —
+     * FullFlush storms everything, Fifo evicts oldest-first until it
+     * fits. Like makeRoom(), the evictions are policy-driven and are
+     * NOT reported to the selector as disruptions. 0 = unbounded.
+     */
+    void setCapacity(std::uint64_t capacityBytes);
+
   private:
     /** Estimated footprint of one region under the byte model. */
     std::uint64_t estimateOf(const Region &r) const

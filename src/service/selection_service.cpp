@@ -1,5 +1,6 @@
 #include "service/selection_service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <iomanip>
@@ -9,6 +10,7 @@
 
 #include "driver/thread_pool.hpp"
 #include "program/executor.hpp"
+#include "service/overload.hpp"
 #include "service/tenant_session.hpp"
 #include "support/error.hpp"
 #include "testing/differential.hpp"
@@ -69,6 +71,50 @@ tenantLimitsFor(const ServiceConfig &config, const TenantSpec &spec)
     return limits;
 }
 
+std::uint64_t
+squeezedCapacityFor(const ServiceConfig &config,
+                    const TenantSpec &spec, std::uint32_t factor)
+{
+    const CacheLimits base = tenantLimitsFor(config, spec);
+    if (factor <= 1 || base.capacityBytes == 0)
+        return base.capacityBytes; // no squeeze / unbounded: no-op
+    if (config.cacheKb > 0) {
+        // Bounded arena: the squeeze models `factor` times the
+        // tenant population crowding in — computed through the one
+        // shared partition routine, like everything quota-shaped.
+        ArenaConfig cfg;
+        cfg.capacityBytes = config.cacheKb * 1024;
+        cfg.policy = config.policy;
+        return ShardedCodeCache::limitsFor(
+                   cfg, config.tenants.size() * factor)
+            .capacityBytes;
+    }
+    // Unbounded arena, bounded tenant: shrink the tenant's own
+    // bound. Never to zero — zero means "unbounded" to CodeCache.
+    return std::max<std::uint64_t>(base.capacityBytes / factor, 1);
+}
+
+namespace {
+
+/** One conductor per tenant, schedules and squeeze capacities
+ *  derived the same way for the service and the solo chaos leg. */
+std::unique_ptr<TenantConductor>
+makeConductor(const ServiceConfig &config, std::size_t index,
+              ShardedCodeCache &arena, std::uint64_t slice)
+{
+    const TenantSpec &spec = config.tenants[index];
+    const ChaosSchedule schedule = config.chaos.scheduleFor(index);
+    return std::make_unique<TenantConductor>(
+        spec, tenantLimitsFor(config, spec),
+        squeezedCapacityFor(config, spec,
+                            schedule.squeeze ? schedule.squeezeFactor
+                                             : 1),
+        arena, slice, config.eventsOverride, schedule,
+        config.overload);
+}
+
+} // namespace
+
 ServiceReport
 runService(const ServiceConfig &config)
 {
@@ -82,20 +128,6 @@ runService(const ServiceConfig &config)
     arenaCfg.policy = config.policy;
     ShardedCodeCache arena(arenaCfg);
 
-    // The whole tenant set registers before the pool spins up:
-    // registerTenant grows the account table under registry_, and
-    // the lock-free admit/release path depends on that table never
-    // growing once slice traffic starts (the accountCount_
-    // publication covers construction, not concurrent growth).
-    std::vector<std::unique_ptr<TenantSession>> sessions;
-    sessions.reserve(n);
-    for (const TenantSpec &spec : config.tenants) {
-        const TenantId id = arena.registerTenant();
-        sessions.push_back(std::make_unique<TenantSession>(
-            id, spec, tenantLimitsFor(config, spec), arena,
-            config.eventsOverride));
-    }
-
     const std::uint64_t slice =
         config.sliceEvents != 0 ? config.sliceEvents
                                 : defaultBatchSize;
@@ -103,31 +135,80 @@ runService(const ServiceConfig &config)
                                     ? config.jobs
                                     : ThreadPool::hardwareWorkers();
 
+    // The initial tenant set registers serially here (ids 0..n-1 in
+    // tenant order); warm restarts register replacement ids
+    // mid-traffic, which the arena's chunked account table makes
+    // safe. Conductors are declared after the arena so their
+    // destructors (which lift any pending quarantine) run first.
+    std::vector<std::unique_ptr<TenantConductor>> conductors;
+    conductors.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        conductors.push_back(makeConductor(config, i, arena, slice));
+
     const auto start = std::chrono::steady_clock::now();
-    if (workers <= 1) {
-        // Serial round-robin through the same slice path the pool
+    if (config.overload.maxInflight != 0) {
+        // Bounded admission: round-based. Each round grants a slice
+        // to the first maxInflight pending tenants in rotation
+        // order and sheds the rest — a deterministic round-robin,
+        // because the pending set is itself a per-tenant
+        // deterministic function of the slice clock.
+        const std::size_t maxInflight = config.overload.maxInflight;
+        std::unique_ptr<ThreadPool> pool;
+        if (workers > 1)
+            pool = std::make_unique<ThreadPool>(workers);
+        std::size_t cursor = 0;
+        for (;;) {
+            std::vector<std::size_t> grants;
+            std::vector<std::size_t> denied;
+            for (std::size_t k = 0; k < n; ++k) {
+                const std::size_t i = (cursor + k) % n;
+                if (conductors[i]->done())
+                    continue;
+                if (grants.size() < maxInflight)
+                    grants.push_back(i);
+                else
+                    denied.push_back(i);
+            }
+            if (grants.empty())
+                break;
+            for (const std::size_t i : denied)
+                conductors[i]->recordAdmissionShed();
+            if (pool) {
+                for (const std::size_t i : grants)
+                    pool->submit(
+                        [&conductors, i] { conductors[i]->offer(); });
+                pool->wait(); // round barrier; the pool is reusable
+            } else {
+                for (const std::size_t i : grants)
+                    conductors[i]->offer();
+            }
+            cursor = (cursor + 1) % n;
+        }
+    } else if (workers <= 1) {
+        // Serial round-robin through the same offer path the pool
         // takes, so --jobs 1 exercises identical per-tenant code.
         bool pending = true;
         while (pending) {
             pending = false;
-            for (auto &session : sessions)
-                if (!session->done()) {
-                    session->runSlice(slice);
-                    pending = pending || !session->done();
+            for (auto &conductor : conductors)
+                if (!conductor->done()) {
+                    conductor->offer();
+                    pending = pending || !conductor->done();
                 }
         }
     } else {
-        // Slice resubmission: each task runs one slice of one
+        // Offer resubmission: each task offers one slice to one
         // tenant and requeues itself while work remains, giving
         // FIFO round-robin interleaving without ever running one
-        // session on two workers at once. That "never two workers"
-        // property is the session capability (sessionMu_) the
-        // analyze preset checks — and MutexSoleLock panics at
+        // conductor on two workers at once. That "never two
+        // workers" property is the session capability (sessionMu_)
+        // the analyze preset checks — and MutexSoleLock panics at
         // runtime if this scheduler ever breaks it.
         ThreadPool pool(workers);
         std::function<void(std::size_t)> step =
             [&](std::size_t i) {
-                if (sessions[i]->runSlice(slice))
+                conductors[i]->offer();
+                if (!conductors[i]->done())
                     pool.submit([&step, i] { step(i); });
             };
         for (std::size_t i = 0; i < n; ++i)
@@ -142,20 +223,38 @@ runService(const ServiceConfig &config)
     report.quotaBytes = arena.tenantQuotaBytes(n);
     report.seconds = elapsed.count();
     report.tenants.reserve(n);
-    for (auto &session : sessions) {
+    for (auto &conductor : conductors) {
         TenantReport tr;
-        tr.name = session->spec().name;
-        tr.selector = algorithmName(session->spec().algo);
-        tr.result = session->finish();
-        tr.fingerprint = testing::resultFingerprint(tr.result);
-        tr.cache = arena.tenantStats(session->tenantId());
-        report.totalEvents += tr.result.events;
-        report.totalInsts += tr.result.totalInsts;
-        report.cachedInsts += tr.result.cachedInsts;
+        tr.name = conductor->spec().name;
+        tr.selector = algorithmName(conductor->spec().algo);
+        tr.health = conductor->health();
+        tr.chaos = conductor->counters();
+        tr.aborted = tr.chaos.aborted;
+        tr.cache = arena.tenantStats(conductor->tenantId());
+        if (!tr.aborted) {
+            tr.result = conductor->finish();
+            tr.fingerprint = testing::resultFingerprint(tr.result);
+            report.totalEvents += tr.result.events;
+            report.totalInsts += tr.result.totalInsts;
+            report.cachedInsts += tr.result.cachedInsts;
+        }
+        report.chaos.aborts += tr.aborted ? 1 : 0;
+        report.chaos.restarts += tr.chaos.restarts;
+        report.chaos.quarantines += tr.chaos.quarantinesTriggered;
+        report.chaos.squeezes += tr.chaos.squeezesApplied;
+        report.chaos.scheduledSlices += tr.chaos.scheduledSlices;
+        report.chaos.shedSlices += tr.chaos.shedSlices;
+        report.chaos.completedSlices += tr.chaos.completedSlices;
+        report.chaos.blacklistedSlices +=
+            tr.chaos.blacklistedSlices;
+        if (tr.health != TenantHealth::Healthy)
+            ++report.chaos.degradedTenants;
+        if (tr.health == TenantHealth::Blacklisted)
+            ++report.chaos.blacklistedTenants;
         report.tenants.push_back(std::move(tr));
     }
-    // Arena snapshot while every tenant's residency is still live;
-    // teardown below drains it to zero.
+    // Arena snapshot while every surviving tenant's residency is
+    // still live; teardown below drains it to zero.
     report.arena = arena.stats();
     if (report.seconds > 0)
         report.eventsPerSec =
@@ -165,8 +264,8 @@ runService(const ServiceConfig &config)
             static_cast<double>(report.cachedInsts) /
             static_cast<double>(report.totalInsts);
 
-    for (auto &session : sessions)
-        session->teardown();
+    for (auto &conductor : conductors)
+        conductor->teardown();
     RSEL_ASSERT(arena.stats().liveBytes == 0,
                 "tenant teardown left live bytes in the arena");
     return report;
@@ -174,7 +273,8 @@ runService(const ServiceConfig &config)
 
 SimResult
 soloTenantRun(const TenantSpec &spec, CacheLimits limits,
-              std::uint64_t eventsOverride)
+              std::uint64_t eventsOverride,
+              std::uint64_t skipEvents)
 {
     // The reference leg the determinism contract compares against:
     // no arena, no listener, no slicing — one system, one batched
@@ -184,11 +284,62 @@ soloTenantRun(const TenantSpec &spec, CacheLimits limits,
     attachAlgorithm(sys, spec.algo, tenantSimOptions(spec));
     sys.armFaults(spec.faults);
     Executor exec(prog, spec.program.execSeed);
-    const std::uint64_t budget =
+    std::uint64_t budget =
         eventsOverride != 0 ? eventsOverride : spec.program.events;
+    if (skipEvents != 0) {
+        // Warm-restart oracle: fast-forward the guest past the
+        // events the crashed incarnation consumed, without the
+        // system ever seeing them — the batched equivalence proof
+        // makes this independent of scratch-batch sizing.
+        RSEL_ASSERT(skipEvents <= budget,
+                    "skip position beyond the event budget");
+        EventBatch scratch;
+        std::uint64_t left = skipEvents;
+        while (left != 0) {
+            const std::uint64_t got = exec.fillBatch(
+                scratch, static_cast<std::size_t>(
+                             std::min<std::uint64_t>(left, 4096)));
+            RSEL_ASSERT(got != 0,
+                        "skip position beyond the guest's halt");
+            left -= got;
+        }
+        budget -= skipEvents;
+    }
     exec.runBatched(budget, sys);
     SimResult result = sys.finish();
     result.workload = spec.name;
+    return result;
+}
+
+SimResult
+soloTenantChaosRun(const ServiceConfig &config,
+                   std::size_t tenantIndex)
+{
+    RSEL_ASSERT(tenantIndex < config.tenants.size(),
+                "tenant index out of range");
+    // A private arena with the service's geometry: quarantine and
+    // physical accounting behave identically, and the conductor is
+    // the very class the service runs — oracle and service share
+    // one slice loop by construction.
+    ArenaConfig arenaCfg;
+    arenaCfg.capacityBytes = config.cacheKb * 1024;
+    arenaCfg.shardCount = config.shards;
+    arenaCfg.policy = config.policy;
+    ShardedCodeCache arena(arenaCfg);
+    const std::uint64_t slice =
+        config.sliceEvents != 0 ? config.sliceEvents
+                                : defaultBatchSize;
+    std::unique_ptr<TenantConductor> conductor =
+        makeConductor(config, tenantIndex, arena, slice);
+    while (!conductor->done())
+        conductor->offer();
+    // The trajectory is deterministic: a tenant that survived the
+    // service run (the only kind routed here) survives this replay
+    // too, even if its schedule carries a never-reached abort.
+    RSEL_ASSERT(!conductor->counters().aborted,
+                "solo chaos leg of an aborted tenant");
+    SimResult result = conductor->finish();
+    conductor->teardown();
     return result;
 }
 
@@ -212,6 +363,100 @@ verifyServiceDeterminism(const ServiceConfig &config)
         }
     } catch (const std::exception &e) {
         return std::string("service run failed: ") + e.what();
+    }
+    return "";
+}
+
+std::string
+verifyServiceChaos(const ServiceConfig &config)
+{
+    try {
+        const ServiceReport report = runService(config);
+
+        // Global accounting identity first: cheap, and a violation
+        // here localizes the bug to the arena, not a tenant.
+        const ArenaStats &a = report.arena;
+        if (a.admissions != a.releases + a.liveEntries)
+            return "arena accounting identity violated: " +
+                   std::to_string(a.admissions) +
+                   " admissions != " + std::to_string(a.releases) +
+                   " releases + " + std::to_string(a.liveEntries) +
+                   " live entries";
+
+        for (std::size_t i = 0; i < config.tenants.size(); ++i) {
+            const TenantSpec &spec = config.tenants[i];
+            const TenantReport &tr = report.tenants[i];
+            const ConductorCounters &cc = tr.chaos;
+
+            if (cc.scheduledSlices != cc.shedSlices +
+                                          cc.completedSlices +
+                                          cc.blacklistedSlices)
+                return "tenant " + spec.name +
+                       ": slice accounting identity violated "
+                       "(scheduled != shed + completed + "
+                       "blacklisted)";
+            const TenantCacheStats &cs = tr.cache;
+            if (cs.admissions != cs.evictionReleases +
+                                     cs.invalidationReleases +
+                                     cs.flushReleases +
+                                     cs.liveEntries)
+                return "tenant " + spec.name +
+                       ": cache accounting identity violated "
+                       "(admissions != releases + live entries)";
+
+            const ChaosSchedule schedule =
+                config.chaos.scheduleFor(i);
+            if (tr.aborted) {
+                if (!schedule.abort)
+                    return "tenant " + spec.name +
+                           ": aborted without an abort in its "
+                           "chaos schedule";
+                if (cs.liveBytes != 0 || cs.liveEntries != 0)
+                    return "tenant " + spec.name +
+                           ": abort left physical residue in the "
+                           "arena";
+                continue;
+            }
+
+            // The reference leg depends on what actually touched
+            // the tenant semantically:
+            //  - a crash discards everything before the restart, so
+            //    the oracle is a fresh solo run from the replay
+            //    position (chaos- and overload-free, like the
+            //    replacement session);
+            //  - an applied squeeze or overload degradation changes
+            //    logical decisions, so the oracle is the
+            //    conductor-driven solo chaos leg;
+            //  - anything else (quarantine included — it is purely
+            //    physical) must match the plain chaos-free solo
+            //    run: the isolation half of the contract.
+            std::string fpRef;
+            const char *leg = "";
+            if (cc.restarts != 0) {
+                leg = "fresh solo run from the restart position";
+                fpRef = testing::resultFingerprint(soloTenantRun(
+                    spec, tenantLimitsFor(config, spec),
+                    config.eventsOverride, cc.restartFromEvent));
+            } else if (cc.squeezesApplied != 0 ||
+                       tr.health == TenantHealth::Blacklisted ||
+                       cc.budgetExhausted) {
+                leg = "conductor-driven solo chaos run";
+                fpRef = testing::resultFingerprint(
+                    soloTenantChaosRun(config, i));
+            } else {
+                leg = "chaos-free solo run";
+                fpRef = testing::resultFingerprint(soloTenantRun(
+                    spec, tenantLimitsFor(config, spec),
+                    config.eventsOverride));
+            }
+            if (tr.fingerprint != fpRef)
+                return "tenant " + spec.name + " (" +
+                       algorithmName(spec.algo) +
+                       "): service fingerprint diverged from the " +
+                       leg;
+        }
+    } catch (const std::exception &e) {
+        return std::string("service chaos run failed: ") + e.what();
     }
     return "";
 }
@@ -240,7 +485,30 @@ writeServiceReportJson(std::ostream &os, const ServiceConfig &config,
        << ", \"admissions\": " << report.arena.admissions
        << ", \"releases\": " << report.arena.releases
        << ", \"shard_contention\": " << report.arena.shardContention
-       << "},\n"
+       << ", \"live_entries\": " << report.arena.liveEntries
+       << ", \"quarantines\": " << report.arena.quarantines
+       << ", \"quarantined_admissions\": "
+       << report.arena.quarantinedAdmissions << "},\n"
+       << "  \"chaos\": {\"plan\": \"" << config.chaos.toString()
+       << "\", \"armed\": "
+       << (config.chaos.armed() ? "true" : "false")
+       << ", \"aborts\": " << report.chaos.aborts
+       << ", \"restarts\": " << report.chaos.restarts
+       << ", \"quarantines\": " << report.chaos.quarantines
+       << ", \"squeezes\": " << report.chaos.squeezes << "},\n"
+       << "  \"overload\": {\"max_inflight\": "
+       << config.overload.maxInflight
+       << ", \"slice_budget\": " << config.overload.sliceBudget
+       << ", \"health_enabled\": "
+       << (config.overload.healthEnabled ? "true" : "false")
+       << ", \"scheduled_slices\": " << report.chaos.scheduledSlices
+       << ", \"shed_slices\": " << report.chaos.shedSlices
+       << ", \"completed_slices\": " << report.chaos.completedSlices
+       << ", \"blacklisted_slices\": "
+       << report.chaos.blacklistedSlices
+       << ", \"degraded_tenants\": " << report.chaos.degradedTenants
+       << ", \"blacklisted_tenants\": "
+       << report.chaos.blacklistedTenants << "},\n"
        << "  \"tenant_reports\": [\n";
     for (std::size_t i = 0; i < report.tenants.size(); ++i) {
         const TenantReport &tr = report.tenants[i];
@@ -252,8 +520,14 @@ writeServiceReportJson(std::ostream &os, const ServiceConfig &config,
            << ", \"invalidations\": " << tr.cache.invalidationReleases
            << ", \"flushes\": " << tr.cache.flushReleases
            << ", \"fingerprint_fnv1a\": \""
-           << hex16(fnv1a(tr.fingerprint)) << "\"}"
-           << (i + 1 < report.tenants.size() ? "," : "") << "\n";
+           << hex16(fnv1a(tr.fingerprint))
+           << "\", \"health\": \"" << healthName(tr.health)
+           << "\", \"scheduled_slices\": " << tr.chaos.scheduledSlices
+           << ", \"shed_slices\": " << tr.chaos.shedSlices
+           << ", \"restarts\": " << tr.chaos.restarts
+           << ", \"aborted\": " << (tr.aborted ? "true" : "false")
+           << "}" << (i + 1 < report.tenants.size() ? "," : "")
+           << "\n";
     }
     os << "  ]\n}\n";
 }

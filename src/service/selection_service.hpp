@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "service/chaos.hpp"
+#include "service/overload.hpp"
 #include "service/sharded_cache.hpp"
 #include "service/tenant_spec.hpp"
 
@@ -48,6 +50,10 @@ struct ServiceConfig
     std::uint64_t sliceEvents = 4096;
     /** Non-zero overrides every tenant's event budget. */
     std::uint64_t eventsOverride = 0;
+    /** Service-level fault plan (default: disarmed). */
+    ChaosPlan chaos;
+    /** Overload controller (default: off). */
+    OverloadConfig overload;
 };
 
 /** One tenant's outcome. */
@@ -57,11 +63,36 @@ struct TenantReport
     std::string selector;
     SimResult result;
     /** testing::resultFingerprint of the result — the determinism
-     *  contract's unit of comparison. */
+     *  contract's unit of comparison. Empty for aborted tenants. */
     std::string fingerprint;
-    /** Physical-arena accounting at finish time (before
-     *  teardown). */
+    /** Physical-arena accounting at finish time (before teardown;
+     *  for crashed tenants, under the post-restart arena id). */
     TenantCacheStats cache;
+    /** Final health per the overload controller. */
+    TenantHealth health = TenantHealth::Healthy;
+    /** Chaos/overload accounting (scheduled == shed + completed +
+     *  blacklisted is the per-tenant slice identity). */
+    ConductorCounters chaos;
+    /** True if the chaos plan aborted the tenant: result and
+     *  fingerprint are empty, only accounting is meaningful. */
+    bool aborted = false;
+};
+
+/** Run-level chaos/overload roll-up (sums of TenantReport.chaos). */
+struct ServiceChaosTotals
+{
+    std::uint64_t aborts = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t quarantines = 0;
+    std::uint64_t squeezes = 0;
+    std::uint64_t scheduledSlices = 0;
+    std::uint64_t shedSlices = 0;
+    std::uint64_t completedSlices = 0;
+    std::uint64_t blacklistedSlices = 0;
+    /** Tenants whose final health is not HEALTHY. */
+    std::uint64_t degradedTenants = 0;
+    /** Tenants that ended BLACKLISTED (incl. budget exhaustion). */
+    std::uint64_t blacklistedTenants = 0;
 };
 
 /** Outcome of one service run. */
@@ -77,11 +108,14 @@ struct ServiceReport
     double seconds = 0;
     /** Sustained dynamic events per second across the whole run. */
     double eventsPerSec = 0;
-    /** Global hit rate: Σ cached insts / Σ total insts. */
+    /** Global hit rate: Σ cached insts / Σ total insts (surviving
+     *  tenants only). */
     double globalHitRate = 0;
     std::uint64_t totalEvents = 0;
     std::uint64_t totalInsts = 0;
     std::uint64_t cachedInsts = 0;
+    /** Chaos/overload roll-up (all zero on a chaos-free run). */
+    ServiceChaosTotals chaos;
 };
 
 /**
@@ -107,10 +141,38 @@ ServiceReport runService(const ServiceConfig &config);
 /**
  * The solo reference leg: run one tenant alone — no arena, plain
  * DynOptSystem + batched Executor — under `limits`. The service's
- * per-tenant results must match this byte-for-byte.
+ * per-tenant results must match this byte-for-byte. `skipEvents`
+ * fast-forwards the guest stream before the system sees any event —
+ * the warm-restart oracle's "fresh solo run from the same
+ * position" (the skipped events still count against the budget).
  */
 SimResult soloTenantRun(const TenantSpec &spec, CacheLimits limits,
-                        std::uint64_t eventsOverride = 0);
+                        std::uint64_t eventsOverride = 0,
+                        std::uint64_t skipEvents = 0);
+
+/**
+ * The logical-cache capacity in effect while `config.chaos`'s
+ * memory-pressure squeeze is active for tenant `spec`: the quota a
+ * population `factor` times larger would get (computed through the
+ * same limitsFor() partition), or the spec's own bound divided by
+ * `factor` when the arena is unbounded. 0 (fully unbounded tenant)
+ * makes the squeeze a no-op.
+ */
+std::uint64_t squeezedCapacityFor(const ServiceConfig &config,
+                                  const TenantSpec &spec,
+                                  std::uint32_t factor);
+
+/**
+ * The chaos-aware solo reference leg: drive tenant `tenantIndex` of
+ * `config` through its own TenantConductor — same schedule, same
+ * overload machine, same slice size — against a private arena.
+ * Reproduces squeezes and health-driven degradation exactly; used
+ * by verifyServiceChaos for tenants the chaos plan or overload
+ * controller semantically touched. @pre the tenant survives its
+ * schedule (a scheduled abort it never reaches is fine).
+ */
+SimResult soloTenantChaosRun(const ServiceConfig &config,
+                             std::size_t tenantIndex);
 
 /**
  * The multi-tenant determinism oracle: run `config` through the
@@ -119,6 +181,26 @@ SimResult soloTenantRun(const TenantSpec &spec, CacheLimits limits,
  * mismatch (never throws; failures from any layer are captured).
  */
 std::string verifyServiceDeterminism(const ServiceConfig &config);
+
+/**
+ * The chaos oracle (rselect-fuzz --chaos-fuzz, --verify-solo under
+ * chaos). Runs the service once, then per tenant:
+ *  - aborted tenants: the schedule must call for the abort, and the
+ *    tenant must leave zero physical residue;
+ *  - crashed tenants: the post-restart fingerprint must equal a
+ *    fresh solo run fast-forwarded to the replay position;
+ *  - tenants semantically touched by a squeeze or by overload
+ *    degradation: fingerprint must equal the conductor-driven solo
+ *    chaos leg (soloTenantChaosRun);
+ *  - untouched tenants: fingerprint must equal the plain chaos-free
+ *    solo run — the isolation half of the oracle.
+ * Plus the accounting identities: per tenant and globally,
+ * admissions == releases + liveEntries, and scheduled == shed +
+ * completed + blacklisted.
+ * @return empty on success, else a description of the first
+ * failure.
+ */
+std::string verifyServiceChaos(const ServiceConfig &config);
 
 /**
  * Write the report as JSON (rselect-serve --json): run-level

@@ -18,16 +18,35 @@ ShardedCodeCache::ShardedCodeCache(ArenaConfig cfg) : cfg_(cfg)
     cfg_.shardCount = shards_.size();
 }
 
+ShardedCodeCache::~ShardedCodeCache()
+{
+    for (std::atomic<AccountChunk *> &chunk : chunks_)
+        delete chunk.load(std::memory_order_relaxed);
+}
+
 TenantId
 ShardedCodeCache::registerTenant()
 {
     MutexLock lock(registry_);
-    accounts_.emplace_back();
+    const std::size_t id =
+        accountCount_.load(std::memory_order_relaxed);
+    RSEL_ASSERT(id < kAccountsPerChunk * kMaxAccountChunks,
+                "tenant id space exhausted");
+    const std::size_t chunk = id / kAccountsPerChunk;
+    if (chunks_[chunk].load(std::memory_order_relaxed) == nullptr) {
+        // Publish the chunk before the count that makes any of its
+        // slots reachable; concurrent readers load the pointer with
+        // acquire in account().
+        chunks_[chunk].store(new AccountChunk,
+                             std::memory_order_release);
+    }
     // Publish only after the Account is fully constructed: readers
     // go through accountCount_ (acquire) instead of the registry
-    // lock, so the per-admission path never serializes on it.
-    accountCount_.store(accounts_.size(), std::memory_order_release);
-    return static_cast<TenantId>(accounts_.size() - 1);
+    // lock, so the per-admission path never serializes on it —
+    // which is what lets warm restart register fresh ids while
+    // neighbours' admit/release traffic is in flight.
+    accountCount_.store(id + 1, std::memory_order_release);
+    return static_cast<TenantId>(id);
 }
 
 std::uint64_t
@@ -60,7 +79,9 @@ ShardedCodeCache::account(TenantId tenant)
     RSEL_ASSERT(tenant <
                     accountCount_.load(std::memory_order_acquire),
                 "unregistered tenant id");
-    return accounts_[tenant];
+    AccountChunk *chunk = chunks_[tenant / kAccountsPerChunk].load(
+        std::memory_order_acquire);
+    return chunk->slots[tenant % kAccountsPerChunk];
 }
 
 const ShardedCodeCache::Account &
@@ -69,7 +90,10 @@ ShardedCodeCache::account(TenantId tenant) const
     RSEL_ASSERT(tenant <
                     accountCount_.load(std::memory_order_acquire),
                 "unregistered tenant id");
-    return accounts_[tenant];
+    const AccountChunk *chunk =
+        chunks_[tenant / kAccountsPerChunk].load(
+            std::memory_order_acquire);
+    return chunk->slots[tenant % kAccountsPerChunk];
 }
 
 void
@@ -93,15 +117,33 @@ ShardedCodeCache::admit(TenantId tenant, Addr entry,
     RSEL_ASSERT(acct.active.load(std::memory_order_acquire),
                 "admission from a torn-down tenant");
     Shard &shard = shards_[shardOf(entry)];
+    bool parked = false;
     {
         MutexLock lock(shard.mu, contention_);
-        const bool inserted =
-            shard.entries.emplace(keyOf(tenant, entry), bytes)
-                .second;
-        RSEL_ASSERT(inserted,
-                    "tenant admitted a second region at a live "
+        const std::uint64_t key = keyOf(tenant, entry);
+        RSEL_ASSERT(shard.parked.count(key) == 0,
+                    "tenant admitted a second region at a parked "
                     "entrance");
+        if (shard.quarantineDepth != 0) {
+            // Quarantined shard: the logical cache has already
+            // committed to the region, so the mirror must record
+            // the admission — but it is parked out of the live map
+            // until the lift.
+            parked = true;
+            shard.parked.emplace(key, bytes);
+        } else {
+            const bool inserted =
+                shard.entries.emplace(key, bytes).second;
+            RSEL_ASSERT(inserted,
+                        "tenant admitted a second region at a live "
+                        "entrance");
+        }
     }
+    if (parked)
+        quarantinedAdmissions_.fetch_add(1,
+                                         std::memory_order_relaxed);
+    acct.liveEntries.fetch_add(1, std::memory_order_relaxed);
+    liveEntries_.fetch_add(1, std::memory_order_relaxed);
     acct.admissions.fetch_add(1, std::memory_order_relaxed);
     const std::uint64_t tenantLive =
         acct.liveBytes.fetch_add(bytes, std::memory_order_relaxed) +
@@ -122,13 +164,28 @@ ShardedCodeCache::release(TenantId tenant, Addr entry,
     Shard &shard = shards_[shardOf(entry)];
     {
         MutexLock lock(shard.mu, contention_);
-        auto it = shard.entries.find(keyOf(tenant, entry));
-        RSEL_ASSERT(it != shard.entries.end(),
-                    "releasing an entry the arena never admitted");
-        RSEL_ASSERT(it->second == bytes,
-                    "release byte figure disagrees with admission");
-        shard.entries.erase(it);
+        const std::uint64_t key = keyOf(tenant, entry);
+        auto it = shard.entries.find(key);
+        if (it == shard.entries.end()) {
+            // An entry admitted during a quarantine window can be
+            // dropped by its logical cache before the lift.
+            it = shard.parked.find(key);
+            RSEL_ASSERT(it != shard.parked.end(),
+                        "releasing an entry the arena never "
+                        "admitted");
+            RSEL_ASSERT(it->second == bytes,
+                        "release byte figure disagrees with "
+                        "admission");
+            shard.parked.erase(it);
+        } else {
+            RSEL_ASSERT(it->second == bytes,
+                        "release byte figure disagrees with "
+                        "admission");
+            shard.entries.erase(it);
+        }
     }
+    acct.liveEntries.fetch_sub(1, std::memory_order_relaxed);
+    liveEntries_.fetch_sub(1, std::memory_order_relaxed);
     switch (reason) {
       case ReleaseReason::Eviction:
         acct.evictionReleases.fetch_add(1,
@@ -158,23 +215,29 @@ ShardedCodeCache::releaseAll(TenantId tenant)
     std::uint64_t count = 0;
     for (Shard &shard : shards_) {
         MutexLock lock(shard.mu, contention_);
-        for (auto it = shard.entries.begin();
-             it != shard.entries.end();) {
-            // Recover the tenant from the key's high bits; the
-            // XOR folding keeps them intact for sub-2^40 entries.
-            if ((it->first >> 40) == tenant) {
-                released += it->second;
-                ++count;
-                it = shard.entries.erase(it);
-            } else {
-                ++it;
+        // Sweep the live map and the quarantine pen alike: a
+        // torn-down tenant leaves no residue anywhere.
+        for (auto *map : {&shard.entries, &shard.parked}) {
+            for (auto it = map->begin(); it != map->end();) {
+                // Recover the tenant from the key's high bits; the
+                // XOR folding keeps them intact for sub-2^40
+                // entries.
+                if ((it->first >> 40) == tenant) {
+                    released += it->second;
+                    ++count;
+                    it = map->erase(it);
+                } else {
+                    ++it;
+                }
             }
         }
     }
     acct.flushReleases.fetch_add(count, std::memory_order_relaxed);
     acct.liveBytes.fetch_sub(released, std::memory_order_relaxed);
+    acct.liveEntries.fetch_sub(count, std::memory_order_relaxed);
     releases_.fetch_add(count, std::memory_order_relaxed);
     liveBytes_.fetch_sub(released, std::memory_order_relaxed);
+    liveEntries_.fetch_sub(count, std::memory_order_relaxed);
     return released;
 }
 
@@ -189,6 +252,41 @@ ShardedCodeCache::unregisterTenant(TenantId tenant)
     RSEL_ASSERT(acct.liveBytes.load(std::memory_order_relaxed) == 0,
                 "unregistering a tenant with live physical bytes");
     acct.active.store(false, std::memory_order_release);
+}
+
+void
+ShardedCodeCache::quarantineShard(std::size_t shard)
+{
+    RSEL_ASSERT(shard < shards_.size(),
+                "quarantine of a shard the arena does not have");
+    Shard &s = shards_[shard];
+    {
+        MutexLock lock(s.mu, contention_);
+        ++s.quarantineDepth;
+    }
+    quarantines_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+ShardedCodeCache::liftShardQuarantine(std::size_t shard)
+{
+    RSEL_ASSERT(shard < shards_.size(),
+                "lift of a shard the arena does not have");
+    Shard &s = shards_[shard];
+    MutexLock lock(s.mu, contention_);
+    RSEL_ASSERT(s.quarantineDepth != 0,
+                "lifting a shard that is not quarantined");
+    if (--s.quarantineDepth != 0)
+        return;
+    // Last lift: the pen's survivors rejoin the live map.
+    for (const auto &entry : s.parked) {
+        const bool inserted =
+            s.entries.emplace(entry.first, entry.second).second;
+        RSEL_ASSERT(inserted,
+                    "parked entry collides with a live entry at "
+                    "quarantine lift");
+    }
+    s.parked.clear();
 }
 
 TenantCacheStats
@@ -207,6 +305,8 @@ ShardedCodeCache::tenantStats(TenantId tenant) const
         acct.invalidationReleases.load(std::memory_order_relaxed);
     out.flushReleases =
         acct.flushReleases.load(std::memory_order_relaxed);
+    out.liveEntries =
+        acct.liveEntries.load(std::memory_order_relaxed);
     return out;
 }
 
@@ -221,6 +321,10 @@ ShardedCodeCache::stats() const
     out.releases = releases_.load(std::memory_order_relaxed);
     out.shardContention =
         contention_.load(std::memory_order_relaxed);
+    out.liveEntries = liveEntries_.load(std::memory_order_relaxed);
+    out.quarantines = quarantines_.load(std::memory_order_relaxed);
+    out.quarantinedAdmissions =
+        quarantinedAdmissions_.load(std::memory_order_relaxed);
     out.shardCount = shards_.size();
     const std::size_t count =
         accountCount_.load(std::memory_order_acquire);
@@ -241,9 +345,10 @@ ShardedCodeCache::liveEntryCount(TenantId tenant) const
     std::size_t count = 0;
     for (const Shard &shard : shards_) {
         MutexLock lock(shard.mu, contention_);
-        for (const auto &entry : shard.entries)
-            if ((entry.first >> 40) == tenant)
-                ++count;
+        for (const auto *map : {&shard.entries, &shard.parked})
+            for (const auto &entry : *map)
+                if ((entry.first >> 40) == tenant)
+                    ++count;
     }
     return count;
 }

@@ -53,9 +53,11 @@
 #ifndef RSEL_SERVICE_SHARDED_CACHE_HPP
 #define RSEL_SERVICE_SHARDED_CACHE_HPP
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <unordered_map>
 
 #include "runtime/code_cache.hpp"
@@ -96,6 +98,9 @@ struct TenantCacheStats
     std::uint64_t evictionReleases = 0;
     std::uint64_t invalidationReleases = 0;
     std::uint64_t flushReleases = 0;
+    /** Entries currently resident, closing the O(1) accounting
+     *  identity admissions == Σ releases + liveEntries. */
+    std::uint64_t liveEntries = 0;
 };
 
 /** Global accounting snapshot. */
@@ -108,6 +113,14 @@ struct ArenaStats
     /** Admissions/releases that found their shard mutex held — the
      *  cross-tenant contention the sharding exists to dilute. */
     std::uint64_t shardContention = 0;
+    /** Entries currently resident (admissions == releases +
+     *  liveEntries is the global accounting identity). */
+    std::uint64_t liveEntries = 0;
+    /** quarantineShard() calls (chaos plan triggers). */
+    std::uint64_t quarantines = 0;
+    /** Admissions that arrived at a quarantined shard and were
+     *  parked until the lift. */
+    std::uint64_t quarantinedAdmissions = 0;
     std::size_t shardCount = 0;
     std::size_t tenantsRegistered = 0;
     std::size_t tenantsActive = 0;
@@ -124,6 +137,7 @@ class ShardedCodeCache
 {
   public:
     explicit ShardedCodeCache(ArenaConfig cfg);
+    ~ShardedCodeCache();
 
     ShardedCodeCache(const ShardedCodeCache &) = delete;
     ShardedCodeCache &operator=(const ShardedCodeCache &) = delete;
@@ -134,12 +148,12 @@ class ShardedCodeCache
      * which is one half of the no-resurrection guarantee (the
      * other half is that releaseAll() empties its shard entries).
      *
-     * Must not run concurrently with admit()/release() traffic
-     * (the service registers its whole tenant set before the pool
-     * starts): the per-admission path reads the account table
-     * without the registry lock, so growing the table mid-traffic
-     * would race. Teardown (releaseAll/unregisterTenant) only
-     * mutates existing accounts and IS safe during traffic.
+     * Safe to call concurrently with admit()/release() traffic —
+     * warm tenant restart registers a fresh id while neighbours are
+     * mid-slice. The account table is a fixed array of
+     * atomically-published chunk pointers: established accounts
+     * never move, chunks are allocated under `registry_` and read
+     * lock-free through the accountCount_ publication protocol.
      */
     TenantId registerTenant() RSEL_EXCLUDES(registry_);
 
@@ -196,6 +210,25 @@ class ShardedCodeCache
      * with residual live bytes is a service bug and panics.
      */
     void unregisterTenant(TenantId tenant);
+
+    /**
+     * Quarantine one shard (chaos fault): until the matching lift,
+     * admissions hashing to it are *parked* — accounted as admitted
+     * (the logical cache has already committed to the region; the
+     * mirror must not diverge) but held in a side pen, modelling an
+     * arena segment taken out of service. Purely physical: no
+     * logical result can change. Nests; each quarantine needs one
+     * lift. @pre shard < shardCount.
+     */
+    void quarantineShard(std::size_t shard) RSEL_EXCLUDES(registry_);
+
+    /**
+     * Lift one quarantine of `shard`; when the last nested
+     * quarantine lifts, parked entries merge back into the live
+     * map. @pre the shard is quarantined.
+     */
+    void liftShardQuarantine(std::size_t shard)
+        RSEL_EXCLUDES(registry_);
 
     /** Shard index serving `entry` (test probe). */
     std::size_t
@@ -268,6 +301,12 @@ class ShardedCodeCache
         /** Key = tenant-qualified entrance address (see keyOf). */
         std::unordered_map<std::uint64_t, std::uint64_t> entries
             RSEL_GUARDED_BY(mu);
+        /** Admissions parked while the shard is quarantined; merged
+         *  back into `entries` when the last quarantine lifts. */
+        std::unordered_map<std::uint64_t, std::uint64_t> parked
+            RSEL_GUARDED_BY(mu);
+        /** Nested quarantine count; admissions park while > 0. */
+        std::uint32_t quarantineDepth RSEL_GUARDED_BY(mu) = 0;
     };
 
     /** Per-tenant account; atomics because a tenant's entries span
@@ -288,9 +327,22 @@ class ShardedCodeCache
         std::atomic<std::uint64_t> invalidationReleases{0};
         /** role: counter (relaxed). */
         std::atomic<std::uint64_t> flushReleases{0};
+        /** role: gauge (relaxed) — resident entry count, the O(1)
+         *  side of admissions == Σ releases + liveEntries. */
+        std::atomic<std::uint64_t> liveEntries{0};
         /** role: flag (release/acquire) — deactivation publishes the
          *  teardown sweep that preceded it. */
         std::atomic<bool> active{true};
+    };
+
+    /** Accounts live in fixed-size chunks so established elements
+     *  never move while the table grows mid-traffic. */
+    static constexpr std::size_t kAccountsPerChunk = 256;
+    static constexpr std::size_t kMaxAccountChunks = 4096;
+
+    struct AccountChunk
+    {
+        Account slots[kAccountsPerChunk];
     };
 
     /**
@@ -310,13 +362,12 @@ class ShardedCodeCache
      * Look up an established account without the registry lock.
      * Sound by the accountCount_ publication protocol: the bound
      * check loads accountCount_ with acquire, which synchronizes
-     * with registerTenant's release store made after the element
-     * was constructed — hence the escape hatch from the
-     * `RSEL_GUARDED_BY(registry_)` on accounts_.
+     * with registerTenant's release store made after the element's
+     * chunk was constructed; the chunk pointer itself is loaded
+     * with acquire for readers that raced past a fresher count.
      */
-    Account &account(TenantId tenant) RSEL_NO_THREAD_SAFETY_ANALYSIS;
-    const Account &account(TenantId tenant) const
-        RSEL_NO_THREAD_SAFETY_ANALYSIS;
+    Account &account(TenantId tenant);
+    const Account &account(TenantId tenant) const;
 
     /** Raise the high-water mark to at least `value`. */
     static void raiseHighWater(std::atomic<std::uint64_t> &mark,
@@ -329,13 +380,18 @@ class ShardedCodeCache
     mutable Mutex registry_;
     /** Deque: Shard is immovable (mutex + reference member). */
     std::deque<Shard> shards_;
-    /** Deque so Account references stay stable across registers.
-     *  Growth under registry_; established elements are read
-     *  lock-free via the accountCount_ publication protocol (see
-     *  account()). */
-    std::deque<Account> accounts_ RSEL_GUARDED_BY(registry_);
+    /**
+     * Fixed table of atomically-published chunk pointers: accounts
+     * never move, and registerTenant can grow the table while other
+     * tenants' admit/release traffic reads it lock-free (warm
+     * restart registers ids mid-run). Chunks are allocated under
+     * registry_, published with release, read with acquire, and
+     * owned until destruction (role: publication pointer).
+     */
+    std::array<std::atomic<AccountChunk *>, kMaxAccountChunks>
+        chunks_{};
     /** role: publication count (release/acquire) — publishes the
-     *  construction of accounts_[0..n) to lock-free readers. */
+     *  construction of accounts [0..n) to lock-free readers. */
     std::atomic<std::size_t> accountCount_{0};
     /** role: gauge (relaxed). */
     std::atomic<std::uint64_t> liveBytes_{0};
@@ -345,6 +401,12 @@ class ShardedCodeCache
     std::atomic<std::uint64_t> admissions_{0};
     /** role: counter (relaxed). */
     std::atomic<std::uint64_t> releases_{0};
+    /** role: gauge (relaxed). */
+    std::atomic<std::uint64_t> liveEntries_{0};
+    /** role: counter (relaxed). */
+    std::atomic<std::uint64_t> quarantines_{0};
+    /** role: counter (relaxed). */
+    std::atomic<std::uint64_t> quarantinedAdmissions_{0};
     /** role: counter (relaxed). */
     mutable std::atomic<std::uint64_t> contention_{0};
 };

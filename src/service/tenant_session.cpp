@@ -11,7 +11,8 @@ namespace service {
 TenantSession::TenantSession(TenantId id, const TenantSpec &spec,
                              CacheLimits limits,
                              ShardedCodeCache &arena,
-                             std::uint64_t eventsOverride)
+                             std::uint64_t eventsOverride,
+                             std::uint64_t startEvents)
     : id_(id), spec_(spec), arena_(arena),
       prog_(testing::generateProgram(spec.program)),
       sys_(prog_, limits),
@@ -21,6 +22,27 @@ TenantSession::TenantSession(TenantId id, const TenantSpec &spec,
 {
     attachAlgorithm(sys_, spec_.algo, tenantSimOptions(spec_));
     sys_.armFaults(spec_.faults);
+    if (startEvents != 0) {
+        // Warm-restart replay position: the guest is deterministic,
+        // so discarding the first `startEvents` events puts the
+        // fresh executor exactly where the crashed session was. The
+        // system stays cold — restart means a cold cache, which is
+        // what makes "restarted == fresh solo run from the same
+        // position" a meaningful oracle.
+        RSEL_ASSERT(startEvents <= remaining_,
+                    "restart position beyond the event budget");
+        EventBatch scratch;
+        std::uint64_t left = startEvents;
+        while (left != 0) {
+            const std::uint64_t got = exec_.fillBatch(
+                scratch, static_cast<std::size_t>(
+                             std::min<std::uint64_t>(left, 4096)));
+            RSEL_ASSERT(got != 0,
+                        "restart position beyond the guest's halt");
+            left -= got;
+        }
+        remaining_ -= startEvents;
+    }
     // Mirror structural cache mutations into the shared arena from
     // here on: the listener is attached before the first event, so
     // physical and logical accounting agree from region zero.
@@ -104,6 +126,22 @@ TenantSession::teardown()
     RSEL_ASSERT(residue == 0,
                 "flush machinery left physical residue behind");
     arena_.unregisterTenant(id_);
+}
+
+void
+TenantSession::applyCacheCapacity(std::uint64_t capacityBytes)
+{
+    MutexSoleLock lock(sessionMu_);
+    RSEL_ASSERT(!finished_, "capacity change after finish()");
+    sys_.setCacheCapacity(capacityBytes);
+}
+
+void
+TenantSession::degradeToInterpretation()
+{
+    MutexSoleLock lock(sessionMu_);
+    RSEL_ASSERT(!finished_, "degradation after finish()");
+    sys_.degradeToInterpretation();
 }
 
 void

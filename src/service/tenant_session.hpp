@@ -56,10 +56,19 @@ class TenantSession : public CodeCache::Listener
      *                 session.
      * @param eventsOverride non-zero replaces the spec's own event
      *                 budget.
+     * @param startEvents fast-forward: discard this many leading
+     *                 events of the guest stream before slicing
+     *                 begins, leaving `budget - startEvents` to run.
+     *                 This is the warm-restart replay position — a
+     *                 crashed tenant's replacement session starts
+     *                 where the guest actually was, with a cold
+     *                 system. Must not exceed the budget or lie
+     *                 beyond the guest's halt.
      */
     TenantSession(TenantId id, const TenantSpec &spec,
                   CacheLimits limits, ShardedCodeCache &arena,
-                  std::uint64_t eventsOverride = 0);
+                  std::uint64_t eventsOverride = 0,
+                  std::uint64_t startEvents = 0);
 
     ~TenantSession() override;
 
@@ -122,6 +131,34 @@ class TenantSession : public CodeCache::Listener
 
     /** The tenant's logical cache (test probe). */
     const CodeCache &cache() const { return sys_.cache(); }
+
+    /**
+     * Apply a new logical-cache capacity (the chaos squeeze /
+     * restore). Over-bound occupancy is evicted immediately under
+     * the configured policy; the listener mirrors the drops out of
+     * the arena. Caller contract is the same as runSlice: only the
+     * session's sole owner, between slices.
+     */
+    void applyCacheCapacity(std::uint64_t capacityBytes)
+        RSEL_EXCLUDES(sessionMu_);
+
+    /**
+     * Overload terminal state: flush the cache (mirrored out of the
+     * arena) and interpret every remaining event. Irreversible; the
+     * session still drains its budget through runSlice.
+     */
+    void degradeToInterpretation() RSEL_EXCLUDES(sessionMu_);
+
+    /**
+     * The tenant's recovery counters so far — the overload
+     * controller's health signal. Same sole-owner caller contract
+     * as runSlice (read between this session's slices).
+     */
+    const resilience::RecoveryStats &
+    recoveryStats() const
+    {
+        return sys_.recoveryStats();
+    }
 
     // CodeCache::Listener — the logical->physical mirror. Fired
     // from inside sys_ while the owning slice (or teardown) holds

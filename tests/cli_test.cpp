@@ -247,6 +247,57 @@ TEST(ExitCodeTest, ServeHonoursTheContract)
               ExitVerifyFailure);
 }
 
+TEST(ExitCodeTest, ServeChaosHonoursTheContract)
+{
+    // A chaos run with verification is a clean exit: every
+    // surviving tenant matches its reference leg.
+    EXPECT_EQ(toolExit("rselect-serve",
+                       "--tenants 2 --events 2000 --chaos-seed 7 "
+                       "--verify-solo"),
+              ExitOk);
+    EXPECT_EQ(toolExit("rselect-serve",
+                       "--tenants 2 --events 2000 --chaos-spec "
+                       "c1,crash=300,window=6 --verify-solo"),
+              ExitOk);
+    // Overload knobs alone also verify cleanly (conductor-driven
+    // reference leg).
+    EXPECT_EQ(toolExit("rselect-serve",
+                       "--tenants 4 --events 2000 --max-inflight 2 "
+                       "--slice-budget 3 --verify-solo"),
+              ExitOk);
+    // Malformed chaos specs are usage errors, never silent no-ops.
+    EXPECT_EQ(toolExit("rselect-serve",
+                       "--tenants 2 --chaos-spec garbage"),
+              ExitUsageError);
+    EXPECT_EQ(toolExit("rselect-serve",
+                       "--tenants 2 --chaos-spec c1,bogus=1"),
+              ExitUsageError);
+    // The two arming forms are mutually exclusive.
+    EXPECT_EQ(toolExit("rselect-serve",
+                       "--tenants 2 --chaos-seed 7 --chaos-spec "
+                       "c1,crash=300,window=6"),
+              ExitUsageError);
+    // The sabotaged chaos oracle self-test must report a
+    // verification failure — not a crash, not success.
+    EXPECT_EQ(toolExit("rselect-serve",
+                       "--tenants 2 --events 2000 --self-test chaos"),
+              ExitVerifyFailure);
+    // Chaos fuzzing is tenant-mode only.
+    EXPECT_EQ(toolExit("rselect-fuzz", "--chaos-fuzz --seeds 1"),
+              ExitUsageError);
+    EXPECT_EQ(toolExit("rselect-fuzz",
+                       "--chaos-spec c1,crash=300,window=6 --seeds 1"),
+              ExitUsageError);
+    EXPECT_EQ(toolExit("rselect-fuzz",
+                       "--tenants 2 --chaos-fuzz --chaos-spec "
+                       "c1,crash=300,window=6"),
+              ExitUsageError);
+    EXPECT_EQ(toolExit("rselect-fuzz",
+                       "--tenants 2 --chaos-fuzz --seeds 2 "
+                       "--events 2000"),
+              ExitOk);
+}
+
 TEST(ExitCodeTest, TsaGateHonoursTheContract)
 {
     // Battery listing and the positive legs are clean on any

@@ -367,6 +367,418 @@ TEST(MultiTenantTest, TenantSpecCodecRoundTrip)
     EXPECT_THROW(loadTenantSpecs(empty), FatalError);
 }
 
+// ---------------------------------------------------------------
+// Service-level chaos and overload (ISSUE 9).
+
+/** A config with one chaos plan armed and the health machine on,
+ *  mirroring what rselect-serve does when chaos is in play. */
+ServiceConfig
+chaosConfig(std::size_t tenants, const std::string &plan,
+            std::size_t jobs, std::uint64_t events = 20000)
+{
+    ServiceConfig config = seedConfig(tenants, 32, jobs, events);
+    config.chaos = ChaosPlan::parse(plan);
+    config.overload.healthEnabled = true;
+    return config;
+}
+
+/**
+ * Like seedConfig, but drawn only from seeds whose guests run well
+ * past 20k events. Seed-derived guests can halt after a handful of
+ * events (seed 3 halts at 4), and a halted tenant is legitimately
+ * untouchable by chaos — tests asserting "every tenant got hit"
+ * need guests that actually live long enough to be hit.
+ */
+ServiceConfig
+longGuestConfig(std::size_t tenants, std::uint64_t cacheKb,
+                std::size_t jobs, std::uint64_t events)
+{
+    static const std::uint64_t longSeeds[] = {1, 4, 7, 8, 9, 10,
+                                              11, 12, 14, 15, 16};
+    ServiceConfig config;
+    config.tenants.reserve(tenants);
+    for (std::size_t i = 0; i < tenants; ++i)
+        config.tenants.push_back(TenantSpec::fromSeed(
+            longSeeds[i % std::size(longSeeds)]));
+    config.cacheKb = cacheKb;
+    config.jobs = jobs;
+    config.eventsOverride = events;
+    return config;
+}
+
+// The chaos-plan codec round-trips, fromSeed is deterministic, and
+// malformed plans are loud usage errors.
+TEST(ServiceChaosTest, ChaosPlanCodecRoundTrip)
+{
+    const ChaosPlan derived = ChaosPlan::fromSeed(17);
+    EXPECT_TRUE(derived.armed());
+    EXPECT_EQ(ChaosPlan::parse(derived.toString()), derived);
+    EXPECT_EQ(ChaosPlan::fromSeed(17), derived);
+    EXPECT_NE(ChaosPlan::fromSeed(18), derived);
+
+    const ChaosPlan fixed =
+        ChaosPlan::parse("c1,crash=300,quar=200,seed=9");
+    EXPECT_EQ(fixed.crashPermille, 300u);
+    EXPECT_EQ(fixed.quarPermille, 200u);
+    EXPECT_EQ(fixed.seed, 9u);
+    EXPECT_TRUE(fixed.armed());
+    EXPECT_FALSE(ChaosPlan{}.armed());
+
+    EXPECT_THROW(ChaosPlan::parse("x9,crash=300"), FatalError);
+    EXPECT_THROW(ChaosPlan::parse("c1,bogus=3"), FatalError);
+    EXPECT_THROW(ChaosPlan::parse("c1,crash"), FatalError);
+    EXPECT_THROW(ChaosPlan::parse("c1,crash=many"), FatalError);
+}
+
+// scheduleFor is a pure function of (plan, tenant index): the same
+// plan yields the same per-tenant schedule on every call, abort and
+// crash never coincide, and slice indices respect the window.
+TEST(ServiceChaosTest, SchedulesAreDeterministicAndWellFormed)
+{
+    const ChaosPlan plan = ChaosPlan::parse(
+        "c1,abort=300,crash=300,quar=400,sqdiv=4,window=12,seed=3");
+    bool sawAbort = false, sawCrash = false, sawQuar = false;
+    for (std::size_t i = 0; i < 64; ++i) {
+        const ChaosSchedule a = plan.scheduleFor(i);
+        const ChaosSchedule b = plan.scheduleFor(i);
+        EXPECT_EQ(a.abort, b.abort);
+        EXPECT_EQ(a.crashSlice, b.crashSlice);
+        EXPECT_EQ(a.quarShardSalt, b.quarShardSalt);
+        EXPECT_FALSE(a.abort && a.crash);
+        EXPECT_TRUE(a.squeeze); // sqdiv applies to every tenant
+        EXPECT_EQ(a.squeezeFactor, 4u);
+        if (a.abort) {
+            sawAbort = true;
+            EXPECT_GE(a.abortSlice, 1u);
+            EXPECT_LE(a.abortSlice, 12u);
+        }
+        if (a.crash)
+            sawCrash = true;
+        if (a.quarantine) {
+            sawQuar = true;
+            EXPECT_GE(a.quarSlice, 1u);
+            EXPECT_LE(a.quarSlice, 12u);
+        }
+    }
+    // At these permilles all three fates must occur across 64
+    // tenants, or the fate die is broken.
+    EXPECT_TRUE(sawAbort && sawCrash && sawQuar);
+    // A disarmed plan schedules nothing.
+    EXPECT_FALSE(ChaosPlan{}.scheduleFor(0).any());
+}
+
+// The jobs-parity half of the chaos contract: under every plan
+// kind, serial and 8-worker runs produce byte-identical per-tenant
+// fingerprints and identical chaos accounting.
+TEST(ServiceChaosTest, JobsParityUnderEveryPlanKind)
+{
+    const char *plans[] = {
+        "c1,abort=400,window=6",          // aborts only
+        "c1,crash=500,window=6",          // crash + warm restart
+        "c1,quar=600,quarlen=4,window=6", // shard quarantine
+        "c1,sqdiv=4,sqat=2,sqlen=4",      // memory squeeze
+        "c1,abort=200,crash=300,quar=400,sqdiv=3,window=8", // mixed
+    };
+    for (const char *plan : plans) {
+        ServiceConfig serial = chaosConfig(10, plan, 1);
+        ServiceConfig pooled = chaosConfig(10, plan, 8);
+        const ServiceReport a = runService(serial);
+        const ServiceReport b = runService(pooled);
+        EXPECT_EQ(fingerprintsOf(a), fingerprintsOf(b)) << plan;
+        EXPECT_EQ(a.chaos.aborts, b.chaos.aborts) << plan;
+        EXPECT_EQ(a.chaos.restarts, b.chaos.restarts) << plan;
+        EXPECT_EQ(a.chaos.squeezes, b.chaos.squeezes) << plan;
+        EXPECT_EQ(a.chaos.quarantines, b.chaos.quarantines) << plan;
+        EXPECT_EQ(a.totalEvents, b.totalEvents) << plan;
+        EXPECT_EQ(a.arena.admissions, b.arena.admissions) << plan;
+        // And the full chaos oracle holds at both worker counts.
+        EXPECT_EQ(verifyServiceChaos(serial), "") << plan;
+        EXPECT_EQ(verifyServiceChaos(pooled), "") << plan;
+    }
+}
+
+// The warm-restart oracle, asserted directly: a crash-everything
+// plan restarts every tenant once, and each restarted tenant's
+// fingerprint equals a fresh solo run fast-forwarded to its replay
+// position.
+TEST(ServiceChaosTest, RestartMatchesFreshSoloFromReplayPosition)
+{
+    ServiceConfig config = longGuestConfig(6, 32, 0, 20000);
+    config.chaos = ChaosPlan::parse("c1,crash=1000,window=3");
+    config.overload.healthEnabled = true;
+    // Small slices put the crash (at slice <= 3) well before any
+    // guest's natural halt, so every tenant restarts mid-run.
+    config.sliceEvents = 512;
+    const ServiceReport report = runService(config);
+    EXPECT_EQ(report.chaos.restarts, 6u);
+    for (std::size_t i = 0; i < config.tenants.size(); ++i) {
+        const TenantReport &tr = report.tenants[i];
+        ASSERT_EQ(tr.chaos.restarts, 1u) << tr.name;
+        EXPECT_GT(tr.chaos.restartFromEvent, 0u) << tr.name;
+        const SimResult fresh = soloTenantRun(
+            config.tenants[i],
+            tenantLimitsFor(config, config.tenants[i]),
+            config.eventsOverride, tr.chaos.restartFromEvent);
+        EXPECT_EQ(tr.fingerprint,
+                  testing::resultFingerprint(fresh))
+            << tr.name;
+        // The replay events never reach the restarted system: its
+        // event count is the remainder of the budget (or less, if
+        // the guest halts before the budget).
+        EXPECT_LE(tr.result.events + tr.chaos.restartFromEvent,
+                  config.eventsOverride)
+            << tr.name;
+        EXPECT_GT(tr.result.events, 0u) << tr.name;
+    }
+}
+
+// The isolation half of the oracle: tenants the plan leaves alone
+// must match the plain chaos-free solo run bit-for-bit even while
+// neighbours abort, crash and quarantine shards around them.
+TEST(ServiceChaosTest, UntouchedTenantsMatchChaosFreeSolo)
+{
+    ServiceConfig config =
+        chaosConfig(12, "c1,abort=300,crash=300,quar=400,window=5",
+                    8);
+    const ServiceReport report = runService(config);
+    // At these rates some tenants are hit and some are spared; both
+    // populations must be non-empty for the assertions to bite.
+    std::size_t untouched = 0, touched = 0;
+    for (std::size_t i = 0; i < config.tenants.size(); ++i) {
+        const TenantReport &tr = report.tenants[i];
+        if (tr.aborted || tr.chaos.restarts != 0) {
+            ++touched;
+            continue;
+        }
+        ++untouched;
+        const SimResult solo = soloTenantRun(
+            config.tenants[i],
+            tenantLimitsFor(config, config.tenants[i]),
+            config.eventsOverride);
+        EXPECT_EQ(tr.fingerprint, testing::resultFingerprint(solo))
+            << tr.name;
+    }
+    EXPECT_GT(touched, 0u);
+    EXPECT_GT(untouched, 0u);
+}
+
+// Aborted tenants leave zero residue, are flagged, and the global
+// arena identity (admissions == releases + live entries) still
+// closes around them.
+TEST(ServiceChaosTest, AbortAccountingAndResidue)
+{
+    ServiceConfig config = longGuestConfig(8, 32, 0, 20000);
+    config.chaos = ChaosPlan::parse("c1,abort=1000,window=3");
+    config.overload.healthEnabled = true;
+    config.sliceEvents = 512;
+    const ServiceReport report = runService(config);
+    EXPECT_EQ(report.chaos.aborts, 8u);
+    for (const TenantReport &tr : report.tenants) {
+        EXPECT_TRUE(tr.aborted) << tr.name;
+        EXPECT_TRUE(tr.fingerprint.empty()) << tr.name;
+        EXPECT_EQ(tr.cache.liveBytes, 0u) << tr.name;
+        EXPECT_EQ(tr.cache.liveEntries, 0u) << tr.name;
+        EXPECT_EQ(tr.cache.admissions,
+                  tr.cache.evictionReleases +
+                      tr.cache.invalidationReleases +
+                      tr.cache.flushReleases)
+            << tr.name;
+    }
+    EXPECT_EQ(report.arena.admissions,
+              report.arena.releases + report.arena.liveEntries);
+    EXPECT_EQ(report.totalEvents, 0u);
+}
+
+// The slice accounting identity under bounded admission and
+// shedding: scheduled == shed + completed + blacklisted for every
+// tenant, and the bounded scheduler is jobs-invariant.
+TEST(ServiceChaosTest, BoundedAdmissionShedsDeterministically)
+{
+    for (const std::size_t jobs : {1u, 8u}) {
+        ServiceConfig config = seedConfig(10, 32, jobs, 20000);
+        config.overload.maxInflight = 3;
+        config.overload.healthEnabled = true;
+        const ServiceReport report = runService(config);
+        std::uint64_t shed = 0;
+        for (const TenantReport &tr : report.tenants) {
+            EXPECT_EQ(tr.chaos.scheduledSlices,
+                      tr.chaos.shedSlices +
+                          tr.chaos.completedSlices +
+                          tr.chaos.blacklistedSlices)
+                << tr.name;
+            shed += tr.chaos.shedSlices;
+        }
+        // With 10 pending tenants and 3 grants per round, the
+        // denied majority must actually be shed.
+        EXPECT_GT(shed, 0u);
+        EXPECT_EQ(verifyServiceChaos(config), "");
+    }
+}
+
+// Slice budgets force the terminal graceful state: the tenant is
+// degraded to interpretation, drains its full event budget (no
+// events are lost — transparency holds), ends BLACKLISTED, and the
+// whole trajectory replays solo.
+TEST(ServiceChaosTest, SliceBudgetDegradesToInterpretation)
+{
+    // 8000 events is safely under these guests' natural halts, so
+    // a full drain must deliver exactly the budget.
+    ServiceConfig config = longGuestConfig(4, 32, 0, 8000);
+    config.sliceEvents = 1024;
+    config.overload.sliceBudget = 4;
+    config.overload.healthEnabled = true;
+    const ServiceReport report = runService(config);
+    for (const TenantReport &tr : report.tenants) {
+        EXPECT_TRUE(tr.chaos.budgetExhausted) << tr.name;
+        EXPECT_EQ(tr.health, TenantHealth::Blacklisted) << tr.name;
+        EXPECT_GT(tr.chaos.blacklistedSlices, 0u) << tr.name;
+        EXPECT_EQ(tr.result.events, 8000u) << tr.name;
+    }
+    EXPECT_EQ(report.chaos.blacklistedTenants, 4u);
+    EXPECT_EQ(verifyServiceChaos(config), "");
+}
+
+// The health state machine, walked directly: escalation ladder,
+// one-level recovery, absorbing blacklist, restart reset.
+TEST(ServiceChaosTest, HealthMachineTrajectory)
+{
+    OverloadConfig cfg;
+    cfg.healthEnabled = true;
+    cfg.degradePressure = 1;
+    cfg.shedAfter = 2;
+    cfg.blacklistAfter = 4;
+    TenantHealthMachine m(cfg);
+    EXPECT_EQ(m.state(), TenantHealth::Healthy);
+    EXPECT_EQ(m.observe(1), TenantHealth::Degraded);
+    EXPECT_EQ(m.observe(3), TenantHealth::Shed);
+    // A clean slice steps down one level, not straight to healthy.
+    EXPECT_EQ(m.observe(0), TenantHealth::Degraded);
+    EXPECT_EQ(m.observe(0), TenantHealth::Healthy);
+    // The streak restarts after recovery: four pressured slices
+    // walk all the way to the terminal state.
+    EXPECT_EQ(m.observe(1), TenantHealth::Degraded);
+    EXPECT_EQ(m.observe(1), TenantHealth::Shed);
+    EXPECT_EQ(m.observe(1), TenantHealth::Shed);
+    EXPECT_EQ(m.observe(1), TenantHealth::Blacklisted);
+    // Absorbing: clean slices do not resurrect a blacklisted
+    // tenant.
+    EXPECT_EQ(m.observe(0), TenantHealth::Blacklisted);
+    m.reset();
+    EXPECT_EQ(m.state(), TenantHealth::Healthy);
+    EXPECT_STREQ(healthName(TenantHealth::Shed), "SHED");
+}
+
+// Shard quarantine at the arena level: admissions to a quarantined
+// shard park (counted, invisible to residency sweeps only at lift),
+// nest by depth, and merge back losslessly at the lift.
+TEST(ServiceChaosTest, QuarantineParksAndLifts)
+{
+    ArenaConfig cfg;
+    cfg.shardCount = 1; // everything lands on the one shard
+    ShardedCodeCache arena(cfg);
+    const TenantId id = arena.registerTenant();
+
+    arena.quarantineShard(0);
+    arena.quarantineShard(0); // nested: two lifts required
+    arena.admit(id, 0x100, 64);
+    arena.admit(id, 0x200, 32);
+    EXPECT_EQ(arena.stats().quarantines, 2u);
+    EXPECT_EQ(arena.stats().quarantinedAdmissions, 2u);
+    // Parked entries still count toward residency and the
+    // accounting identity — the quarantine is purely physical.
+    EXPECT_EQ(arena.stats().liveBytes, 96u);
+    EXPECT_EQ(arena.liveEntryCount(id), 2u);
+
+    arena.liftShardQuarantine(0);
+    // Still quarantined at depth 1: new admissions keep parking.
+    arena.admit(id, 0x300, 16);
+    EXPECT_EQ(arena.stats().quarantinedAdmissions, 3u);
+    arena.liftShardQuarantine(0);
+
+    // Fully lifted: releases find the merged entries, and the
+    // identity closes to zero.
+    arena.release(id, 0x100, 64, ReleaseReason::Eviction);
+    arena.release(id, 0x200, 32, ReleaseReason::Flush);
+    arena.release(id, 0x300, 16, ReleaseReason::Invalidation);
+    EXPECT_EQ(arena.stats().liveBytes, 0u);
+    EXPECT_EQ(arena.stats().admissions,
+              arena.stats().releases + arena.stats().liveEntries);
+    arena.releaseAll(id);
+    arena.unregisterTenant(id);
+}
+
+// A release may arrive while the entry is still parked (a squeeze
+// or invalidation during the quarantine window): it must find the
+// parked entry, not panic.
+TEST(ServiceChaosTest, ReleaseDuringQuarantineFindsParkedEntry)
+{
+    ArenaConfig cfg;
+    cfg.shardCount = 1;
+    ShardedCodeCache arena(cfg);
+    const TenantId id = arena.registerTenant();
+    arena.quarantineShard(0);
+    arena.admit(id, 0x500, 40);
+    arena.release(id, 0x500, 40, ReleaseReason::Eviction);
+    EXPECT_EQ(arena.stats().liveBytes, 0u);
+    arena.liftShardQuarantine(0);
+    EXPECT_EQ(arena.stats().admissions,
+              arena.stats().releases + arena.stats().liveEntries);
+    arena.unregisterTenant(id);
+}
+
+// The squeeze path end-to-end: squeezes fire, drive evictions
+// through the existing limitsFor() partition, restore afterwards,
+// and the whole trajectory replays through the solo chaos leg.
+TEST(ServiceChaosTest, SqueezeDrivesEvictionsAndReplays)
+{
+    // A tight 2 KiB arena (341 B/tenant) squeezed 8x (42 B/tenant):
+    // the squeezed quota is below a single region, so the window
+    // must visibly evict.
+    ServiceConfig config = longGuestConfig(6, 2, 0, 20000);
+    config.chaos = ChaosPlan::parse("c1,sqdiv=8,sqat=1,sqlen=6");
+    config.overload.healthEnabled = true;
+    config.sliceEvents = 1024;
+    const ServiceReport squeezed = runService(config);
+    EXPECT_EQ(squeezed.chaos.squeezes, 6u);
+
+    ServiceConfig plain = longGuestConfig(6, 2, 0, 20000);
+    plain.sliceEvents = 1024;
+    const ServiceReport baseline = runService(plain);
+    std::uint64_t squeezedReleases = 0, baselineReleases = 0;
+    for (std::size_t i = 0; i < 6; ++i) {
+        squeezedReleases +=
+            squeezed.tenants[i].cache.evictionReleases +
+            squeezed.tenants[i].cache.flushReleases;
+        baselineReleases +=
+            baseline.tenants[i].cache.evictionReleases +
+            baseline.tenants[i].cache.flushReleases;
+    }
+    // An 8x quota squeeze must actually evict more than the
+    // unsqueezed baseline, or the fault injected nothing.
+    EXPECT_GT(squeezedReleases, baselineReleases);
+    EXPECT_EQ(verifyServiceChaos(config), "");
+}
+
+// squeezedCapacityFor: bounded arenas partition as if the tenant
+// population were `factor` times larger; unbounded arenas shrink
+// the tenant's own bound; fully unbounded tenants are a no-op.
+TEST(ServiceChaosTest, SqueezedCapacityDerivation)
+{
+    ServiceConfig config = seedConfig(4, 64, 0);
+    const TenantSpec &spec = config.tenants[0];
+    const std::uint64_t quota =
+        tenantLimitsFor(config, spec).capacityBytes;
+    EXPECT_EQ(squeezedCapacityFor(config, spec, 1), quota);
+    EXPECT_EQ(squeezedCapacityFor(config, spec, 4), quota / 4);
+
+    ServiceConfig unbounded = seedConfig(4, 0, 0);
+    TenantSpec own = unbounded.tenants[0];
+    own.program.cacheKb = 8;
+    EXPECT_EQ(squeezedCapacityFor(unbounded, own, 4), 2048u);
+    own.program.cacheKb = 0; // fully unbounded: squeeze is a no-op
+    EXPECT_EQ(squeezedCapacityFor(unbounded, own, 4), 0u);
+}
+
 } // namespace
 } // namespace service
 } // namespace rsel

@@ -192,6 +192,101 @@ TEST(ServiceStressTest, LockOrderShimLegalOrder)
     EXPECT_EQ(arena.stats().shardCount, 4u);
 }
 
+// Shard quarantine raced against live traffic: six tenants hammer a
+// two-shard arena from their own threads while a chaos thread
+// quarantines and lifts both shards in a tight loop. Admissions that
+// land on a quarantined shard park; lifts merge them back — all
+// concurrent with releases and evictions on the same shards. The
+// tsan preset is the real audience; everywhere else this is a
+// liveness and accounting check: nothing deadlocks, nothing leaks,
+// and the admission identity closes after teardown.
+TEST(ServiceStressTest, ConcurrentQuarantineDuringInflightAdmissions)
+{
+    ArenaConfig cfg;
+    cfg.capacityBytes = 8 * 1024;
+    cfg.shardCount = 2;
+    ShardedCodeCache arena(cfg);
+
+    constexpr std::size_t tenantCount = 6;
+    std::vector<std::unique_ptr<TenantSession>> sessions;
+    for (std::size_t i = 0; i < tenantCount; ++i) {
+        const TenantId id = arena.registerTenant();
+        sessions.push_back(std::make_unique<TenantSession>(
+            id, TenantSpec::fromSeed(1 + i),
+            arena.tenantLimits(tenantCount), arena, 100000));
+    }
+
+    std::vector<std::thread> drivers;
+    drivers.reserve(tenantCount);
+    for (std::size_t i = 0; i < tenantCount; ++i)
+        drivers.emplace_back([&, i] {
+            while (sessions[i]->runSlice(256)) {
+            }
+            sessions[i]->teardown();
+        });
+    // Balanced quarantine/lift cycles on both shards, concurrent
+    // with every admission and release above. Each cycle nests to
+    // depth one and lifts before the next, so the loop leaves both
+    // shards live no matter where the drivers are.
+    std::thread chaos([&arena] {
+        for (int cycle = 0; cycle < 400; ++cycle) {
+            const std::size_t shard =
+                static_cast<std::size_t>(cycle) % 2;
+            arena.quarantineShard(shard);
+            std::this_thread::yield();
+            arena.liftShardQuarantine(shard);
+        }
+    });
+    chaos.join();
+    for (std::thread &t : drivers)
+        t.join();
+
+    const ArenaStats stats = arena.stats();
+    EXPECT_EQ(stats.liveBytes, 0u);
+    EXPECT_EQ(stats.liveEntries, 0u);
+    EXPECT_EQ(stats.quarantines, 400u);
+    EXPECT_EQ(stats.admissions, stats.releases);
+    for (std::size_t i = 0; i < tenantCount; ++i)
+        EXPECT_EQ(
+            arena.tenantStats(sessions[i]->tenantId()).liveBytes,
+            0u)
+            << i;
+}
+
+// A full chaos service run at jobs 8 — crashes, quarantines, and
+// squeezes all armed — exercised twice to pin the cross-thread
+// trajectory, then put through the chaos oracle. Under tsan this is
+// the end-to-end pass over every chaos code path (conductor,
+// restart, parked admissions, squeeze through setCapacity) with
+// real pool concurrency.
+TEST(ServiceStressTest, ChaosServiceRunUnderStress)
+{
+    ServiceConfig config;
+    for (std::size_t i = 0; i < 8; ++i)
+        config.tenants.push_back(TenantSpec::fromSeed(1 + i));
+    config.cacheKb = 16;
+    config.shards = 2;
+    config.jobs = 8;
+    config.eventsOverride = 8000;
+    config.sliceEvents = 512;
+    config.chaos = ChaosPlan::parse(
+        "c1,crash=400,quar=500,quarlen=4,sqdiv=4,sqat=2,sqlen=6,"
+        "window=6");
+    config.overload.healthEnabled = true;
+
+    const ServiceReport first = runService(config);
+    const ServiceReport second = runService(config);
+    ASSERT_EQ(first.tenants.size(), second.tenants.size());
+    for (std::size_t i = 0; i < first.tenants.size(); ++i)
+        EXPECT_EQ(first.tenants[i].fingerprint,
+                  second.tenants[i].fingerprint)
+            << first.tenants[i].name;
+    EXPECT_GT(first.chaos.restarts + first.chaos.quarantines +
+                  first.chaos.squeezes,
+              0u);
+    EXPECT_EQ(verifyServiceChaos(config), "");
+}
+
 } // namespace
 } // namespace service
 } // namespace rsel

@@ -28,6 +28,14 @@
  * hold while translations fail and cache lines are invalidated.
  * --fault-spec instead applies one fixed plan to every seed.
  *
+ * Chaos fuzzing (--tenants N --chaos-fuzz) pairs every seed with a
+ * deterministic service-level chaos plan (tenant aborts, crashes
+ * with warm restart, shard quarantines, memory-pressure squeezes)
+ * and drives the chaos oracle: surviving tenants byte-identical to
+ * their reference legs, restarted tenants to a fresh solo run from
+ * the replay position, plus the arena and slice accounting
+ * identities. Reproducers hold the chaos plan fixed (--chaos-spec).
+ *
  * Exit codes: 0 = clean, 1 = runtime fault, 2 = usage error,
  * 3 = failures found.
  */
@@ -149,6 +157,14 @@ runTenantMode(const CliOptions &cli, BrokenMode broken,
     const std::uint64_t seeds =
         oneSpec ? 1 : cli.getUint("seeds");
     const std::uint64_t startSeed = cli.getUint("start-seed");
+    const bool chaosFuzz = cli.getBool("chaos-fuzz");
+    service::ChaosPlan fixedChaos;
+    if (!cli.get("chaos-spec").empty()) {
+        if (chaosFuzz)
+            fatal("--chaos-fuzz and --chaos-spec are mutually "
+                  "exclusive");
+        fixedChaos = service::ChaosPlan::parse(cli.get("chaos-spec"));
+    }
     std::uint64_t failures = 0;
 
     for (std::uint64_t i = 0; i < seeds; ++i) {
@@ -159,11 +175,18 @@ runTenantMode(const CliOptions &cli, BrokenMode broken,
         resilience::FaultPlan faults = fixedFaults;
         if (faultFuzz)
             faults = resilience::FaultPlan::fromSeed(seed);
+        service::ChaosPlan chaos = fixedChaos;
+        if (chaosFuzz)
+            chaos = service::ChaosPlan::fromSeed(seed);
 
         service::ServiceConfig config;
         config.jobs =
             static_cast<std::size_t>(cli.getUint("jobs"));
         config.eventsOverride = cli.getUint("events");
+        config.chaos = chaos;
+        // The chaos oracle exercises the overload machine too: one
+        // pressured slice degrades, shedding starts at three.
+        config.overload.healthEnabled = chaos.armed();
         config.tenants.reserve(tenants);
         for (std::uint64_t t = 0; t < tenants; ++t) {
             service::TenantSpec tenant;
@@ -177,7 +200,9 @@ runTenantMode(const CliOptions &cli, BrokenMode broken,
         }
 
         const std::string error =
-            service::verifyServiceDeterminism(config);
+            chaos.armed()
+                ? service::verifyServiceChaos(config)
+                : service::verifyServiceDeterminism(config);
         if (!error.empty()) {
             ++failures;
             std::printf("FAILURE seed=%llu (service mode, %llu "
@@ -188,11 +213,32 @@ runTenantMode(const CliOptions &cli, BrokenMode broken,
             if (faults.armed())
                 std::printf("  faults: %s\n",
                             faults.toString().c_str());
+            if (chaos.armed())
+                std::printf("  chaos: %s\n",
+                            chaos.toString().c_str());
             std::printf("  error: %s\n", error.c_str());
+            // Reproducer holds the chaos plan FIXED (--chaos-spec),
+            // so shrinking the program spec replays the exact fault
+            // trajectory while the input shrinks around it.
+            std::printf("  repro: rselect-fuzz --tenants %llu "
+                        "--spec \"%s\"%s%s\n",
+                        static_cast<unsigned long long>(tenants),
+                        spec.toString().c_str(),
+                        faults.armed()
+                            ? (" --fault-spec \"" +
+                               faults.toString() + "\"")
+                                  .c_str()
+                            : "",
+                        chaos.armed()
+                            ? (" --chaos-spec \"" +
+                               chaos.toString() + "\"")
+                                  .c_str()
+                            : "");
         }
     }
-    std::printf("fuzz (service mode): %llu seed%s x %llu tenants, "
+    std::printf("fuzz (service mode%s): %llu seed%s x %llu tenants, "
                 "%llu failure%s\n",
+                chaosFuzz ? ", chaos" : "",
                 static_cast<unsigned long long>(seeds),
                 seeds == 1 ? "" : "s",
                 static_cast<unsigned long long>(tenants),
@@ -235,6 +281,13 @@ main(int argc, char **argv)
                "replay each spec through the multi-tenant service "
                "path with N tenants and assert fingerprint "
                "equality against the single-tenant path (0 = off)");
+    cli.define("chaos-fuzz", "false",
+               "pair every seed with its own deterministic "
+               "service-level chaos plan (ChaosPlan::fromSeed; "
+               "needs --tenants)");
+    cli.define("chaos-spec", "",
+               "apply one fixed chaos plan to every seed (e.g. "
+               "'c1,crash=300,quar=200,seed=9'; needs --tenants)");
 
     try {
         cli.parse(argc, argv);
@@ -260,6 +313,9 @@ main(int argc, char **argv)
 
         if (cli.getUint("tenants") != 0)
             return runTenantMode(cli, broken, faults, faultFuzz);
+        if (cli.getBool("chaos-fuzz") ||
+            !cli.get("chaos-spec").empty())
+            fatal("--chaos-fuzz/--chaos-spec need --tenants");
 
         if (!cli.get("spec").empty())
             return runSpecMode(cli.get("spec"), broken, verify,

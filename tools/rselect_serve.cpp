@@ -11,6 +11,8 @@
  *     rselect-serve --tenants 16 --cache-kb 64 --jobs 8
  *     rselect-serve --spec-file tenants.txt --json out.json
  *     rselect-serve --tenants 8 --fault-fuzz --verify-solo
+ *     rselect-serve --tenants 8 --chaos-seed 7 --verify-solo
+ *     rselect-serve --tenants 16 --max-inflight 4 --slice-budget 32
  *
  * The service's load-bearing contract: every tenant's result is
  * byte-identical to a solo single-tenant run of the same spec and
@@ -98,6 +100,28 @@ buildConfig(const CliOptions &cli)
         fatal("--policy must be 'flush' or 'fifo'");
     config.sliceEvents = cli.getUint("slice");
     config.eventsOverride = cli.getUint("events");
+
+    // Chaos arming: one fixed plan (--chaos-spec, parse errors are
+    // usage errors) or a seed-derived one (--chaos-seed).
+    if (!cli.get("chaos-spec").empty()) {
+        if (cli.getUint("chaos-seed") != 0)
+            fatal("--chaos-spec and --chaos-seed are mutually "
+                  "exclusive");
+        config.chaos = ChaosPlan::parse(cli.get("chaos-spec"));
+    } else if (cli.getUint("chaos-seed") != 0) {
+        config.chaos =
+            ChaosPlan::fromSeed(cli.getUint("chaos-seed"));
+    }
+
+    config.overload.maxInflight =
+        static_cast<std::size_t>(cli.getUint("max-inflight"));
+    config.overload.sliceBudget = cli.getUint("slice-budget");
+    // The health machine engages whenever chaos or any overload
+    // knob is in play; a plain service run keeps the PR-7 contract
+    // (and its oracles) untouched.
+    config.overload.healthEnabled =
+        config.chaos.armed() || config.overload.maxInflight != 0 ||
+        config.overload.sliceBudget != 0;
     return config;
 }
 
@@ -123,6 +147,43 @@ runSelfTest(ServiceConfig config)
         return ExitRuntimeFault;
     }
     std::printf("self-test: sabotaged comparison diverged as "
+                "expected\n");
+    return ExitVerifyFailure;
+}
+
+/**
+ * Chaos-oracle self-test: force a crash-everything plan, prove the
+ * chaos oracle passes cleanly, then sabotage the restart oracle's
+ * replay position by one event and demand divergence.
+ */
+int
+runChaosSelfTest(ServiceConfig config)
+{
+    config.chaos = ChaosPlan::parse("c1,crash=1000,window=4");
+    config.overload.healthEnabled = true;
+    const std::string error = verifyServiceChaos(config);
+    if (!error.empty()) {
+        std::fprintf(stderr,
+                     "self-test FAILED: chaos oracle did not pass "
+                     "cleanly: %s\n",
+                     error.c_str());
+        return ExitRuntimeFault;
+    }
+    const ServiceReport report = runService(config);
+    const TenantReport &tr = report.tenants[0];
+    // One event past the true replay position: the fresh solo run
+    // consumes one event fewer, so the fingerprints must differ.
+    const TenantSpec &spec = config.tenants[0];
+    const SimResult solo = soloTenantRun(
+        spec, tenantLimitsFor(config, spec), config.eventsOverride,
+        tr.chaos.restartFromEvent + 1);
+    if (tr.fingerprint == testing::resultFingerprint(solo)) {
+        std::fprintf(stderr,
+                     "self-test FAILED: sabotaged replay position "
+                     "still matched the service fingerprint\n");
+        return ExitRuntimeFault;
+    }
+    std::printf("self-test: sabotaged chaos comparison diverged as "
                 "expected\n");
     return ExitVerifyFailure;
 }
@@ -155,6 +216,34 @@ printSummary(const ServiceConfig &config, const ServiceReport &report)
                     report.arena.releases),
                 static_cast<unsigned long long>(
                     report.arena.shardContention));
+    if (config.chaos.armed() || config.overload.enabled()) {
+        std::printf("chaos: %llu aborts, %llu restarts, "
+                    "%llu quarantines, %llu squeezes (%s)\n",
+                    static_cast<unsigned long long>(
+                        report.chaos.aborts),
+                    static_cast<unsigned long long>(
+                        report.chaos.restarts),
+                    static_cast<unsigned long long>(
+                        report.chaos.quarantines),
+                    static_cast<unsigned long long>(
+                        report.chaos.squeezes),
+                    config.chaos.toString().c_str());
+        std::printf("overload: %llu scheduled, %llu shed, "
+                    "%llu completed, %llu blacklisted slices; "
+                    "%llu degraded, %llu blacklisted tenants\n",
+                    static_cast<unsigned long long>(
+                        report.chaos.scheduledSlices),
+                    static_cast<unsigned long long>(
+                        report.chaos.shedSlices),
+                    static_cast<unsigned long long>(
+                        report.chaos.completedSlices),
+                    static_cast<unsigned long long>(
+                        report.chaos.blacklistedSlices),
+                    static_cast<unsigned long long>(
+                        report.chaos.degradedTenants),
+                    static_cast<unsigned long long>(
+                        report.chaos.blacklistedTenants));
+    }
 }
 
 } // namespace
@@ -186,13 +275,26 @@ main(int argc, char **argv)
     cli.define("fault-fuzz", "false",
                "arm a per-tenant derived fault plan "
                "(FaultPlan::fromSeed)");
+    cli.define("chaos-spec", "",
+               "arm a fixed service-level chaos plan "
+               "(\"c1,crash=300,quar=200,...\")");
+    cli.define("chaos-seed", "0",
+               "derive the chaos plan from a seed "
+               "(ChaosPlan::fromSeed; 0 = off)");
+    cli.define("max-inflight", "0",
+               "bounded admission: tenants granted a slice per "
+               "round (0 = unbounded)");
+    cli.define("slice-budget", "0",
+               "slices per tenant before degradation to "
+               "interpretation (0 = no budget)");
     cli.define("json", "", "write the JSON report to this path");
     cli.define("verify-solo", "false",
                "re-run every tenant solo and compare fingerprints "
-               "(exit 3 on divergence)");
+               "(exit 3 on divergence; chaos-aware when a chaos "
+               "plan or overload knob is armed)");
     cli.define("self-test", "none",
-               "oracle self-test: none | mismatch (mismatch "
-               "sabotages a solo leg and expects exit 3)");
+               "oracle self-test: none | mismatch | chaos "
+               "(sabotages a solo leg and expects exit 3)");
 
     try {
         cli.parse(argc, argv);
@@ -209,20 +311,31 @@ main(int argc, char **argv)
 
         if (cli.get("self-test") == "mismatch")
             return runSelfTest(config);
+        if (cli.get("self-test") == "chaos")
+            return runChaosSelfTest(config);
         if (cli.get("self-test") != "none")
-            fatal("--self-test must be 'none' or 'mismatch'");
+            fatal("--self-test must be 'none', 'mismatch' or "
+                  "'chaos'");
 
         if (cli.getBool("verify-solo")) {
+            // Chaos or overload in play switches to the chaos
+            // oracle: per-tenant reference legs picked by what
+            // actually touched each tenant, plus the accounting
+            // identities.
+            const bool chaosAware =
+                config.chaos.armed() || config.overload.enabled();
             const std::string error =
-                verifyServiceDeterminism(config);
+                chaosAware ? verifyServiceChaos(config)
+                           : verifyServiceDeterminism(config);
             if (!error.empty()) {
                 std::fprintf(stderr, "verify-solo FAILED: %s\n",
                              error.c_str());
                 return ExitVerifyFailure;
             }
             std::printf("verify-solo: %zu tenants byte-identical "
-                        "to their solo runs\n",
-                        config.tenants.size());
+                        "to their %s runs\n",
+                        config.tenants.size(),
+                        chaosAware ? "reference" : "solo");
         }
 
         const ServiceReport report = runService(config);
