@@ -7,12 +7,81 @@
  * elimination), join points visible to the optimizer, and cycles
  * with in-region preheaders (loop-invariant code motion, which even
  * a cycle-spanning trace cannot do).
+ *
+ * The second table extends the argument across call boundaries: the
+ * interprocedural analyzer's per-workload inlining opportunities
+ * (call sites, hot-loop sites, sound duplication-growth bound)
+ * against the measured dynamic call behaviour, with the tightness
+ * ratio bound/observed and the share of dynamic calls flowing
+ * through the top quartile of the ranked table. An in-binary gate
+ * re-checks every sound claim (callee sets, return edges, bound
+ * chain) and fails the run on any violation.
  */
 
 #include "bench_util.hpp"
 
+#include <iostream>
+
+#include "testing/inter_check.hpp"
+
 using namespace rsel;
 using namespace rsel::bench;
+
+namespace {
+
+/** "bound / observed" as a ratio cell ("-" when nothing ran). */
+std::string
+tightness(std::uint64_t bound, std::uint64_t observed)
+{
+    if (observed == 0)
+        return "-";
+    return formatDouble(static_cast<double>(bound) /
+                            static_cast<double>(observed),
+                        2);
+}
+
+/** The interprocedural static-vs-dynamic table; false on any
+ *  violated sound claim. */
+bool
+printInterTable(SuiteRunner &runner)
+{
+    const BenchOptions &opts = runner.options();
+    Table table("Interprocedural opportunities vs dynamic calls",
+                {"workload", "callSites", "hotSites", "staticBound",
+                 "dynCalls", "observedInsts", "tightness",
+                 "topQuartile"});
+    bool held = true;
+    for (const WorkloadInfo *w : runner.workloads()) {
+        const Program prog = w->build(opts.buildSeed);
+        const std::uint64_t events =
+            opts.events != 0 ? opts.events : w->defaultEvents;
+        const testing::InterValidation val =
+            testing::validateInterprocedural(prog, events,
+                                             opts.seed);
+        if (!val.error.empty()) {
+            std::printf("%s: %s\n", w->name.c_str(),
+                        val.error.c_str());
+            held = false;
+        }
+        analysis::AnalysisManager mgr;
+        const analysis::OpportunityReport opp =
+            analysis::analyzeInlineOpportunities(
+                mgr.interFacts(prog));
+        table.addRow({w->name,
+                      std::to_string(opp.ranked.size()),
+                      std::to_string(opp.hotLoopSites),
+                      std::to_string(val.dupGrowthBoundInsts),
+                      std::to_string(val.callTransfers),
+                      std::to_string(val.observedCalleeInsts),
+                      tightness(val.dupGrowthBoundInsts,
+                                val.observedCalleeInsts),
+                      formatDouble(val.topQuartileCallShare, 2)});
+    }
+    table.print(std::cout);
+    return held;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -66,5 +135,10 @@ main(int argc, char **argv)
                 "produce regions where redundancy elimination needs "
                 "no compensation code and loops have in-region "
                 "preheaders for invariant code motion.");
-    return 0;
+
+    const bool held = printInterTable(runner);
+    std::printf("%s\n", held
+                            ? "interprocedural bounds held"
+                            : "interprocedural bounds VIOLATED");
+    return held ? 0 : 1;
 }

@@ -1,7 +1,13 @@
 #include "analysis/analysis_manager.hpp"
 
+#include "analysis/inter_facts.hpp"
+
 namespace rsel {
 namespace analysis {
+
+AnalysisManager::AnalysisManager() = default;
+// Out of line: ~unique_ptr<InterFacts> needs the complete type.
+AnalysisManager::~AnalysisManager() = default;
 
 std::uint64_t
 programFingerprint(const Program &prog)
@@ -130,6 +136,7 @@ AnalysisManager::facts(const Program &prog)
         // point into the replaced program) instead of serving them.
         ++stats_.staleInvalidations;
         programs_.erase(it);
+        inter_.erase(&prog);
         regions_.clear();
         it = programs_.end();
     }
@@ -141,6 +148,25 @@ AnalysisManager::facts(const Program &prog)
                  .first;
     } else {
         ++stats_.programHits;
+    }
+    return *it->second;
+}
+
+const InterFacts &
+AnalysisManager::interFacts(const Program &prog)
+{
+    // Resolve the program facts first: the staleness guard lives
+    // there, and a stale hit drops the interprocedural entry too.
+    const ProgramFacts &pf = facts(prog);
+    auto it = inter_.find(&prog);
+    if (it == inter_.end()) {
+        ++stats_.interMisses;
+        it = inter_
+                 .emplace(&prog, std::make_unique<InterFacts>(
+                                     buildInterFacts(pf)))
+                 .first;
+    } else {
+        ++stats_.interHits;
     }
     return *it->second;
 }
@@ -170,6 +196,7 @@ void
 AnalysisManager::invalidate(const Program &prog)
 {
     programs_.erase(&prog);
+    inter_.erase(&prog);
     // Region identity is not tracked per program; drop everything.
     regions_.clear();
 }

@@ -94,6 +94,11 @@ MemberFacts buildMemberFacts(
     const ProgramFacts &pf,
     const std::vector<const BasicBlock *> &members);
 
+/** Interprocedural facts (call graph + summaries); see
+ *  inter_facts.hpp. Declared here so the manager can cache them
+ *  without the base header depending on the call-graph layer. */
+struct InterFacts;
+
 /** Cache traffic counters of one AnalysisManager. */
 struct AnalysisCacheStats
 {
@@ -101,6 +106,8 @@ struct AnalysisCacheStats
     std::uint64_t programMisses = 0;
     std::uint64_t regionHits = 0;
     std::uint64_t regionMisses = 0;
+    std::uint64_t interHits = 0;
+    std::uint64_t interMisses = 0;
     /** Cached facts dropped because the Program's shape changed
      *  under its address (stale facts are never served). */
     std::uint64_t staleInvalidations = 0;
@@ -118,8 +125,17 @@ struct AnalysisCacheStats
 class AnalysisManager
 {
   public:
+    AnalysisManager();
+    ~AnalysisManager();
+    AnalysisManager(const AnalysisManager &) = delete;
+    AnalysisManager &operator=(const AnalysisManager &) = delete;
+
     /** Facts for `prog`, computed on first use. */
     const ProgramFacts &facts(const Program &prog);
+
+    /** Interprocedural facts for `prog`, computed on first use.
+     *  Rides the same staleness guard as facts(). */
+    const InterFacts &interFacts(const Program &prog);
 
     /** Induced facts for a cached region, computed on first use. */
     const MemberFacts &regionFacts(const Program &prog,
@@ -134,6 +150,8 @@ class AnalysisManager
   private:
     std::unordered_map<const Program *, std::unique_ptr<ProgramFacts>>
         programs_;
+    std::unordered_map<const Program *, std::unique_ptr<InterFacts>>
+        inter_;
     std::unordered_map<const Region *, std::unique_ptr<MemberFacts>>
         regions_;
     AnalysisCacheStats stats_;

@@ -1,0 +1,81 @@
+#include "analysis/inline_opportunity.hpp"
+
+#include <algorithm>
+
+namespace rsel {
+namespace analysis {
+
+OpportunityReport
+analyzeInlineOpportunities(const InterFacts &inf)
+{
+    const CallGraph &cg = inf.callGraph;
+    const std::uint32_t nFuncs =
+        static_cast<std::uint32_t>(inf.summaries.size());
+    OpportunityReport rep;
+    rep.ranked.reserve(cg.sites.size());
+
+    const BitsetLattice lattice(nFuncs);
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(cg.sites.size()); ++i) {
+        const CallSite &site = cg.sites[i];
+        InlineOpportunity op;
+        op.site = i;
+        op.block = site.block;
+        op.caller = site.caller;
+        op.loopDepth = site.loopDepth;
+        op.hotLoop = site.loopDepth >= 1;
+
+        // Union of the callees' call closures: the code any inline
+        // at this site can possibly commit the cache to.
+        BitsetLattice::Value dup = lattice.bottom();
+        bool allLeafSmall = !site.callees.empty();
+        bool allSingle = !site.callees.empty();
+        bool allReturn = !site.callees.empty();
+        for (const FuncId callee : site.callees) {
+            if (callee >= nFuncs) {
+                allLeafSmall = allSingle = allReturn = false;
+                continue;
+            }
+            const FuncSummary &s = inf.summaries[callee];
+            lattice.meetInto(dup, inf.closure[callee]);
+            if (!s.leaf || s.insts > smallCalleeInsts)
+                allLeafSmall = false;
+            if (s.fanIn != 1)
+                allSingle = false;
+            if (!s.hasReturn)
+                allReturn = false;
+        }
+        for (FuncId g = 0; g < nFuncs; ++g)
+            if (BitsetLattice::testBit(dup, g))
+                op.dupGrowthBoundInsts += inf.summaries[g].insts;
+
+        op.smallLeafCallee = allLeafSmall;
+        op.singleCallSite = allSingle;
+        op.returnRejoins =
+            allReturn && site.returnBlock != invalidBlock;
+
+        op.score = 4.0 * op.loopDepth +
+                   (op.smallLeafCallee ? 3.0 : 0.0) +
+                   (op.singleCallSite ? 2.0 : 0.0) +
+                   (op.returnRejoins ? 1.0 : 0.0) -
+                   static_cast<double>(op.dupGrowthBoundInsts) / 64.0;
+
+        rep.totalDupGrowthBoundInsts += op.dupGrowthBoundInsts;
+        rep.hotLoopSites += op.hotLoop ? 1 : 0;
+        rep.smallLeafSites += op.smallLeafCallee ? 1 : 0;
+        rep.singleCallSiteSites += op.singleCallSite ? 1 : 0;
+        rep.rejoinSites += op.returnRejoins ? 1 : 0;
+        rep.ranked.push_back(op);
+    }
+
+    std::sort(rep.ranked.begin(), rep.ranked.end(),
+              [](const InlineOpportunity &a, const InlineOpportunity &b) {
+                  if (a.score != b.score)
+                      return a.score > b.score;
+                  return a.site < b.site;
+              });
+    return rep;
+}
+
+} // namespace analysis
+} // namespace rsel

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Demand-driven inlining-opportunity analyzer.
+ *
+ * Way & Pollock's demand-driven inlining argument (PAPERS.md): the
+ * win from crossing a call boundary at region-growth time is largest
+ * at hot, structurally simple call sites, and the cost is the code
+ * growth the inline commits the cache to. This analyzer scores every
+ * call site on the static signals a cross-call selector would
+ * consult *before* running:
+ *
+ *  - hot-loop residency (call block inside a natural loop — executes
+ *    once per iteration);
+ *  - small leaf callee (no further calls, tiny body — the classic
+ *    always-profitable inline);
+ *  - single-call-site callee (inlining duplicates nothing that
+ *    remains live elsewhere);
+ *  - return target rejoins the caller (fall-through landing pad in
+ *    the caller's own layout — the region can close back up after
+ *    the call, Way & Pollock's "rejoin" shape).
+ *
+ * Each opportunity also carries a *sound* duplication upper bound:
+ * inlining the site can pull in at most the union of its callees'
+ * call closures (`InterFacts::closure`), so the instruction mass of
+ * that union bounds the code growth of any inlining decision at the
+ * site, recursion collapsed to one materialized copy per function.
+ * Scores are heuristic and report-only; the bounds are what the
+ * simulator-ground-truth validation gates on.
+ */
+
+#ifndef RSEL_ANALYSIS_INLINE_OPPORTUNITY_HPP
+#define RSEL_ANALYSIS_INLINE_OPPORTUNITY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/inter_facts.hpp"
+
+namespace rsel {
+namespace analysis {
+
+/** Callee bodies at or under this instruction count are "small". */
+constexpr std::uint64_t smallCalleeInsts = 24;
+
+/** Signals and sound growth bound for one call site. */
+struct InlineOpportunity
+{
+    /** Index into CallGraph::sites. */
+    std::uint32_t site = 0;
+    BlockId block = invalidBlock;
+    FuncId caller = invalidFunc;
+    /** Loop nesting depth of the call block. */
+    std::uint32_t loopDepth = 0;
+    bool hotLoop = false;
+    bool smallLeafCallee = false;
+    bool singleCallSite = false;
+    bool returnRejoins = false;
+    /** Sound bound: instruction mass of the union of the callees'
+     *  call closures — the most any inline at this site can add. */
+    std::uint64_t dupGrowthBoundInsts = 0;
+    /** Heuristic rank value (higher = more attractive). */
+    double score = 0.0;
+};
+
+/** Ranked opportunity table plus aggregate counters. */
+struct OpportunityReport
+{
+    /** Descending score; ties break by ascending site index. */
+    std::vector<InlineOpportunity> ranked;
+    /** Sum of per-site bounds (sound bound on inlining *every*
+     *  site independently; real growth shares duplicated bodies). */
+    std::uint64_t totalDupGrowthBoundInsts = 0;
+    std::uint32_t hotLoopSites = 0;
+    std::uint32_t smallLeafSites = 0;
+    std::uint32_t singleCallSiteSites = 0;
+    std::uint32_t rejoinSites = 0;
+};
+
+/** Score every call site of the program behind `inf`. */
+OpportunityReport analyzeInlineOpportunities(const InterFacts &inf);
+
+} // namespace analysis
+} // namespace rsel
+
+#endif // RSEL_ANALYSIS_INLINE_OPPORTUNITY_HPP

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Interprocedural facts: per-function summaries propagated bottom-up
+ * over the call-graph condensation.
+ *
+ * Size/shape facts (`FuncSummary`) are local per function; the
+ * transitive facts (which functions a function can reach through
+ * calls, and the instruction mass of that closure) are a dataflow
+ * problem on the call graph: the closure of f is {f} united with the
+ * closures of its callees. On an acyclic condensation one bottom-up
+ * sweep suffices; recursive SCCs make it a genuine fixpoint, which
+ * the PR 5 worklist solver (`solveDataflow`, backward direction,
+ * `BitsetLattice` powerset) computes soundly: the meet (set union)
+ * is monotone, so the fixpoint over-approximates every concrete call
+ * chain, including chains that wind through recursion an unbounded
+ * number of times.
+ *
+ * The closure is the sound currency of the layer: any inlining or
+ * cross-call region growth at a call site can duplicate at most the
+ * closure of its callees (you cannot reach code outside the closure
+ * by following calls), which is what the inlining-opportunity
+ * analyzer uses as its duplication upper bound.
+ */
+
+#ifndef RSEL_ANALYSIS_INTER_FACTS_HPP
+#define RSEL_ANALYSIS_INTER_FACTS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/call_graph.hpp"
+#include "analysis/dataflow.hpp"
+
+namespace rsel {
+namespace analysis {
+
+/** Bottom-up summary of one function. */
+struct FuncSummary
+{
+    FuncId func = invalidFunc;
+    /** Blocks in the function's layout range. */
+    std::uint32_t blockCount = 0;
+    /** Static instructions / bytes of the function body. */
+    std::uint64_t insts = 0;
+    std::uint64_t bytes = 0;
+    /** Max natural-loop nesting depth over the function's blocks. */
+    std::uint32_t maxLoopDepth = 0;
+    /** Call sites inside the function. */
+    std::uint32_t callSites = 0;
+    /** Call sites elsewhere that may target the function. */
+    std::uint32_t fanIn = 0;
+    /** True iff the function contains a Return terminator. */
+    bool hasReturn = false;
+    /** True iff the function contains no call sites. */
+    bool leaf = false;
+    /** True iff the function sits on a call cycle. */
+    bool recursive = false;
+    /** |closure(f)|: functions reachable from f via calls, incl f. */
+    std::uint32_t closureFuncs = 0;
+    /** Static instruction mass of the closure (sound duplication
+     *  upper bound for inlining f, recursion collapsed to one copy
+     *  per function — the code-cache cost model, where a function
+     *  body is materialized at most once per inlining decision). */
+    std::uint64_t closureInsts = 0;
+    /** Max loop depth over the closure's functions. */
+    std::uint32_t closureMaxLoopDepth = 0;
+};
+
+/** Interprocedural facts of one Program, cached by AnalysisManager. */
+struct InterFacts
+{
+    CallGraph callGraph;
+    /** Summary per FuncId. */
+    std::vector<FuncSummary> summaries;
+    /** Call closure per FuncId as a BitsetLattice value. */
+    std::vector<BitsetLattice::Value> closure;
+    /** Transfer applications the closure fixpoint ran. */
+    std::uint64_t dataflowTransfers = 0;
+    /** True iff the fixpoint settled inside the transfer budget
+     *  (always true for the monotone powerset lattice). */
+    bool converged = true;
+
+    /** True iff `to` is in the call closure of `from`. */
+    bool inClosure(FuncId from, FuncId to) const
+    {
+        return from < closure.size() &&
+               BitsetLattice::testBit(closure[from], to);
+    }
+};
+
+/** Build interprocedural facts from cached program facts. */
+InterFacts buildInterFacts(const ProgramFacts &pf);
+
+} // namespace analysis
+} // namespace rsel
+
+#endif // RSEL_ANALYSIS_INTER_FACTS_HPP

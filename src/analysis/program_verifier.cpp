@@ -1,6 +1,9 @@
 #include "analysis/program_verifier.hpp"
 
 #include <algorithm>
+#include <unordered_set>
+
+#include "analysis/inter_facts.hpp"
 
 namespace rsel {
 namespace analysis {
@@ -201,6 +204,76 @@ lintNoExitSccs(const ProgramFacts &pf, DiagnosticEngine &diag)
                          "halt: the program cannot terminate");
 }
 
+void
+checkCallGraphConsistency(const ProgramFacts &pf,
+                          DiagnosticEngine &diag)
+{
+    const Program &prog = *pf.prog;
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(prog.blocks().size());
+    std::unordered_set<BlockId> entries;
+    for (const Function &f : prog.functions())
+        entries.insert(f.entry);
+
+    for (const BasicBlock &b : prog.blocks()) {
+        const BranchKind kind = b.terminator();
+        if (kind != BranchKind::Call && kind != BranchKind::IndirectCall)
+            continue;
+        if (kind == BranchKind::Call) {
+            // Unresolvable targets are branch-targets material; here
+            // the target resolves but is mid-function.
+            if (const BasicBlock *tk = prog.blockAtAddr(b.takenTarget()))
+                if (entries.count(tk->id()) == 0)
+                    diag.error("call-graph-consistency", blockObject(b),
+                               "call target block " +
+                                   std::to_string(tk->id()) +
+                                   " is not a function entry");
+        } else if (prog.hasIndirectBehavior(b.id())) {
+            for (const BlockId t : prog.indirectBehavior(b.id()).targets)
+                if (t < n && entries.count(t) == 0)
+                    diag.error("call-graph-consistency", blockObject(b),
+                               "indirect call declares non-entry "
+                               "target block " +
+                                   std::to_string(t));
+        }
+        // The return edge of the site: the matching Return lands at
+        // the call's fall-through, which must be the caller's own
+        // layout successor (ProgramBuilder enforces contiguity; a
+        // hand-built program can violate it). fallThroughOf excludes
+        // calls — it models un-taken control flow — so resolve the
+        // address directly, like the executor's fallPtr_ does.
+        const BasicBlock *ft = prog.blockAtAddr(b.fallThroughAddr());
+        if (ft == nullptr)
+            diag.error("call-graph-consistency", blockObject(b),
+                       "call has no return landing pad at "
+                       "fall-through address " +
+                           std::to_string(b.fallThroughAddr()));
+        else if (ft->func() != b.func())
+            diag.error("call-graph-consistency", blockObject(b),
+                       "return edge lands in function " +
+                           std::to_string(ft->func()) +
+                           ", not the calling function " +
+                           std::to_string(b.func()));
+    }
+}
+
+void
+lintInterproceduralReachability(const CallGraph &cg,
+                                DiagnosticEngine &diag)
+{
+    const Program &prog = *cg.prog;
+    for (FuncId f = 0;
+         f < static_cast<FuncId>(prog.functions().size()); ++f) {
+        if (f == cg.entryFunc || cg.callReachable(f))
+            continue;
+        diag.warning("interprocedural-reachability",
+                     "function " + prog.function(f).name,
+                     "not reachable from the entry function through "
+                     "call edges (may still be entered through "
+                     "indirect jumps)");
+    }
+}
+
 } // namespace
 
 bool
@@ -230,6 +303,8 @@ ProgramVerifier::run(const Program &prog, DiagnosticEngine &diag,
         checkFallthrough(pf, diag);
     if (opts.passEnabled("behaviors"))
         checkBehaviors(pf, diag);
+    if (opts.passEnabled("call-graph-consistency"))
+        checkCallGraphConsistency(pf, diag);
     if (!opts.lints)
         return;
     if (opts.passEnabled("unreachable-code"))
@@ -238,15 +313,20 @@ ProgramVerifier::run(const Program &prog, DiagnosticEngine &diag,
         lintDeadFunctions(pf, diag);
     if (opts.passEnabled("no-exit-scc"))
         lintNoExitSccs(pf, diag);
+    if (opts.passEnabled("interprocedural-reachability"))
+        lintInterproceduralReachability(
+            manager_.interFacts(prog).callGraph, diag);
 }
 
 const std::vector<std::string> &
 ProgramVerifier::passNames()
 {
     static const std::vector<std::string> names = {
-        "entry",          "branch-targets", "fallthrough",
-        "behaviors",      "unreachable-code", "dead-function",
-        "no-exit-scc"};
+        "entry",          "branch-targets",
+        "fallthrough",    "behaviors",
+        "call-graph-consistency",
+        "unreachable-code", "dead-function",
+        "no-exit-scc",    "interprocedural-reachability"};
     return names;
 }
 

@@ -17,6 +17,11 @@
  *                         vectors.
  *  - `entry`              the program entry exists and starts a
  *                         function.
+ *  - `call-graph-consistency`
+ *                         every call terminator targets a function
+ *                         entry (direct target and declared indirect
+ *                         targets alike) and its return edge lands
+ *                         at the caller's own layout successor.
  *
  * Warning-severity lints (legal but suspicious; reported, never
  * fatal):
@@ -28,6 +33,10 @@
  *  - `no-exit-scc`        a reachable strongly connected component
  *                         with no leaving edge and no Halt — the
  *                         program can statically never terminate.
+ *  - `interprocedural-reachability`
+ *                         functions the entry function cannot reach
+ *                         through call edges (candidates the
+ *                         cross-call selector can never grow into).
  */
 
 #ifndef RSEL_ANALYSIS_PROGRAM_VERIFIER_HPP

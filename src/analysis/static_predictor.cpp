@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "analysis/dataflow.hpp"
+#include "analysis/inline_opportunity.hpp"
 #include "selection/formation_model.hpp"
 
 namespace rsel {
@@ -293,6 +294,26 @@ computeStaticReport(AnalysisManager &mgr, const Program &prog)
         rep.predictions.push_back(std::move(p));
     }
 
+    // Interprocedural layer: call-graph shape plus the aggregate
+    // inlining-opportunity bound (per-site detail stays behind
+    // rselect-analyze --interprocedural).
+    const InterFacts &inf = mgr.interFacts(prog);
+    const CallGraph &cg = inf.callGraph;
+    rep.funcCount =
+        static_cast<std::uint32_t>(prog.functions().size());
+    rep.callSiteCount =
+        static_cast<std::uint32_t>(cg.sites.size());
+    for (FuncId f = 0; f < rep.funcCount; ++f) {
+        if (cg.callReachable(f))
+            ++rep.callReachableFuncs;
+        if (cg.recursive[f])
+            ++rep.recursiveFuncs;
+    }
+    const OpportunityReport opp = analyzeInlineOpportunities(inf);
+    rep.hotCallSites = opp.hotLoopSites;
+    rep.inlineDupGrowthBoundInsts = opp.totalDupGrowthBoundInsts;
+    rep.dataflowTransfers += inf.dataflowTransfers;
+
     return rep;
 }
 
@@ -390,6 +411,17 @@ emitStaticFacts(const StaticReport &rep, const Program &prog,
                   std::to_string(rep.crossFuncCycles) +
                   " maxFuncs=" +
                   std::to_string(rep.maxSeparationFuncs));
+    diag.note("interprocedural", "program",
+              "funcs=" + std::to_string(rep.funcCount) +
+                  " callSites=" + std::to_string(rep.callSiteCount) +
+                  " callReachable=" +
+                  std::to_string(rep.callReachableFuncs) +
+                  " recursive=" +
+                  std::to_string(rep.recursiveFuncs));
+    diag.note("inline-opportunity", "program",
+              "hotCallSites=" + std::to_string(rep.hotCallSites) +
+                  " dupGrowthBoundInsts=" +
+                  std::to_string(rep.inlineDupGrowthBoundInsts));
 
     // Lint: predicted duplication dwarfing the program itself.
     if (rep.reachableInsts > 0 &&
@@ -444,6 +476,24 @@ emitStaticFacts(const StaticReport &rep, const Program &prog,
                              " functions; traces will separate at "
                              "every call boundary");
     }
+}
+
+const std::vector<std::string> &
+analyzePassNames()
+{
+    static const std::vector<std::string> names = {
+        "loop-nesting",
+        "unbiased-frontier",
+        "net-duplication",
+        "lei-coverage",
+        "exit-stubs",
+        "trace-separation",
+        "interprocedural",
+        "inline-opportunity",
+        "duplication-explosion",
+        "separation-prone",
+    };
+    return names;
 }
 
 } // namespace analysis

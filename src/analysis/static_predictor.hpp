@@ -109,6 +109,19 @@ struct StaticReport
     /** Most functions any single cyclic SCC spans. */
     std::uint32_t maxSeparationFuncs = 0;
 
+    /** Interprocedural facts (call-graph layer; inter_facts.hpp). */
+    std::uint32_t funcCount = 0;
+    std::uint32_t callSiteCount = 0;
+    /** Functions the entry function reaches through call edges. */
+    std::uint32_t callReachableFuncs = 0;
+    /** Functions on a call cycle (self or mutual recursion). */
+    std::uint32_t recursiveFuncs = 0;
+    /** Call sites inside a natural loop of their caller. */
+    std::uint32_t hotCallSites = 0;
+    /** Sound bound: sum of per-site duplication-growth bounds of
+     *  the inlining-opportunity analyzer. */
+    std::uint64_t inlineDupGrowthBoundInsts = 0;
+
     /** Transfer-function applications the pass suite spent. */
     std::uint64_t dataflowTransfers = 0;
 
@@ -137,13 +150,21 @@ std::vector<std::string> checkPrediction(const SelectorPrediction &p,
  * Emit the report as machine-readable note diagnostics (one per
  * fact family, pass names "loop-nesting", "unbiased-frontier",
  * "net-duplication", "lei-coverage", "exit-stubs",
- * "trace-separation") plus warning lints for pathological inputs:
+ * "trace-separation", "interprocedural", "inline-opportunity")
+ * plus warning lints for pathological inputs:
  * "duplication-explosion" (predicted duplication exceeding the
  * reachable code, or >= 3 unbiased branches in one loop body) and
  * "separation-prone" (a cyclic SCC spanning >= 3 functions).
  */
 void emitStaticFacts(const StaticReport &report, const Program &prog,
                      const ProgramFacts &pf, DiagnosticEngine &diag);
+
+/**
+ * Canonical analyze pass names, in emission order: every note
+ * family and warning lint emitStaticFacts can produce. This is the
+ * vocabulary of rselect-analyze --list-passes/--only/--skip.
+ */
+const std::vector<std::string> &analyzePassNames();
 
 } // namespace analysis
 } // namespace rsel

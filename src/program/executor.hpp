@@ -193,7 +193,13 @@ class Executor
 
     static constexpr std::uint64_t loopUnarmed =
         std::numeric_limits<std::uint64_t>::max();
-    static constexpr std::size_t maxCallDepth = 1u << 20;
+    /**
+     * Tripwire against unbounded guest recursion. Every call pushes
+     * exactly one event, and the fuzz spec clamps runs to 5M events,
+     * so a legitimate run can never reach this depth — hitting it
+     * means an executor bug, not a deep program.
+     */
+    static constexpr std::size_t maxCallDepth = 1u << 23;
 
     const Program &prog_;
     Rng rng_;

@@ -118,6 +118,12 @@ ProgramBuilder::callTo(BlockId src, FuncId callee)
     setTerminator(src, BranchKind::Call, invalidBlock, callee);
 }
 
+void
+ProgramBuilder::callToBlock(BlockId src, BlockId target)
+{
+    setTerminator(src, BranchKind::Call, target, invalidFunc);
+}
+
 namespace {
 
 void
@@ -248,7 +254,8 @@ ProgramBuilder::build()
     for (BlockId id = 0; id < pendings_.size(); ++id) {
         const PendingBlock &pb = pendings_[id];
         Addr target = invalidAddr;
-        if (pb.terminator == BranchKind::Call) {
+        if (pb.terminator == BranchKind::Call &&
+            pb.callee != invalidFunc) {
             target = startAddrs[functions_[pb.callee].entry];
         } else if (pb.target != invalidBlock) {
             target = startAddrs[pb.target];

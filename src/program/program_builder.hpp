@@ -74,6 +74,15 @@ class ProgramBuilder
     /** Make `src` a direct call to function `callee`. */
     void callTo(BlockId src, FuncId callee);
 
+    /**
+     * Make `src` a direct call whose target is the *block* `target`
+     * rather than a function entry. Only the verifier self-tests
+     * want this (a well-formed program never calls mid-function);
+     * it exists so the call-graph-consistency planted bug is
+     * expressible at all.
+     */
+    void callToBlock(BlockId src, BlockId target);
+
     /** Make `src` an indirect jump resolved by `behavior`. */
     void indirectJump(BlockId src, IndirectBehavior behavior);
 

@@ -4,6 +4,7 @@
 
 #include "driver/thread_pool.hpp"
 #include "program/trace_io.hpp"
+#include "testing/inter_check.hpp"
 #include "testing/prediction_check.hpp"
 #include "testing/random_program.hpp"
 #include "testing/shrinker.hpp"
@@ -13,7 +14,8 @@ namespace testing {
 
 std::string
 fuzzCliLine(const GenSpec &spec, BrokenMode mode, bool verify,
-            const resilience::FaultPlan &faults, bool analyze)
+            const resilience::FaultPlan &faults, bool analyze,
+            bool interprocedural)
 {
     std::string line = "rselect-fuzz --spec '" + spec.toString() + "'";
     if (mode != BrokenMode::None)
@@ -23,6 +25,8 @@ fuzzCliLine(const GenSpec &spec, BrokenMode mode, bool verify,
         line += " --verify";
     if (analyze)
         line += " --analyze";
+    if (interprocedural)
+        line += " --interprocedural";
     if (faults.armed())
         line += " --fault-spec '" + faults.toString() + "'";
     return line;
@@ -35,7 +39,8 @@ namespace {
 bool
 isAnalyzeFailure(const std::string &error)
 {
-    return error.rfind("static-prediction:", 0) == 0;
+    return error.rfind("static-prediction:", 0) == 0 ||
+           error.rfind("interprocedural:", 0) == 0;
 }
 
 /** One seed's full check: the differential oracle, then (when
@@ -50,6 +55,8 @@ runSeedCheck(const GenSpec &spec, const FuzzOptions &opts,
     // affects the differential leg, never the analyze leg.
     if (report.error.empty() && opts.analyze)
         report.error = checkSpecPredictions(spec);
+    if (report.error.empty() && opts.interprocedural)
+        report.error = checkSpecInterprocedural(spec);
     return report;
 }
 
@@ -138,7 +145,8 @@ runFuzz(const FuzzOptions &opts)
         }
         failure.cliLine =
             fuzzCliLine(failure.shrunkSpec, opts.broken, opts.verify,
-                        plans[i], opts.analyze);
+                        plans[i], opts.analyze,
+                        opts.interprocedural);
         summary.detail.push_back(std::move(failure));
     }
     return summary;

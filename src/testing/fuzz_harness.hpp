@@ -49,6 +49,13 @@ struct FuzzOptions
      * runs of every selector (--analyze).
      */
     bool analyze = false;
+    /**
+     * After a clean differential, additionally validate the
+     * interprocedural analysis (call-graph soundness, return-edge
+     * layout, duplication bounds) against the counted dynamic call
+     * behaviour of every seed (--interprocedural).
+     */
+    bool interprocedural = false;
     /** Shrink failing specs and build reproducers. */
     bool shrink = true;
     /** Shrink at most this many failures (the rest report as-is). */
@@ -99,7 +106,8 @@ struct FuzzSummary
 std::string fuzzCliLine(const GenSpec &spec, BrokenMode mode,
                         bool verify = false,
                         const resilience::FaultPlan &faults = {},
-                        bool analyze = false);
+                        bool analyze = false,
+                        bool interprocedural = false);
 
 /** Run the corpus described by `opts`. */
 FuzzSummary runFuzz(const FuzzOptions &opts);

@@ -32,6 +32,8 @@ const FieldDef fieldTable[] = {
     {"itargets", nullptr, &GenSpec::indirectTargets},
     {"call", nullptr, &GenSpec::pCall},
     {"jump", nullptr, &GenSpec::pJump},
+    {"recurse", nullptr, &GenSpec::pRecurse},
+    {"deadfn", nullptr, &GenSpec::pDeadFn},
     {"trips", nullptr, &GenSpec::tripMax},
     {"events", &GenSpec::events, nullptr},
     {"cachekb", &GenSpec::cacheKb, nullptr},
@@ -74,6 +76,8 @@ GenSpec::clamp()
     clampPct(pIndirect);
     clampPct(pCall);
     clampPct(pJump);
+    clampPct(pRecurse);
+    clampPct(pDeadFn);
     phases = std::max<std::uint32_t>(1, std::min<std::uint32_t>(phases, 8));
     indirectTargets = std::max<std::uint32_t>(
         2, std::min<std::uint32_t>(indirectTargets, 8));
@@ -158,6 +162,10 @@ GenSpec::fromSeed(std::uint64_t seed)
     }
     s.buildSeed = seed;
     s.execSeed = seed * 0x9e3779b97f4a7c15ull + 1;
+    // Appended after the original draw sequence so the earlier knob
+    // values of a given seed stay what they always were.
+    s.pRecurse = static_cast<std::uint32_t>(rng.nextRange(0, 40));
+    s.pDeadFn = static_cast<std::uint32_t>(rng.nextRange(0, 30));
     s.clamp();
     return s;
 }

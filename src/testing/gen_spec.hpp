@@ -46,6 +46,13 @@ struct GenSpec
     std::uint32_t pCall = 30;
     /** % chance of a direct forward jump. */
     std::uint32_t pJump = 10;
+    /** % chance a non-entry function plants a guarded recursive
+     *  call (self or forward — forward targets close mutual rings
+     *  with the backward pCall edges). */
+    std::uint32_t pRecurse = 0;
+    /** % chance a non-entry function is dead: excluded from every
+     *  call/jump target pool, so it is statically unreachable. */
+    std::uint32_t pDeadFn = 0;
     /** Loop trip counts drawn from [1, tripMax]. */
     std::uint32_t tripMax = 12;
     /** Dynamic block events per simulated run. */

@@ -104,6 +104,20 @@ generateProgram(const GenSpec &rawSpec)
         }
     }
 
+    // Dead functions: statically unreachable callees. A dead
+    // function is excluded from every call and indirect-jump target
+    // pool below, so nothing outside it can enter it — the
+    // interprocedural-reachability and dead-function lints get real
+    // corpus coverage. The entry function is always live.
+    std::vector<std::uint8_t> dead(spec.funcs, 0);
+    for (std::uint32_t f = 0; f + 1 < spec.funcs; ++f)
+        dead[f] = rng.nextBool(spec.pDeadFn / 100.0) ? 1 : 0;
+    std::vector<BlockId> liveBlocks;
+    for (std::uint32_t f = 0; f < spec.funcs; ++f)
+        if (!dead[f])
+            liveBlocks.insert(liveBlocks.end(), funcBlocks[f].begin(),
+                              funcBlocks[f].end());
+
     // Pass 2: terminators and behaviours. Blocks 0..nb-2 of each
     // function get random terminators (their fall-through successor
     // always exists); the last block returns — or halts in the entry
@@ -113,8 +127,40 @@ generateProgram(const GenSpec &rawSpec)
         const std::vector<BlockId> &bl = funcBlocks[f];
         const std::uint32_t nb = static_cast<std::uint32_t>(bl.size());
         bool hasBackEdge = false;
+
+        // Guarded recursion: a non-entry function may plant one
+        // recursive call — to itself, or forward to a higher
+        // non-entry function (whose own backward pCall edges then
+        // close a mutual-recursion ring). The call block is fronted
+        // by a guard branch that skips it with probability 0.6, so
+        // dynamic recursion depth is geometric, and the executor's
+        // call-depth tripwire sits above the event budget anyway
+        // (see Executor::maxCallDepth).
+        std::uint32_t recurseAt = invalidBlock;
+        FuncId recurseTarget = invalidFunc;
+        if (!isEntry && nb >= 4 &&
+            rng.nextBool(spec.pRecurse / 100.0)) {
+            std::vector<FuncId> candidates{f};
+            for (std::uint32_t g = f + 1; g + 1 < spec.funcs; ++g)
+                if (dead[f] || !dead[g])
+                    candidates.push_back(g);
+            recurseTarget = candidates[rng.nextBelow(candidates.size())];
+            recurseAt = static_cast<std::uint32_t>(
+                rng.nextRange(0, nb - 3));
+        }
+
         for (std::uint32_t k = 0; k + 1 < nb; ++k) {
             const BlockId src = bl[k];
+
+            if (k == recurseAt) {
+                // Guard: taken arm hops over the recursive call.
+                b.condTo(src, bl[k + 2], CondBehavior::bernoulli(0.6));
+                continue;
+            }
+            if (recurseAt != invalidBlock && k == recurseAt + 1) {
+                b.callTo(src, recurseTarget);
+                continue;
+            }
 
             // The entry function's last assignable block is always a
             // driver latch back to its top: usually with a huge trip
@@ -174,28 +220,43 @@ generateProgram(const GenSpec &rawSpec)
             }
             acc += spec.pIndirect;
             if (roll < acc) {
-                const bool canCall = f > 0;
-                if (canCall && rng.nextBool(0.5)) {
-                    // Indirect call to earlier function entries.
-                    std::vector<BlockId> entries;
-                    for (std::uint32_t g = 0; g < f; ++g)
+                // Target pools exclude dead functions so they stay
+                // genuinely unreachable (a dead caller may target
+                // anything: its edges never execute).
+                std::vector<BlockId> entries;
+                for (std::uint32_t g = 0; g < f; ++g)
+                    if (dead[f] || !dead[g])
                         entries.push_back(funcBlocks[g][0]);
+                if (!entries.empty() && rng.nextBool(0.5)) {
+                    // Indirect call to earlier function entries.
                     b.indirectCall(src, drawIndirectBehavior(
                                             rng, spec,
                                             std::move(entries)));
                 } else {
-                    b.indirectJump(src, drawIndirectBehavior(
-                                            rng, spec, allBlocks));
+                    b.indirectJump(src,
+                                   drawIndirectBehavior(
+                                       rng, spec,
+                                       dead[f] ? allBlocks
+                                               : liveBlocks));
                 }
                 continue;
             }
             acc += spec.pCall;
             if (roll < acc && f > 0) {
-                // Direct call, always to an earlier (lower-address)
-                // function: the call graph is a DAG, so recursion
-                // can never overflow the simulated call stack.
-                b.callTo(src, static_cast<FuncId>(rng.nextBelow(f)));
-                continue;
+                // Direct call to an earlier (lower-address) live
+                // function: backward transfers give the
+                // interprocedural-cycle shape of paper Figure 2,
+                // and together with the forward recursion edges
+                // above they close mutual-recursion rings.
+                std::vector<FuncId> callees;
+                for (std::uint32_t g = 0; g < f; ++g)
+                    if (dead[f] || !dead[g])
+                        callees.push_back(g);
+                if (!callees.empty()) {
+                    b.callTo(src,
+                             callees[rng.nextBelow(callees.size())]);
+                    continue;
+                }
             }
             acc += spec.pJump;
             if (roll < acc && k + 2 < nb) {

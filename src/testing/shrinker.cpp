@@ -51,6 +51,12 @@ candidates(const GenSpec &cur)
     c.pCall = 0;
     push(c);
     c = cur;
+    c.pRecurse = 0;
+    push(c);
+    c = cur;
+    c.pDeadFn = 0;
+    push(c);
+    c = cur;
     c.phases = 1;
     c.pPhased = 0;
     push(c);

@@ -393,8 +393,8 @@ ServiceConfig
 longGuestConfig(std::size_t tenants, std::uint64_t cacheKb,
                 std::size_t jobs, std::uint64_t events)
 {
-    static const std::uint64_t longSeeds[] = {1, 4, 7, 8, 9, 10,
-                                              11, 12, 14, 15, 16};
+    static const std::uint64_t longSeeds[] = {1, 4, 7, 8, 9, 11,
+                                              12, 13, 14, 15, 16};
     ServiceConfig config;
     config.tenants.reserve(tenants);
     for (std::size_t i = 0; i < tenants; ++i)

@@ -20,7 +20,17 @@
  * --selector NAME restricts the prediction table to one selector.
  * --validate additionally measures every selector (unbounded cache,
  * fault-free) and checks the bounds; violations are red. --json
- * emits the whole report as JSON instead of tables.
+ * emits the whole report as JSON instead of tables (schema field
+ * versions the layout).
+ *
+ * --interprocedural adds the call-graph layer: per-function
+ * bottom-up summaries, the ranked inlining-opportunity table with
+ * sound duplication-growth bounds, and (with --validate) the
+ * dynamic-call ground-truth check of every sound claim.
+ *
+ * --list-passes prints every analyze pass name and exits;
+ * --only=a,b / --skip=a,b filter which passes' diagnostics are
+ * reported (parity with rselect-verify).
  *
  * Exit codes: 0 = clean (or self-test caught everything), 1 =
  * runtime fault, 2 = usage error, 3 = validation found a violated
@@ -34,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/inline_opportunity.hpp"
 #include "analysis/static_predictor.hpp"
 #include "dynopt/dynopt_system.hpp"
 #include "program/program_builder.hpp"
@@ -43,6 +54,7 @@
 #include "support/exit_codes.hpp"
 #include "support/table.hpp"
 #include "testing/gen_spec.hpp"
+#include "testing/inter_check.hpp"
 #include "testing/prediction_check.hpp"
 #include "testing/random_program.hpp"
 #include "workloads/workloads.hpp"
@@ -57,9 +69,26 @@ struct AnalyzeOptions
     std::string selector; ///< restrict tables to one selector
     bool json = false;
     bool validate = false;
+    bool interprocedural = false; ///< add the call-graph layer
     std::uint64_t events = 20000; ///< validation run length
     std::uint64_t seed = 1;       ///< validation executor seed
+    /** --only: when non-empty, report only these passes. */
+    std::vector<std::string> only;
+    /** --skip: never report these passes (applied after only). */
+    std::vector<std::string> skip;
 };
+
+/** True iff `pass` survives the --only/--skip filters. */
+bool
+passEnabled(const AnalyzeOptions &opts, const std::string &pass)
+{
+    if (!opts.only.empty() &&
+        std::find(opts.only.begin(), opts.only.end(), pass) ==
+            opts.only.end())
+        return false;
+    return std::find(opts.skip.begin(), opts.skip.end(), pass) ==
+           opts.skip.end();
+}
 
 std::string
 u64(std::uint64_t v)
@@ -80,12 +109,92 @@ jsonStr(const std::string &s)
     return out + "\"";
 }
 
+/** JSON layout version; bump when fields move or change meaning. */
+constexpr int jsonSchemaVersion = 2;
+
 void
-emitJson(const analysis::StaticReport &rep,
+emitInterJson(const Program &prog, const analysis::InterFacts &inf,
+              const analysis::OpportunityReport &opp,
+              const testing::InterValidation *ival, std::ostream &os)
+{
+    const analysis::CallGraph &cg = inf.callGraph;
+    std::uint32_t reachable = 0, recursive = 0;
+    for (const analysis::FuncSummary &s : inf.summaries) {
+        if (cg.callReachable(s.func))
+            ++reachable;
+        if (s.recursive)
+            ++recursive;
+    }
+    os << ",\n  \"interprocedural\": {"
+       << "\"funcs\": " << inf.summaries.size()
+       << ", \"callSites\": " << cg.sites.size()
+       << ", \"callReachable\": " << reachable
+       << ", \"recursive\": " << recursive
+       << ", \"dataflowTransfers\": " << inf.dataflowTransfers
+       << ", \"converged\": "
+       << (inf.converged ? "true" : "false") << ",\n    \"functions\": [";
+    for (std::size_t i = 0; i < inf.summaries.size(); ++i) {
+        const analysis::FuncSummary &s = inf.summaries[i];
+        os << (i == 0 ? "\n" : ",\n") << "      {\"name\": "
+           << jsonStr(prog.functions()[s.func].name)
+           << ", \"blocks\": " << s.blockCount
+           << ", \"insts\": " << s.insts
+           << ", \"maxLoopDepth\": " << s.maxLoopDepth
+           << ", \"callSites\": " << s.callSites
+           << ", \"fanIn\": " << s.fanIn
+           << ", \"leaf\": " << (s.leaf ? "true" : "false")
+           << ", \"recursive\": "
+           << (s.recursive ? "true" : "false")
+           << ", \"closureFuncs\": " << s.closureFuncs
+           << ", \"closureInsts\": " << s.closureInsts << "}";
+    }
+    os << "\n    ],\n    \"opportunities\": [";
+    for (std::size_t i = 0; i < opp.ranked.size(); ++i) {
+        const analysis::InlineOpportunity &op = opp.ranked[i];
+        os << (i == 0 ? "\n" : ",\n") << "      {\"block\": "
+           << op.block << ", \"caller\": "
+           << jsonStr(prog.functions()[op.caller].name)
+           << ", \"loopDepth\": " << op.loopDepth
+           << ", \"hotLoop\": " << (op.hotLoop ? "true" : "false")
+           << ", \"smallLeafCallee\": "
+           << (op.smallLeafCallee ? "true" : "false")
+           << ", \"singleCallSite\": "
+           << (op.singleCallSite ? "true" : "false")
+           << ", \"returnRejoins\": "
+           << (op.returnRejoins ? "true" : "false")
+           << ", \"dupGrowthBoundInsts\": " << op.dupGrowthBoundInsts
+           << ", \"score\": " << formatDouble(op.score, 2) << "}";
+    }
+    os << "\n    ]";
+    if (ival != nullptr) {
+        os << ",\n    \"validation\": {\"callTransfers\": "
+           << ival->callTransfers
+           << ", \"returnTransfers\": " << ival->returnTransfers
+           << ", \"maxDynamicDepth\": " << ival->maxDynamicDepth
+           << ", \"dynCalledFuncs\": " << ival->dynCalledFuncs
+           << ", \"sitesExecuted\": " << ival->sitesExecuted
+           << ", \"observedCalleeInsts\": "
+           << ival->observedCalleeInsts
+           << ", \"staticCalleeInsts\": " << ival->staticCalleeInsts
+           << ", \"dupGrowthBoundInsts\": "
+           << ival->dupGrowthBoundInsts
+           << ", \"topQuartileCallShare\": "
+           << formatDouble(ival->topQuartileCallShare, 2)
+           << ", \"error\": " << jsonStr(ival->error) << "}";
+    }
+    os << "}";
+}
+
+void
+emitJson(const analysis::StaticReport &rep, const Program &prog,
+         const analysis::InterFacts *inf,
+         const analysis::OpportunityReport *opp,
+         const testing::InterValidation *ival,
          const testing::PredictionValidation *val,
          const AnalyzeOptions &opts, std::ostream &os)
 {
-    os << "{\n  \"program\": {"
+    os << "{\n  \"schema\": " << jsonSchemaVersion
+       << ",\n  \"program\": {"
        << "\"blocks\": " << rep.blockCount
        << ", \"reachableBlocks\": " << rep.reachableBlocks
        << ", \"staticInsts\": " << rep.staticInsts
@@ -141,7 +250,10 @@ emitJson(const analysis::StaticReport &rep,
         }
         os << "}";
     }
-    os << "\n  ]\n}\n";
+    os << "\n  ]";
+    if (inf != nullptr && opp != nullptr)
+        emitInterJson(prog, *inf, *opp, ival, os);
+    os << "\n}\n";
 }
 
 void
@@ -214,6 +326,77 @@ printPredictionTable(const analysis::StaticReport &rep,
     table.print(std::cout);
 }
 
+std::string
+yn(bool v)
+{
+    return v ? "yes" : "-";
+}
+
+void
+printInterTables(const Program &prog,
+                 const analysis::InterFacts &inf,
+                 const analysis::OpportunityReport &opp,
+                 const testing::InterValidation *ival,
+                 const std::string &what)
+{
+    const analysis::CallGraph &cg = inf.callGraph;
+    Table funcs("Interprocedural summaries: " + what,
+                {"function", "blocks", "insts", "loopDepth",
+                 "callSites", "fanIn", "leaf", "recursive",
+                 "closureFuncs", "closureInsts"});
+    for (const analysis::FuncSummary &s : inf.summaries)
+        funcs.addRow({prog.functions()[s.func].name,
+                      u64(s.blockCount), u64(s.insts),
+                      u64(s.maxLoopDepth), u64(s.callSites),
+                      u64(s.fanIn), yn(s.leaf), yn(s.recursive),
+                      u64(s.closureFuncs), u64(s.closureInsts)});
+    funcs.addSummaryRow(
+        {"total", "-", "-", "-", u64(cg.sites.size()), "-", "-", "-",
+         "-", u64(inf.dataflowTransfers)});
+    funcs.print(std::cout);
+
+    Table table("Inlining opportunities: " + what,
+                {"rank", "block", "caller", "depth", "hot",
+                 "smallLeaf", "single", "rejoin", "dupBound",
+                 "score"});
+    for (std::size_t i = 0; i < opp.ranked.size(); ++i) {
+        const analysis::InlineOpportunity &op = opp.ranked[i];
+        table.addRow({u64(i + 1), u64(op.block),
+                      prog.functions()[op.caller].name,
+                      u64(op.loopDepth), yn(op.hotLoop),
+                      yn(op.smallLeafCallee), yn(op.singleCallSite),
+                      yn(op.returnRejoins),
+                      u64(op.dupGrowthBoundInsts),
+                      formatDouble(op.score, 2)});
+    }
+    table.addSummaryRow(
+        {"-", "-", "-", "-", u64(opp.hotLoopSites),
+         u64(opp.smallLeafSites), u64(opp.singleCallSiteSites),
+         u64(opp.rejoinSites), u64(opp.totalDupGrowthBoundInsts),
+         "-"});
+    table.print(std::cout);
+
+    if (ival == nullptr)
+        return;
+    Table dyn("Dynamic call ground truth: " + what,
+              {"fact", "value"});
+    dyn.addRow({"call transfers", u64(ival->callTransfers)});
+    dyn.addRow({"return transfers", u64(ival->returnTransfers)});
+    dyn.addRow({"max dynamic depth", u64(ival->maxDynamicDepth)});
+    dyn.addRow({"functions entered", u64(ival->dynCalledFuncs)});
+    dyn.addRow({"sites executed", u64(ival->sitesExecuted)});
+    dyn.addRow(
+        {"observed callee insts", u64(ival->observedCalleeInsts)});
+    dyn.addRow(
+        {"static callee insts", u64(ival->staticCalleeInsts)});
+    dyn.addRow(
+        {"dup growth bound insts", u64(ival->dupGrowthBoundInsts)});
+    dyn.addSummaryRow(
+        {"top-quartile call share",
+         formatDouble(ival->topQuartileCallShare, 2)});
+    dyn.print(std::cout);
+}
+
 int
 analyzeProgram(const Program &prog, const std::string &what,
                const AnalyzeOptions &opts)
@@ -230,19 +413,59 @@ analyzeProgram(const Program &prog, const std::string &what,
         valPtr = &val;
     }
 
+    const analysis::InterFacts *inf = nullptr;
+    analysis::OpportunityReport opp;
+    testing::InterValidation ival;
+    const testing::InterValidation *ivalPtr = nullptr;
+    if (opts.interprocedural) {
+        inf = &mgr.interFacts(prog);
+        opp = analysis::analyzeInlineOpportunities(*inf);
+        if (opts.validate) {
+            ival = testing::validateInterprocedural(
+                prog, opts.events, opts.seed);
+            ivalPtr = &ival;
+        }
+    }
+
     if (opts.json) {
-        emitJson(rep, valPtr, opts, std::cout);
+        emitJson(rep, prog, inf, inf != nullptr ? &opp : nullptr,
+                 ivalPtr, valPtr, opts, std::cout);
     } else {
         printFactsTable(rep, what);
         printPredictionTable(rep, valPtr, opts);
+        if (inf != nullptr)
+            printInterTables(prog, *inf, opp, ivalPtr, what);
+        analysis::DiagnosticEngine all;
+        analysis::emitStaticFacts(rep, prog, mgr.facts(prog), all);
+        // Re-emit only the diagnostics of enabled passes
+        // (--only/--skip); severity survives the copy.
         analysis::DiagnosticEngine diag;
-        analysis::emitStaticFacts(rep, prog, mgr.facts(prog), diag);
+        for (const analysis::Diagnostic &d : all.diagnostics()) {
+            if (!passEnabled(opts, d.pass))
+                continue;
+            switch (d.severity) {
+            case analysis::Severity::Error:
+                diag.error(d.pass, d.object, d.message);
+                break;
+            case analysis::Severity::Warning:
+                diag.warning(d.pass, d.object, d.message);
+                break;
+            case analysis::Severity::Note:
+                diag.note(d.pass, d.object, d.message);
+                break;
+            }
+        }
         diag.toTable("Static facts and lints: " + what)
             .print(std::cout);
     }
     if (valPtr != nullptr && !valPtr->error.empty()) {
         std::printf("%s: VALIDATION FAILED: %s\n", what.c_str(),
                     valPtr->error.c_str());
+        return ExitVerifyFailure;
+    }
+    if (ivalPtr != nullptr && !ivalPtr->error.empty()) {
+        std::printf("%s: VALIDATION FAILED: %s\n", what.c_str(),
+                    ivalPtr->error.c_str());
         return ExitVerifyFailure;
     }
     if (!opts.json)
@@ -426,6 +649,43 @@ runSelfTest()
     return caught == misses.size() ? ExitOk : ExitVerifyFailure;
 }
 
+/** --list-passes: every analyze pass name, one per line. */
+int
+listPasses()
+{
+    std::printf("analyze passes:\n");
+    for (const std::string &name : analysis::analyzePassNames())
+        std::printf("  %s\n", name.c_str());
+    return ExitOk;
+}
+
+/** Split a comma-separated pass list, validating every name. */
+std::vector<std::string>
+parsePassList(const std::string &flag, const std::string &value)
+{
+    const std::vector<std::string> &known =
+        analysis::analyzePassNames();
+    std::vector<std::string> names;
+    std::string cur;
+    const auto push = [&]() {
+        if (cur.empty())
+            return;
+        if (std::find(known.begin(), known.end(), cur) == known.end())
+            fatal("--" + flag + ": unknown analyze pass '" + cur +
+                  "' (see --list-passes)");
+        names.push_back(cur);
+        cur.clear();
+    };
+    for (const char c : value) {
+        if (c == ',')
+            push();
+        else
+            cur += c;
+    }
+    push();
+    return names;
+}
+
 } // namespace
 
 int
@@ -445,8 +705,18 @@ main(int argc, char **argv)
     cli.define("validate", "false",
                "measure every selector (unbounded cache) and check "
                "the bounds");
+    cli.define("interprocedural", "false",
+               "add the call-graph layer: function summaries, the "
+               "ranked inlining-opportunity table, and (with "
+               "--validate) the dynamic-call ground-truth check");
     cli.define("events", "20000", "events per validation run");
     cli.define("seed", "1", "executor seed for validation runs");
+    cli.define("list-passes", "false",
+               "print every analyze pass name and exit");
+    cli.define("only", "",
+               "report only these analyze passes (comma-separated)");
+    cli.define("skip", "",
+               "skip these analyze passes (comma-separated)");
 
     try {
         cli.parse(argc, argv);
@@ -455,12 +725,20 @@ main(int argc, char **argv)
             return ExitOk;
         }
 
+        if (cli.getBool("list-passes"))
+            return listPasses();
+
         AnalyzeOptions opts;
         opts.selector = cli.get("selector");
         opts.json = cli.getBool("json");
         opts.validate = cli.getBool("validate");
+        opts.interprocedural = cli.getBool("interprocedural");
         opts.events = cli.getUint("events");
         opts.seed = cli.getUint("seed");
+        if (!cli.get("only").empty())
+            opts.only = parsePassList("only", cli.get("only"));
+        if (!cli.get("skip").empty())
+            opts.skip = parsePassList("skip", cli.get("skip"));
         if (!opts.selector.empty()) {
             bool known = false;
             for (const Algorithm algo : allSelectors)

@@ -20,7 +20,10 @@
  * --analyze additionally validates the static region-quality
  * predictions (rselect-analyze's bounds) against measured
  * unbounded-cache runs of every selector, after each seed's clean
- * differential.
+ * differential. --interprocedural does the same for the
+ * interprocedural layer: callee-set soundness, return-edge layout,
+ * and duplication-growth bounds against the counted dynamic call
+ * behaviour.
  *
  * Fault fuzzing (--fault-fuzz) pairs every seed with its own
  * deterministic fault plan and re-runs the whole oracle matrix under
@@ -51,6 +54,7 @@
 #include "support/error.hpp"
 #include "support/exit_codes.hpp"
 #include "testing/fuzz_harness.hpp"
+#include "testing/inter_check.hpp"
 #include "testing/prediction_check.hpp"
 #include "testing/random_program.hpp"
 #include "testing/shrinker.hpp"
@@ -94,12 +98,15 @@ printFailure(const FuzzFailure &f)
 int
 runSpecMode(const std::string &specText, BrokenMode broken,
             bool verify, bool shrink, bool analyze,
+            bool interprocedural,
             const resilience::FaultPlan &faults)
 {
     const GenSpec spec = GenSpec::parse(specText);
     DiffReport report = runDifferential(spec, broken, verify, faults);
     if (report.error.empty() && analyze)
         report.error = checkSpecPredictions(spec);
+    if (report.error.empty() && interprocedural)
+        report.error = checkSpecInterprocedural(spec);
     if (report.error.empty()) {
         std::printf("spec OK (%u blocks): %s\n", report.programBlocks,
                     spec.toString().c_str());
@@ -112,9 +119,11 @@ runSpecMode(const std::string &specText, BrokenMode broken,
     failure.shrunkSpec = spec;
     failure.shrunkError = report.error;
     failure.shrunkBlocks = report.programBlocks;
-    // Static-prediction failures live outside the differential
-    // predicate the shrinker replays; keep the original spec.
-    if (report.error.rfind("static-prediction:", 0) == 0)
+    // Static-prediction and interprocedural failures live outside
+    // the differential predicate the shrinker replays; keep the
+    // original spec.
+    if (report.error.rfind("static-prediction:", 0) == 0 ||
+        report.error.rfind("interprocedural:", 0) == 0)
         shrink = false;
     if (shrink) {
         const ShrinkOutcome shrunk =
@@ -132,7 +141,7 @@ runSpecMode(const std::string &specText, BrokenMode broken,
     }
     failure.reproProgram = os.str();
     failure.cliLine = fuzzCliLine(failure.shrunkSpec, broken, verify,
-                                  faults, analyze);
+                                  faults, analyze, interprocedural);
     printFailure(failure);
     return ExitVerifyFailure;
 }
@@ -271,6 +280,10 @@ main(int argc, char **argv)
     cli.define("analyze", "false",
                "validate static region-quality predictions against "
                "measured unbounded-cache runs");
+    cli.define("interprocedural", "false",
+               "validate the interprocedural analysis (callee sets, "
+               "return edges, duplication bounds) against counted "
+               "dynamic call behaviour");
     cli.define("fault-fuzz", "false",
                "pair every seed with its own deterministic fault "
                "plan (FaultPlan::fromSeed)");
@@ -301,6 +314,8 @@ main(int argc, char **argv)
         const bool verify = cli.getBool("verify");
         const bool shrink = !cli.getBool("no-shrink");
         const bool analyze = cli.getBool("analyze");
+        const bool interprocedural =
+            cli.getBool("interprocedural");
         const bool faultFuzz = cli.getBool("fault-fuzz");
         resilience::FaultPlan faults;
         if (!cli.get("fault-spec").empty()) {
@@ -319,7 +334,8 @@ main(int argc, char **argv)
 
         if (!cli.get("spec").empty())
             return runSpecMode(cli.get("spec"), broken, verify,
-                               shrink, analyze, faults);
+                               shrink, analyze, interprocedural,
+                               faults);
 
         FuzzOptions opts;
         opts.seeds = cli.getUint("seeds");
@@ -330,6 +346,7 @@ main(int argc, char **argv)
         opts.verify = verify;
         opts.shrink = shrink;
         opts.analyze = analyze;
+        opts.interprocedural = interprocedural;
         opts.faultFuzz = faultFuzz;
         opts.faults = faults;
 

@@ -4,10 +4,13 @@
  *
  * Modes (first match wins):
  *
- *  - --self-test MODE  plant a known region bug (aliasing,
- *    disconnected, noncyclic, or all) on a hand-built program and
- *    demand the verifier reject it by the expected named pass. Exit
- *    0 iff every planted bug was caught.
+ *  - --self-test MODE  plant a known bug on a hand-built program
+ *    and demand the verifier reject it by the expected named pass:
+ *    region bugs (aliasing, disconnected, noncyclic) and program
+ *    bugs (call-nonentry — a call whose target is not a function
+ *    entry; ipa-unreachable — a function no call chain from the
+ *    entry function reaches), or all. Exit 0 iff every planted bug
+ *    was caught.
  *  - --program FILE    lint a saved program (trace_io text format).
  *  - --spec 'SPEC'     generate the fuzz spec's program and lint it.
  *  - --workload NAME   lint one synthetic workload, or all of them
@@ -305,10 +308,89 @@ runSelfTest(const std::string &which)
         bugs.push_back(std::move(bug));
     }
 
+    // Program-level plants: whole programs one program pass must
+    // reject (or lint). Both are invisible to the region passes.
+    struct ProgramPlant
+    {
+        std::string name;
+        std::string expectedPass;
+        analysis::Severity severity = analysis::Severity::Error;
+        Program prog;
+    };
+    std::vector<ProgramPlant> plants;
+    {
+        // A call whose taken target is the callee's second block:
+        // callToBlock bypasses the FuncId-based callTo resolution,
+        // planting exactly the bug call-graph-consistency exists
+        // to catch (loadProgram rejects it at parse time too).
+        ProgramPlant plant;
+        plant.name = "call-nonentry";
+        plant.expectedPass = "call-graph-consistency";
+        ProgramBuilder pb;
+        pb.beginFunction("main");
+        const BlockId a = pb.block(2);
+        const BlockId b = pb.block(1);
+        pb.beginFunction("callee");
+        const BlockId e = pb.block(2);
+        const BlockId x = pb.block(1);
+        pb.callToBlock(a, x); // mid-function target, not the entry
+        pb.halt(b);
+        pb.ret(e);
+        pb.halt(x);
+        pb.setEntry(a);
+        plant.prog = pb.build();
+        plants.push_back(std::move(plant));
+    }
+    {
+        // A function no call chain from the entry function reaches:
+        // the interprocedural-reachability lint must flag it.
+        ProgramPlant plant;
+        plant.name = "ipa-unreachable";
+        plant.expectedPass = "interprocedural-reachability";
+        plant.severity = analysis::Severity::Warning;
+        ProgramBuilder pb;
+        pb.beginFunction("main");
+        const BlockId a = pb.block(2);
+        const BlockId b = pb.block(1);
+        pb.halt(b);
+        pb.beginFunction("orphan");
+        const BlockId e = pb.block(2);
+        pb.halt(e);
+        pb.setEntry(a);
+        plant.prog = pb.build();
+        plants.push_back(std::move(plant));
+    }
+
     analysis::AnalysisManager mgr;
     analysis::RegionVerifier verifier(mgr);
     int rc = ExitOk;
     bool ranAny = false;
+    for (const ProgramPlant &plant : plants) {
+        if (which != "all" && which != plant.name)
+            continue;
+        ranAny = true;
+        analysis::AnalysisManager pmgr;
+        analysis::DiagnosticEngine diag;
+        analysis::ProgramVerifier(pmgr).run(plant.prog, diag);
+        bool caught = false;
+        for (const analysis::Diagnostic &d : diag.diagnostics())
+            if (d.severity == plant.severity &&
+                d.pass == plant.expectedPass)
+                caught = true;
+        if (caught) {
+            std::printf("self-test %s: caught by pass %s\n",
+                        plant.name.c_str(),
+                        plant.expectedPass.c_str());
+        } else {
+            std::printf("self-test %s: NOT caught (expected pass "
+                        "%s); diagnostics were:\n",
+                        plant.name.c_str(),
+                        plant.expectedPass.c_str());
+            diag.toTable("self-test " + plant.name)
+                .print(std::cout);
+            rc = ExitVerifyFailure;
+        }
+    }
     for (const PlantedBug &bug : bugs) {
         if (which != "all" && which != bug.name)
             continue;
@@ -338,7 +420,8 @@ runSelfTest(const std::string &which)
     }
     if (!ranAny)
         fatal("unknown self-test " + which +
-              " (expected aliasing, disconnected, noncyclic or all)");
+              " (expected aliasing, disconnected, noncyclic, "
+              "call-nonentry, ipa-unreachable or all)");
     return rc;
 }
 
@@ -349,8 +432,9 @@ main(int argc, char **argv)
 {
     CliOptions cli;
     cli.define("self-test", "",
-               "plant a region bug and demand the verifier catch "
-               "it: aliasing, disconnected, noncyclic, all");
+               "plant a bug and demand the verifier catch it: "
+               "aliasing, disconnected, noncyclic, call-nonentry, "
+               "ipa-unreachable, all");
     cli.define("program", "", "lint a saved program file");
     cli.define("spec", "", "lint the program of one fuzz spec");
     cli.define("workload", "",
